@@ -1,0 +1,26 @@
+//! # rcoal-aes
+//!
+//! AES-128 and its GPU execution model for the RCoal reproduction.
+//!
+//! Three layers:
+//!
+//! * [`tables`] — the S-box, inverse S-box and T-tables, generated at
+//!   compile time from the GF(2⁸) field definition.
+//! * [`Aes128`] — a T-table AES-128 implementation (FIPS-197-validated)
+//!   that can *trace* every table lookup it performs.
+//! * [`AesGpuKernel`] — the CUDA-style kernel model the paper attacks:
+//!   one plaintext line per thread, 32 threads per warp in lock step, so
+//!   each table lookup becomes a warp-wide load for the coalescing unit.
+//!
+//! The timing channel lives in the last round: lookup `j` uses index
+//! `t_j = S⁻¹[c_j ⊕ k_j]` ([`last_round_index`]), so the number of
+//! coalesced accesses is a deterministic function of ciphertext byte `j`
+//! and last-round key byte `k_j` — which is what `rcoal-attack` exploits
+//! and the subwarp mechanisms in `rcoal-core` randomize.
+
+mod cipher;
+mod kernel;
+pub mod tables;
+
+pub use cipher::{last_round_index, Aes128, Aes192, Aes256, Block, LookupTrace, TableLookup};
+pub use kernel::{round_tags, AesGpuKernel, TableLayout, LAST_ROUND_TAG_BASE, OUTPUT_TAG};

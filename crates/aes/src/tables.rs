@@ -1,0 +1,195 @@
+//! AES lookup tables, generated at compile time from the GF(2⁸) field
+//! definition rather than transcribed, so they are correct by
+//! construction (and verified against FIPS-197 vectors in tests).
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+pub const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸), with `gf_inv(0) = 0` by convention.
+pub const fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    let mut x = 1u8;
+    loop {
+        if gf_mul(a, x) == 1 {
+            return x;
+        }
+        x = x.wrapping_add(1);
+    }
+}
+
+const fn affine(b: u8) -> u8 {
+    b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = affine(gf_inv(i as u8));
+        i += 1;
+    }
+    t
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+}
+
+const fn build_t0(sbox: &[u8; 256]) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = sbox[i];
+        let s2 = gf_mul(s, 2);
+        let s3 = gf_mul(s, 3);
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn rotate_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = src[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+const fn build_t4(sbox: &[u8; 256]) -> [u32; 256] {
+    // The last-round table used by GPU AES implementations: S-box output
+    // replicated into all four byte lanes so any byte can be masked out.
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = sbox[i] as u32;
+        t[i] = (s << 24) | (s << 16) | (s << 8) | s;
+        i += 1;
+    }
+    t
+}
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = build_sbox();
+/// The inverse AES S-box (`INV_SBOX[SBOX[x]] == x`).
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+/// Round-function T-table for byte lane 0: `[2·S, S, S, 3·S]`.
+pub const T0: [u32; 256] = build_t0(&SBOX);
+/// Round-function T-table for byte lane 1 (T0 rotated right 8 bits).
+pub const T1: [u32; 256] = rotate_table(&T0, 8);
+/// Round-function T-table for byte lane 2 (T0 rotated right 16 bits).
+pub const T2: [u32; 256] = rotate_table(&T0, 16);
+/// Round-function T-table for byte lane 3 (T0 rotated right 24 bits).
+pub const T3: [u32; 256] = rotate_table(&T0, 24);
+/// Last-round table (replicated S-box); the table the timing attack
+/// targets. 256 × 4 B = 1 KiB, i.e. 16 blocks of 64 B.
+pub const T4: [u32; 256] = build_t4(&SBOX);
+
+/// Number of 64-byte memory blocks the 1 KiB T4 table spans (`R` in the
+/// paper's analysis).
+pub const T4_BLOCKS: usize = 16;
+
+/// Table elements per 64-byte memory block (the paper's "16 consecutive
+/// table elements are mapped sequentially to the same memory block").
+pub const ELEMS_PER_BLOCK: usize = 16;
+
+/// Memory block index of a T4 lookup (`index >> 4`).
+pub const fn t4_block(index: u8) -> u8 {
+    index >> 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_values() {
+        // FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0x10], 0xca);
+        assert_eq!(SBOX[0x9a], 0xb8);
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+            assert_eq!(SBOX[INV_SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &s in SBOX.iter() {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse of {a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn t_tables_are_rotations_with_correct_lanes() {
+        for i in 0..256 {
+            let s = SBOX[i] as u32;
+            let s2 = gf_mul(SBOX[i], 2) as u32;
+            let s3 = gf_mul(SBOX[i], 3) as u32;
+            assert_eq!(T0[i], (s2 << 24) | (s << 16) | (s << 8) | s3);
+            assert_eq!(T1[i], T0[i].rotate_right(8));
+            assert_eq!(T2[i], T0[i].rotate_right(16));
+            assert_eq!(T3[i], T0[i].rotate_right(24));
+            assert_eq!(T4[i], s * 0x0101_0101);
+        }
+    }
+
+    #[test]
+    fn t4_block_mapping() {
+        assert_eq!(t4_block(0x00), 0);
+        assert_eq!(t4_block(0x0f), 0);
+        assert_eq!(t4_block(0x10), 1);
+        assert_eq!(t4_block(0xff), 15);
+        assert_eq!(T4_BLOCKS * ELEMS_PER_BLOCK, 256);
+    }
+}

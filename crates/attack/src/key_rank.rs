@@ -1,0 +1,87 @@
+//! Full-key rank estimation: how many candidate keys an attacker must
+//! try, given the per-byte correlation rankings.
+//!
+//! A byte-wise attack rarely fails outright; it leaves each byte's
+//! correct value at some rank `r_j` among the 256 guesses. An attacker
+//! who enumerates candidate keys in descending joint-plausibility order
+//! tests about `∏(r_j + 1)` keys before reaching the true one — the
+//! standard independent-subkey lower bound used to compare side-channel
+//! results beyond plain success/failure.
+
+use crate::recover::KeyRecovery;
+
+/// Log₂ of the estimated number of key candidates to enumerate before
+/// reaching `true_key`, assuming independent per-byte rankings:
+/// `Σ log₂(rank_j + 1)`. 0 means first try (complete break); 128 means
+/// no better than brute force.
+pub fn log2_key_rank(recovery: &KeyRecovery, true_key: &[u8; 16]) -> f64 {
+    recovery
+        .bytes
+        .iter()
+        .zip(true_key)
+        .map(|(b, &k)| ((b.rank_of(k) + 1) as f64).log2())
+        .sum()
+}
+
+/// Security margin left after the attack, in bits: `128 − log₂(rank)`
+/// bits of key material were recovered; the remainder is what brute
+/// force still costs.
+pub fn remaining_security_bits(recovery: &KeyRecovery, true_key: &[u8; 16]) -> f64 {
+    log2_key_rank(recovery, true_key).clamp(0.0, 128.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::ByteRecovery;
+
+    fn recovery_with_ranks(ranks: [usize; 16]) -> (KeyRecovery, [u8; 16]) {
+        // True key byte is 0; its correlation places it at the requested
+        // rank (guesses 1..=rank get higher correlations).
+        let bytes = ranks
+            .iter()
+            .map(|&r| {
+                let mut correlations = vec![0.0f64; 256];
+                correlations[0] = 0.5;
+                for g in 1..=r {
+                    correlations[g] = 0.6 + g as f64 * 1e-3;
+                }
+                ByteRecovery {
+                    best_guess: if r == 0 { 0 } else { r as u8 },
+                    correlations,
+                }
+            })
+            .collect();
+        (KeyRecovery { bytes }, [0u8; 16])
+    }
+
+    #[test]
+    fn perfect_recovery_has_rank_zero() {
+        let (rec, key) = recovery_with_ranks([0; 16]);
+        assert_eq!(log2_key_rank(&rec, &key), 0.0);
+        assert_eq!(remaining_security_bits(&rec, &key), 0.0);
+    }
+
+    #[test]
+    fn uniform_rank_one_costs_one_bit_per_byte() {
+        let (rec, key) = recovery_with_ranks([1; 16]);
+        assert!((log2_key_rank(&rec, &key) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_approaches_brute_force() {
+        let (rec, key) = recovery_with_ranks([255; 16]);
+        let bits = log2_key_rank(&rec, &key);
+        assert!((bits - 128.0).abs() < 0.1, "bits = {bits}");
+        assert!(remaining_security_bits(&rec, &key) <= 128.0);
+    }
+
+    #[test]
+    fn mixed_ranks_accumulate() {
+        let mut ranks = [0usize; 16];
+        ranks[3] = 3; // log2(4) = 2 bits
+        ranks[9] = 15; // log2(16) = 4 bits
+        let (rec, key) = recovery_with_ranks(ranks);
+        assert!((log2_key_rank(&rec, &key) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0.0 when either sample is constant (zero variance) or shorter
+/// than two elements — the attacker learns nothing from a flat series,
+/// which is exactly the situation a perfect defense produces.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson requires equal-length samples");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Index of the maximum element (first in case of ties); `None` for an
+/// empty slice.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f64)>, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let x: Vec<f64> = (0..10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let x = vec![5.0; 8];
+        let y: Vec<f64> = (0..8).map(f64::from).collect();
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_noise_is_weakly_correlated() {
+        // Deterministic pseudo-noise.
+        let x: Vec<f64> = (0..2000).map(|i| f64::from((i * 48271) % 1013)).collect();
+        let y: Vec<f64> = (0..2000).map(|i| f64::from((i * 16807 + 7) % 997)).collect();
+        assert!(pearson(&x, &y).abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_scale_invariant() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 3.0, 1.0, 9.0, 4.0];
+        let r1 = pearson(&x, &y);
+        assert!((r1 - pearson(&y, &x)).abs() < 1e-12);
+        let y_scaled: Vec<f64> = y.iter().map(|v| 100.0 * v - 40.0).collect();
+        assert!((r1 - pearson(&x, &y_scaled)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_picks_first_maximum() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[-3.0, -1.0, -2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[42.0]), Some(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Extension ablation: measurement noise vs attack strength — validates
+//! the attenuation law underlying Eq. 4 and explains the gap between the
+//! paper's clean-simulator sample counts (~10^2) and real-hardware
+//! attacks (~10^6, Jiang et al.).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_attack::GaussianNoise;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::ablation_noise;
+use rcoal_experiments::{ExperimentConfig, TimingSource};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sigmas = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let rows = ablation_noise(800, &sigmas, BENCH_SEED).expect("simulation");
+    println!("\nNoise sensitivity of the baseline attack (byte-0 channel, 800 samples):");
+    println!(
+        "{:>14} | {:>13} {:>14} | {:>16}",
+        "sigma/signal", "measured corr", "predicted corr", "Eq.4 samples"
+    );
+    for r in &rows {
+        println!(
+            "{:>14.1} | {:>13.3} {:>14.3} | {:>16.0}",
+            r.sigma_over_signal, r.measured_corr, r.predicted_corr, r.samples_needed
+        );
+    }
+    println!("(expected: measured tracks predicted; sample cost grows ~(sigma/signal)^2)\n");
+
+    let samples = ExperimentConfig::new(CoalescingPolicy::Baseline, 200, 32)
+        .with_seed(BENCH_SEED)
+        .functional_only()
+        .run()
+        .expect("run")
+        .attack_samples(TimingSource::ByteAccesses(0));
+    let mut g = c.benchmark_group("ablation_noise");
+    g.bench_function("apply_noise_200_samples", |b| {
+        let mut noise = GaussianNoise::new(2.0, BENCH_SEED);
+        b.iter(|| black_box(noise.applied(black_box(&samples))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Extension ablation: empirical samples-to-recovery per mechanism —
+//! the measured counterpart of Table II's normalized S and Eq. 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_attack::{samples_needed, Attack};
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::ablation_samples_needed;
+use rcoal_experiments::{ExperimentConfig, TimingSource};
+use rcoal_theory::{Mechanism, SecurityModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let policies = vec![
+        ("baseline".to_string(), CoalescingPolicy::Baseline),
+        ("FSS".to_string(), CoalescingPolicy::fss(4).expect("valid")),
+        ("FSS+RTS".to_string(), CoalescingPolicy::fss_rts(2).expect("valid")),
+        ("FSS+RTS".to_string(), CoalescingPolicy::fss_rts(4).expect("valid")),
+        ("RSS+RTS".to_string(), CoalescingPolicy::rss_rts(2).expect("valid")),
+        ("RSS+RTS".to_string(), CoalescingPolicy::rss_rts(4).expect("valid")),
+    ];
+    let rows = ablation_samples_needed(&policies, 4000, BENCH_SEED).expect("simulation");
+    let model = SecurityModel::default();
+    println!("\nEmpirical samples-to-recovery (byte-0 channel, budget 4000):");
+    println!(
+        "{:>9} {:>3} | {:>10} | {:>12} | {:>17}",
+        "mech", "M", "measured N", "corr@budget", "Eq.4 at analytic rho"
+    );
+    for r in &rows {
+        let analytic = match (r.mechanism.as_str(), r.m) {
+            ("FSS+RTS", m) => Some(model.rho(Mechanism::FssRts, m)),
+            ("RSS+RTS", m) => Some(model.rho(Mechanism::RssRts, m)),
+            ("FSS", m) => Some(model.rho(Mechanism::Fss, m)),
+            _ => Some(1.0),
+        };
+        let eq4 = analytic
+            .map(|rho| {
+                if rho >= 1.0 {
+                    "~25 (corr 1)".to_string()
+                } else if rho <= 0.0 {
+                    "inf".to_string()
+                } else {
+                    format!("{:.0}", samples_needed(rho, 0.99))
+                }
+            })
+            .expect("analytic rho known");
+        println!(
+            "{:>9} {:>3} | {:>10} | {:>12.3} | {:>17}",
+            r.mechanism,
+            r.m,
+            r.samples_to_recover
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| ">budget".to_string()),
+            r.corr_at_budget,
+            eq4
+        );
+    }
+    println!("(expected: measured N grows with the analytic 1/rho^2 ordering)\n");
+
+    let samples = ExperimentConfig::new(CoalescingPolicy::fss_rts(4).expect("valid"), 200, 32)
+        .with_seed(BENCH_SEED)
+        .functional_only()
+        .run()
+        .expect("run")
+        .attack_samples(TimingSource::ByteAccesses(0));
+    let attack = Attack::against(CoalescingPolicy::fss_rts(4).expect("valid"), 32);
+    let mut g = c.benchmark_group("ablation_samples");
+    g.sample_size(10);
+    g.bench_function("recover_byte_200_samples_fss_rts", |b| {
+        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

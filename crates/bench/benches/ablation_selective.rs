@@ -1,0 +1,49 @@
+//! Extension ablation (paper §VII future work): selective randomization
+//! protects only the vulnerable last-round loads. Security of the last
+//! round matches the uniform defense; the performance cost collapses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::ablation_selective;
+use rcoal_experiments::ExperimentConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = ablation_selective(200, 30, 8, BENCH_SEED).expect("simulation");
+    println!("\nSelective randomization ablation (M = 8, RSS+RTS):");
+    println!(
+        "{:<44} | {:>9} {:>10} {:>14}",
+        "configuration", "avg corr", "norm time", "mem accesses"
+    );
+    for r in &rows {
+        println!(
+            "{:<44} | {:>9.3} {:>10.3} {:>14.0}",
+            r.config, r.avg_correct_corr, r.normalized_time, r.mean_total_accesses
+        );
+    }
+    println!("(expected: selective keeps the uniform defense's low correlation at a");
+    println!(" fraction of its slowdown, because rounds 1-9 coalesce at baseline)\n");
+
+    let mut g = c.benchmark_group("ablation_selective");
+    g.sample_size(20);
+    g.bench_function("selective_functional_run", |b| {
+        b.iter(|| {
+            black_box(
+                ExperimentConfig::selective(
+                    CoalescingPolicy::rss_rts(8).expect("valid"),
+                    1,
+                    32,
+                )
+                .with_seed(BENCH_SEED)
+                .functional_only()
+                .run()
+                .expect("run"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

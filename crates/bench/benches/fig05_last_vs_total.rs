@@ -1,0 +1,36 @@
+//! Figure 5: relationship between last-round and total execution time on
+//! the baseline GPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_aes::AesGpuKernel;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig05_last_vs_total;
+use rcoal_experiments::random_plaintexts;
+use rcoal_gpu_sim::{GpuConfig, GpuSimulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = fig05_last_vs_total(100, BENCH_SEED).expect("simulation");
+    println!("\nFigure 5: last-round vs total execution time (100 plaintexts)");
+    println!("corr(last_round_cycles, total_cycles) = {:.3}", data.correlation);
+    for (last, total) in data.points.iter().take(10) {
+        println!("  last {last:>6} cycles | total {total:>6} cycles");
+    }
+    println!("  ... ({} points total; positive correlation expected)\n", data.points.len());
+
+    // Time one baseline simulated launch (32 lines = 1 warp).
+    let lines = random_plaintexts(1, 32, BENCH_SEED).remove(0);
+    let sim = GpuSimulator::new(GpuConfig::paper());
+    let mut g = c.benchmark_group("fig05");
+    g.bench_function("simulate_one_plaintext_baseline", |b| {
+        b.iter(|| {
+            let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
+            black_box(sim.run(&kernel, CoalescingPolicy::Baseline, 1).expect("run"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

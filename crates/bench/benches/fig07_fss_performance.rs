@@ -1,0 +1,42 @@
+//! Figure 7: FSS performance and naive-attack correlation vs the number
+//! of subwarps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_aes::AesGpuKernel;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig07_fss_performance;
+use rcoal_experiments::random_plaintexts;
+use rcoal_gpu_sim::{GpuConfig, GpuSimulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig07_fss_performance(100, BENCH_SEED).expect("simulation");
+    println!("\nFigure 7: FSS with increasing num-subwarp (100 plaintexts)");
+    println!(
+        "{:>3} | {:>12} {:>14} | {:>22}",
+        "M", "exec cycles", "mem accesses", "naive-attack avg corr"
+    );
+    for r in &rows {
+        println!(
+            "{:>3} | {:>12.0} {:>14.0} | {:>22.3}",
+            r.m, r.mean_total_cycles, r.mean_total_accesses, r.avg_corr_naive_attack
+        );
+    }
+    println!("(paper: time and accesses rise with M; the naive correlation falls)\n");
+
+    let lines = random_plaintexts(1, 32, BENCH_SEED).remove(0);
+    let sim = GpuSimulator::new(GpuConfig::paper());
+    let policy = CoalescingPolicy::fss(8).expect("8 divides 32");
+    let mut g = c.benchmark_group("fig07");
+    g.bench_function("simulate_one_plaintext_fss8", |b| {
+        b.iter(|| {
+            let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
+            black_box(sim.run(&kernel, policy, 1).expect("run"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

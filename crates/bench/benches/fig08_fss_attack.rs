@@ -1,0 +1,42 @@
+//! Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
+//! attack re-establishes the correlation, so FSS alone is not enough.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_attack::AccessPredictor;
+use rcoal_bench::{describe_scatter, BENCH_SEED};
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig08_fss_attack;
+use rcoal_experiments::{ExperimentConfig, TimingSource};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let panels = fig08_fss_attack(100, BENCH_SEED).expect("simulation");
+    println!();
+    describe_scatter("Figure 8 (FSS vs FSS attack)", &panels);
+    println!("(paper: the FSS attack keeps recovering the byte for M < 32)\n");
+
+    let samples = ExperimentConfig::new(CoalescingPolicy::fss(8).expect("valid"), 50, 32)
+        .with_seed(BENCH_SEED)
+        .run()
+        .expect("simulation")
+        .attack_samples(TimingSource::LastRoundCycles);
+    let mut g = c.benchmark_group("fig08");
+    g.bench_function("fss_attack_predict_50_samples", |b| {
+        b.iter(|| {
+            let mut p = AccessPredictor::new(
+                CoalescingPolicy::fss(8).expect("valid"),
+                32,
+                BENCH_SEED,
+            );
+            let total: f64 = samples
+                .iter()
+                .map(|s| p.predict(black_box(&s.ciphertexts), 0, 0x42))
+                .sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 9: subwarp-size distribution of RSS (normal vs skewed),
+//! num-subwarp = 4, 1000 draws.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig09_rss_distributions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let d = fig09_rss_distributions(1000, 4, BENCH_SEED);
+    println!("\nFigure 9: RSS subwarp-size histograms (M = 4, 1000 draws)");
+    println!("{:>4} | {:>8} {:>8}", "size", "normal", "skewed");
+    for s in 1..=29 {
+        if d.normal[s] == 0 && d.skewed[s] == 0 {
+            continue;
+        }
+        println!("{:>4} | {:>8} {:>8}", s, d.normal[s], d.skewed[s]);
+    }
+    println!("(paper: normal clusters at 32/M = 8; skewed covers the whole 1..=29 range)\n");
+
+    let policy = CoalescingPolicy::rss(4).expect("valid");
+    let mut g = c.benchmark_group("fig09");
+    g.bench_function("skewed_assignment_draw", |b| {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        b.iter(|| black_box(policy.assignment(32, &mut rng).expect("valid")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 14 (RSS+RTS vs RSS+RTS attack): the randomized defense under its corresponding attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_attack::AccessPredictor;
+use rcoal_bench::{describe_scatter, BENCH_SEED};
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig14_rss_rts;
+use rcoal_experiments::{ExperimentConfig, TimingSource};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let panels = fig14_rss_rts(100, BENCH_SEED).expect("simulation");
+    println!();
+    describe_scatter("Figure 14 (RSS+RTS vs RSS+RTS attack)", &panels);
+    println!("(paper: recovery difficult for num-subwarp > 2)\n");
+
+    let policy = CoalescingPolicy::rss_rts(8).expect("valid");
+    let samples = ExperimentConfig::new(policy, 50, 32)
+        .with_seed(BENCH_SEED)
+        .run()
+        .expect("simulation")
+        .attack_samples(TimingSource::LastRoundCycles);
+    let mut g = c.benchmark_group("fig14_rss_rts");
+    g.bench_function("corresponding_attack_predict_50_samples", |b| {
+        b.iter(|| {
+            let mut p = AccessPredictor::new(policy, 32, BENCH_SEED);
+            let total: f64 = samples
+                .iter()
+                .map(|s| p.predict(black_box(&s.ciphertexts), 0, 0x42))
+                .sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

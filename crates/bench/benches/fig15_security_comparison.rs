@@ -1,0 +1,55 @@
+//! Figure 15: security comparison across FSS, FSS+RTS, RSS, RSS+RTS —
+//! average correlation of the correct guesses under each mechanism's
+//! corresponding attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_attack::Attack;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::{avg_correct_correlation, fig15_16_comparison};
+use rcoal_experiments::{ExperimentConfig, TimingSource};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = fig15_16_comparison(150, BENCH_SEED).expect("simulation");
+    println!("\nFigure 15: avg correlation of correct guesses (150 plaintexts)");
+    println!("{:>8} | {:>6} {:>6} {:>6} {:>6}", "mech", "M=2", "M=4", "M=8", "M=16");
+    for mech in ["FSS", "FSS+RTS", "RSS", "RSS+RTS"] {
+        let row: Vec<f64> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&m| {
+                data.security
+                    .iter()
+                    .find(|s| s.mechanism == mech && s.m == m)
+                    .expect("row")
+                    .avg_correct_corr
+            })
+            .collect();
+        println!(
+            "{:>8} | {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+            mech, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!("(paper: FSS stays high; the randomized mechanisms collapse toward 0)\n");
+
+    let policy = CoalescingPolicy::rss_rts(4).expect("valid");
+    let exp = ExperimentConfig::new(policy, 50, 32)
+        .with_seed(BENCH_SEED)
+        .run()
+        .expect("simulation");
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(20);
+    g.bench_function("avg_correct_correlation_50_samples", |b| {
+        b.iter(|| {
+            black_box(avg_correct_correlation(
+                &exp,
+                Attack::against(policy, 32),
+                TimingSource::LastRoundCycles,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

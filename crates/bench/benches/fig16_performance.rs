@@ -1,0 +1,47 @@
+//! Figure 16: performance and data movement of each defense mechanism vs
+//! the number of subwarps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_aes::AesGpuKernel;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::figures::fig15_16_comparison;
+use rcoal_experiments::random_plaintexts;
+use rcoal_gpu_sim::{GpuConfig, GpuSimulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = fig15_16_comparison(100, BENCH_SEED).expect("simulation");
+    println!("\nFigure 16: performance and data movement (100 plaintexts)");
+    println!(
+        "{:>9} {:>3} | {:>14} | {:>12} {:>10}",
+        "mech", "M", "mem accesses", "exec cycles", "norm time"
+    );
+    for p in &data.performance {
+        println!(
+            "{:>9} {:>3} | {:>14.0} | {:>12.0} {:>10.3}",
+            p.mechanism, p.m, p.mean_total_accesses, p.mean_total_cycles, p.normalized_time
+        );
+    }
+    println!("(paper: both rise with M; RSS-based < FSS-based; RTS is ~free)\n");
+
+    let lines = random_plaintexts(1, 32, BENCH_SEED).remove(0);
+    let sim = GpuSimulator::new(GpuConfig::paper());
+    let mut g = c.benchmark_group("fig16");
+    for (name, policy) in [
+        ("baseline", CoalescingPolicy::Baseline),
+        ("rss_rts_8", CoalescingPolicy::rss_rts(8).expect("valid")),
+        ("disabled", CoalescingPolicy::Disabled),
+    ] {
+        g.bench_function(format!("simulate_{name}"), |b| {
+            b.iter(|| {
+                let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
+                black_box(sim.run(&kernel, policy, 1).expect("run"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 17: RCoal_Score trade-off for security-oriented (a = b = 1)
+//! and performance-oriented (a = 1, b = 20) systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::BENCH_SEED;
+use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
+use rcoal_theory::RCoalScore;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let comparison = fig15_16_comparison(150, BENCH_SEED).expect("simulation");
+    let scores = fig17_rcoal_score(&comparison);
+    println!("\nFigure 17: RCoal_Score (150 plaintexts)");
+    println!(
+        "{:>9} {:>3} | {:>16} {:>18}",
+        "mech", "M", "security (a=b=1)", "performance (b=20)"
+    );
+    for s in &scores {
+        println!(
+            "{:>9} {:>3} | {:>16.1} {:>18.4}",
+            s.mechanism, s.m, s.security_oriented, s.performance_oriented
+        );
+    }
+    let best_sec = scores.iter().max_by(|a, b| a.security_oriented.total_cmp(&b.security_oriented)).expect("rows");
+    let best_perf = scores.iter().max_by(|a, b| a.performance_oriented.total_cmp(&b.performance_oriented)).expect("rows");
+    println!("security-oriented winner   : {} M={}", best_sec.mechanism, best_sec.m);
+    println!("performance-oriented winner: {} M={}", best_perf.mechanism, best_perf.m);
+    println!("(paper: FSS+RTS at M=8/16 wins security-oriented; RSS+RTS wins performance-oriented)\n");
+
+    let mut g = c.benchmark_group("fig17");
+    let cfg = RCoalScore::performance_oriented();
+    g.bench_function("score_eval", |b| {
+        b.iter(|| black_box(cfg.score(black_box(0.05), black_box(1.25))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of the core components: the coalescer under each
+//! policy, AES tracing, DRAM service, and the attack predictor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_aes::Aes128;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::{Coalescer, CoalescingPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let coalescer = Coalescer::new();
+    let addrs: Vec<Option<u64>> = (0..32).map(|_| Some(rng.gen_range(0u64..1024))).collect();
+
+    let mut g = c.benchmark_group("coalescer");
+    for (name, policy) in [
+        ("baseline", CoalescingPolicy::Baseline),
+        ("fss8", CoalescingPolicy::fss(8).expect("valid")),
+        ("rss_rts8", CoalescingPolicy::rss_rts(8).expect("valid")),
+    ] {
+        let assignment = policy.assignment(32, &mut rng).expect("valid");
+        g.bench_function(format!("coalesce_warp_{name}"), |b| {
+            b.iter(|| black_box(coalescer.coalesce(black_box(&assignment), black_box(&addrs))))
+        });
+        g.bench_function(format!("count_accesses_{name}"), |b| {
+            b.iter(|| black_box(coalescer.count_accesses(black_box(&assignment), black_box(&addrs))))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("aes");
+    let aes = Aes128::new(b"bench key 16 by!");
+    let block = *b"sixteen byte msg";
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box(block))))
+    });
+    g.bench_function("encrypt_block_traced", |b| {
+        b.iter(|| black_box(aes.encrypt_block_traced(black_box(block))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("policy");
+    for (name, policy) in [
+        ("fss_rts8", CoalescingPolicy::fss_rts(8).expect("valid")),
+        ("rss8", CoalescingPolicy::rss(8).expect("valid")),
+    ] {
+        g.bench_function(format!("assignment_{name}"), |b| {
+            b.iter(|| black_box(policy.assignment(32, &mut rng).expect("valid")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table II: analytical correlation and normalized sample counts for
+//! FSS, FSS+RTS and RSS+RTS across subwarp counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_theory::{table2, Mechanism, SecurityModel};
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\nTable II (N = 32 threads, R = 16 memory blocks)");
+    println!(
+        "{:>3} | {:>7} {:>8} {:>8} | {:>9} {:>10} {:>10}",
+        "M", "rho FSS", "FSS+RTS", "RSS+RTS", "S FSS", "S FSS+RTS", "S RSS+RTS"
+    );
+    for r in table2() {
+        println!(
+            "{:>3} | {:>7.2} {:>8.2} {:>8.2} | {:>9.0} {:>10.0} {:>10.0}",
+            r.m, r.rho_fss, r.rho_fss_rts, r.rho_rss_rts, r.s_fss, r.s_fss_rts, r.s_rss_rts
+        );
+    }
+    println!("(paper: rho FSS+RTS = 1.00/0.41/0.20/0.09/0.03/0; S = 1/6/24/115/961/inf)");
+    println!("(paper: rho RSS+RTS = 1.00/0.20/0.15/0.11/0.05/0; S = 1/25/42/78/349/inf)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let model = SecurityModel::default();
+    let mut g = c.benchmark_group("table2");
+    g.bench_function("rho_fss_rts_m16", |b| {
+        b.iter(|| black_box(model.rho(Mechanism::FssRts, black_box(16))))
+    });
+    g.bench_function("rho_rss_rts_m16", |b| {
+        b.iter(|| black_box(model.rho(Mechanism::RssRts, black_box(16))))
+    });
+    g.bench_function("full_table", |b| b.iter(|| black_box(table2())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

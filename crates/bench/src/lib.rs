@@ -1,0 +1,62 @@
+//! Shared helpers for the figure-regenerating benches.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the RCoal paper (printing the series the paper plots) and then times a
+//! representative core operation with Criterion. Sample counts mirror the
+//! paper's §VI scale (100 plaintexts of 32 lines) unless noted.
+
+use rcoal_experiments::figures::ScatterData;
+
+/// Canonical seed used by the benches so printed numbers are reproducible
+/// run to run.
+pub const BENCH_SEED: u64 = 0xbe_c4;
+
+/// Renders a guess-correlation scatter panel (Figures 8, 12–14) as text:
+/// correlation of the correct guess, the range of wrong guesses, and the
+/// recovery verdict.
+pub fn describe_scatter(figure: &str, panels: &[ScatterData]) {
+    println!("{figure}: correlation of 256 guesses for key byte 0");
+    println!(
+        "  {:>3} | {:>13} | {:>23} | {:>4} | verdict",
+        "M", "corr(correct)", "wrong guesses (min..max)", "rank"
+    );
+    for p in panels {
+        let correct = p.correlations[p.correct_byte as usize];
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (m, &c) in p.correlations.iter().enumerate() {
+            if m != p.correct_byte as usize {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+        }
+        let verdict = if p.rank_of_correct == 0 {
+            "KEY BYTE RECOVERED"
+        } else {
+            "recovery defeated"
+        };
+        println!(
+            "  {:>3} | {:>13.3} | {:>10.3} .. {:>8.3} | {:>4} | {verdict}",
+            p.m, correct, lo, hi, p.rank_of_correct
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_scatter_handles_a_panel() {
+        let mut correlations = vec![0.0; 256];
+        correlations[7] = 0.9;
+        describe_scatter(
+            "test",
+            &[ScatterData {
+                m: 2,
+                correlations,
+                correct_byte: 7,
+                rank_of_correct: 0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,493 @@
+use crate::{NumSubwarps, PolicyError, SubwarpAssignment};
+use rand::distributions::Distribution;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Divisor applied to the mean subwarp size to obtain the standard
+/// deviation of the [`SizeDistribution::Normal`] sampler (σ = mean / 4).
+pub const NORMAL_SIGMA_DIVISOR: f64 = 4.0;
+
+/// Distribution from which RSS draws subwarp sizes (paper §IV-B, Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SizeDistribution {
+    /// Sizes clustered around the FSS mean `warp_size / num_subwarps`.
+    /// The paper finds this empirically equivalent to FSS and discards it.
+    Normal,
+    /// Uniform over all compositions of the warp into `num_subwarps`
+    /// non-empty parts ("all possible subwarp size combinations equally
+    /// likely and no subwarp is empty"). Heavily skewed toward one large
+    /// subwarp, which both hinders the attacker and recovers coalescing
+    /// opportunity. This is the distribution RCoal adopts.
+    #[default]
+    Skewed,
+}
+
+impl std::fmt::Display for SizeDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeDistribution::Normal => f.write_str("normal"),
+            SizeDistribution::Skewed => f.write_str("skewed"),
+        }
+    }
+}
+
+/// A coalescing policy: how the warp is split into subwarps for memory
+/// access coalescing, and with how much randomness.
+///
+/// The policy is consulted once per kernel launch (per encryption, in the
+/// AES setting) to produce a [`SubwarpAssignment`]; the assignment then
+/// stays fixed for the whole launch, matching the hardware description in
+/// paper §IV-D ("set ... at the beginning of the application execution and
+/// does not change during the execution").
+///
+/// ```
+/// use rcoal_core::{CoalescingPolicy, NumSubwarps, SizeDistribution};
+/// use rand::SeedableRng;
+///
+/// let m = NumSubwarps::new(4, 32)?;
+/// let policy = CoalescingPolicy::RssRts { num_subwarps: m, dist: SizeDistribution::Skewed };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let a = policy.assignment(32, &mut rng)?;
+/// assert_eq!(a.num_subwarps(), 4);
+/// assert_eq!(a.sizes().iter().sum::<usize>(), 32);
+/// # Ok::<(), rcoal_core::PolicyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoalescingPolicy {
+    /// One subwarp per warp — the vulnerable stock configuration
+    /// (equivalent to FSS with `num_subwarps = 1`).
+    Baseline,
+    /// No coalescing at all: every lane issues its own access. Secure but
+    /// pays the full bandwidth cost (§III: up to 178 % slowdown, 2.7×
+    /// accesses for AES).
+    Disabled,
+    /// Fixed-sized subwarps: `num_subwarps` equal, in-order groups.
+    Fss {
+        /// How many equal subwarps the warp is split into.
+        num_subwarps: NumSubwarps,
+    },
+    /// Random-sized subwarps: group sizes redrawn per launch from `dist`,
+    /// lanes assigned in order.
+    Rss {
+        /// How many subwarps the warp is split into.
+        num_subwarps: NumSubwarps,
+        /// Distribution of the subwarp sizes.
+        dist: SizeDistribution,
+    },
+    /// Fixed sizes with random lane-to-subwarp allocation (FSS + RTS).
+    FssRts {
+        /// How many equal subwarps the warp is split into.
+        num_subwarps: NumSubwarps,
+    },
+    /// Random sizes *and* random lane allocation (RSS + RTS) — the paper's
+    /// strongest combination for small subwarp counts.
+    RssRts {
+        /// How many subwarps the warp is split into.
+        num_subwarps: NumSubwarps,
+        /// Distribution of the subwarp sizes.
+        dist: SizeDistribution,
+    },
+}
+
+impl CoalescingPolicy {
+    /// Convenience constructor for FSS over a 32-thread warp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumSubwarps::new`] validation errors.
+    pub fn fss(num_subwarps: usize) -> Result<Self, PolicyError> {
+        Ok(CoalescingPolicy::Fss {
+            num_subwarps: NumSubwarps::new(num_subwarps, crate::WARP_SIZE)?,
+        })
+    }
+
+    /// Convenience constructor for skewed RSS over a 32-thread warp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumSubwarps::new_unaligned`] validation errors.
+    pub fn rss(num_subwarps: usize) -> Result<Self, PolicyError> {
+        Ok(CoalescingPolicy::Rss {
+            num_subwarps: NumSubwarps::new_unaligned(num_subwarps, crate::WARP_SIZE)?,
+            dist: SizeDistribution::Skewed,
+        })
+    }
+
+    /// Convenience constructor for FSS+RTS over a 32-thread warp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumSubwarps::new`] validation errors.
+    pub fn fss_rts(num_subwarps: usize) -> Result<Self, PolicyError> {
+        Ok(CoalescingPolicy::FssRts {
+            num_subwarps: NumSubwarps::new(num_subwarps, crate::WARP_SIZE)?,
+        })
+    }
+
+    /// Convenience constructor for skewed RSS+RTS over a 32-thread warp.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NumSubwarps::new_unaligned`] validation errors.
+    pub fn rss_rts(num_subwarps: usize) -> Result<Self, PolicyError> {
+        Ok(CoalescingPolicy::RssRts {
+            num_subwarps: NumSubwarps::new_unaligned(num_subwarps, crate::WARP_SIZE)?,
+            dist: SizeDistribution::Skewed,
+        })
+    }
+
+    /// Draws the subwarp assignment used for one kernel launch.
+    ///
+    /// Deterministic policies ignore `rng`. The same `rng` state always
+    /// yields the same assignment, so experiments are reproducible from a
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::EmptyWarp`] for a zero-sized warp, and
+    /// [`PolicyError::OutOfRange`] if the configured subwarp count exceeds
+    /// `warp_size` (e.g. an FSS-of-32 policy applied to a 4-thread warp).
+    pub fn assignment<R: Rng + ?Sized>(
+        &self,
+        warp_size: usize,
+        rng: &mut R,
+    ) -> Result<SubwarpAssignment, PolicyError> {
+        if warp_size == 0 {
+            return Err(PolicyError::EmptyWarp);
+        }
+        match *self {
+            CoalescingPolicy::Baseline => SubwarpAssignment::single(warp_size),
+            CoalescingPolicy::Disabled => SubwarpAssignment::fully_split(warp_size),
+            CoalescingPolicy::Fss { num_subwarps } => {
+                let sizes = fixed_sizes(warp_size, num_subwarps.get())?;
+                SubwarpAssignment::in_order(&sizes)
+            }
+            CoalescingPolicy::Rss { num_subwarps, dist } => {
+                let sizes = random_sizes(warp_size, num_subwarps.get(), dist, rng)?;
+                SubwarpAssignment::in_order(&sizes)
+            }
+            CoalescingPolicy::FssRts { num_subwarps } => {
+                let sizes = fixed_sizes(warp_size, num_subwarps.get())?;
+                SubwarpAssignment::permuted(&sizes, &random_permutation(warp_size, rng))
+            }
+            CoalescingPolicy::RssRts { num_subwarps, dist } => {
+                let sizes = random_sizes(warp_size, num_subwarps.get(), dist, rng)?;
+                SubwarpAssignment::permuted(&sizes, &random_permutation(warp_size, rng))
+            }
+        }
+    }
+
+    /// Number of subwarps this policy splits a `warp_size`-thread warp
+    /// into.
+    pub fn num_subwarps(&self, warp_size: usize) -> usize {
+        match *self {
+            CoalescingPolicy::Baseline => 1,
+            CoalescingPolicy::Disabled => warp_size,
+            CoalescingPolicy::Fss { num_subwarps }
+            | CoalescingPolicy::FssRts { num_subwarps }
+            | CoalescingPolicy::Rss { num_subwarps, .. }
+            | CoalescingPolicy::RssRts { num_subwarps, .. } => num_subwarps.get(),
+        }
+    }
+
+    /// Whether the assignment varies between launches.
+    pub fn is_randomized(&self) -> bool {
+        matches!(
+            self,
+            CoalescingPolicy::Rss { .. }
+                | CoalescingPolicy::FssRts { .. }
+                | CoalescingPolicy::RssRts { .. }
+        )
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoalescingPolicy::Baseline => "baseline",
+            CoalescingPolicy::Disabled => "no-coalescing",
+            CoalescingPolicy::Fss { .. } => "FSS",
+            CoalescingPolicy::Rss { .. } => "RSS",
+            CoalescingPolicy::FssRts { .. } => "FSS+RTS",
+            CoalescingPolicy::RssRts { .. } => "RSS+RTS",
+        }
+    }
+}
+
+impl std::fmt::Display for CoalescingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoalescingPolicy::Baseline | CoalescingPolicy::Disabled => f.write_str(self.name()),
+            CoalescingPolicy::Fss { num_subwarps } | CoalescingPolicy::FssRts { num_subwarps } => {
+                write!(f, "{}(M={})", self.name(), num_subwarps)
+            }
+            CoalescingPolicy::Rss { num_subwarps, dist }
+            | CoalescingPolicy::RssRts { num_subwarps, dist } => {
+                write!(f, "{}(M={}, {})", self.name(), num_subwarps, dist)
+            }
+        }
+    }
+}
+
+fn fixed_sizes(warp_size: usize, m: usize) -> Result<Vec<usize>, PolicyError> {
+    if m > warp_size {
+        return Err(PolicyError::OutOfRange {
+            num_subwarps: m,
+            warp_size,
+        });
+    }
+    if warp_size % m != 0 {
+        return Err(PolicyError::NotADivisor {
+            num_subwarps: m,
+            warp_size,
+        });
+    }
+    Ok(vec![warp_size / m; m])
+}
+
+/// Draws subwarp sizes for RSS.
+pub(crate) fn random_sizes<R: Rng + ?Sized>(
+    warp_size: usize,
+    m: usize,
+    dist: SizeDistribution,
+    rng: &mut R,
+) -> Result<Vec<usize>, PolicyError> {
+    if m == 0 || m > warp_size {
+        return Err(PolicyError::OutOfRange {
+            num_subwarps: m,
+            warp_size,
+        });
+    }
+    Ok(match dist {
+        SizeDistribution::Skewed => skewed_sizes(warp_size, m, rng),
+        SizeDistribution::Normal => normal_sizes(warp_size, m, rng),
+    })
+}
+
+/// Uniform over compositions of `n` into `m` positive parts, via the
+/// stars-and-bars bijection: choose `m - 1` distinct cut points among the
+/// `n - 1` gaps between the `n` threads.
+fn skewed_sizes<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> {
+    debug_assert!(m >= 1 && m <= n);
+    if m == 1 {
+        return vec![n];
+    }
+    let mut gaps: Vec<usize> = (1..n).collect();
+    gaps.shuffle(rng);
+    let mut cuts: Vec<usize> = gaps[..m - 1].to_vec();
+    cuts.sort_unstable();
+    let mut sizes = Vec::with_capacity(m);
+    let mut prev = 0;
+    for c in cuts {
+        sizes.push(c - prev);
+        prev = c;
+    }
+    sizes.push(n - prev);
+    sizes
+}
+
+/// Sizes drawn iid from a normal centred on the FSS mean, rounded, clamped
+/// to at least 1, then repaired so the total is exactly `n`.
+fn normal_sizes<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> {
+    debug_assert!(m >= 1 && m <= n);
+    if m == 1 {
+        return vec![n];
+    }
+    let mean = n as f64 / m as f64;
+    let sigma = (mean / NORMAL_SIGMA_DIVISOR).max(0.25);
+    let normal = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let mut sizes: Vec<usize> = (0..m)
+        .map(|_| {
+            // Box–Muller from two uniforms keeps us on the sanctioned
+            // `rand` crate without the `rand_distr` extension.
+            let u1: f64 = normal.sample(rng).max(f64::MIN_POSITIVE);
+            let u2: f64 = normal.sample(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            ((mean + sigma * z).round() as i64).max(1) as usize
+        })
+        .collect();
+    // Repair pass: add/remove one thread at a time, never emptying a
+    // subwarp, until the sizes sum to the warp size.
+    loop {
+        let total: usize = sizes.iter().sum();
+        match total.cmp(&n) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Less => {
+                let i = rng.gen_range(0..m);
+                sizes[i] += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                let candidates: Vec<usize> =
+                    (0..m).filter(|&i| sizes[i] > 1).collect();
+                let i = candidates[rng.gen_range(0..candidates.len())];
+                sizes[i] -= 1;
+            }
+        }
+    }
+    sizes
+}
+
+fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn baseline_is_single_subwarp() {
+        let a = CoalescingPolicy::Baseline.assignment(32, &mut rng(0)).unwrap();
+        assert_eq!(a.num_subwarps(), 1);
+        assert_eq!(a.warp_size(), 32);
+    }
+
+    #[test]
+    fn disabled_is_one_lane_per_subwarp() {
+        let a = CoalescingPolicy::Disabled.assignment(32, &mut rng(0)).unwrap();
+        assert_eq!(a.num_subwarps(), 32);
+        assert!(a.sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn fss_splits_equally_in_order() {
+        let p = CoalescingPolicy::fss(4).unwrap();
+        let a = p.assignment(32, &mut rng(0)).unwrap();
+        assert_eq!(a.sizes(), vec![8; 4]);
+        // In-order allocation: lane 7 in sid 0, lane 8 in sid 1.
+        assert_eq!(a.sid(7), 0);
+        assert_eq!(a.sid(8), 1);
+    }
+
+    #[test]
+    fn fss_with_m1_equals_baseline() {
+        let p = CoalescingPolicy::fss(1).unwrap();
+        let base = CoalescingPolicy::Baseline.assignment(32, &mut rng(0)).unwrap();
+        assert_eq!(p.assignment(32, &mut rng(1)).unwrap(), base);
+    }
+
+    #[test]
+    fn fss_rejects_mismatched_warp() {
+        let p = CoalescingPolicy::fss(8).unwrap();
+        assert!(p.assignment(4, &mut rng(0)).is_err());
+        assert!(p.assignment(0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn rss_sizes_sum_and_are_nonempty() {
+        let p = CoalescingPolicy::rss(4).unwrap();
+        for seed in 0..200 {
+            let a = p.assignment(32, &mut rng(seed)).unwrap();
+            let sizes = a.sizes();
+            assert_eq!(sizes.len(), 4);
+            assert_eq!(sizes.iter().sum::<usize>(), 32);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn rss_skewed_is_uniform_over_compositions_small_case() {
+        // n = 4, m = 2 has compositions (1,3), (2,2), (3,1) — each should
+        // appear about a third of the time.
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut r = rng(7);
+        for _ in 0..3000 {
+            let sizes = skewed_sizes(4, 2, &mut r);
+            *counts.entry(sizes).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for (_, &c) in &counts {
+            assert!((800..1200).contains(&c), "non-uniform composition count {c}");
+        }
+    }
+
+    #[test]
+    fn rss_skewed_has_higher_size_variance_than_normal() {
+        let mut r = rng(11);
+        let spread = |dist: SizeDistribution, r: &mut StdRng| {
+            let mut var_sum = 0.0;
+            for _ in 0..500 {
+                let sizes = random_sizes(32, 4, dist, r).unwrap();
+                let mean = 8.0;
+                var_sum += sizes
+                    .iter()
+                    .map(|&s| (s as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / 4.0;
+            }
+            var_sum / 500.0
+        };
+        let skewed = spread(SizeDistribution::Skewed, &mut r);
+        let normal = spread(SizeDistribution::Normal, &mut r);
+        assert!(
+            skewed > 2.0 * normal,
+            "skewed variance {skewed} should far exceed normal variance {normal}"
+        );
+    }
+
+    #[test]
+    fn rts_produces_varying_permutations() {
+        let p = CoalescingPolicy::fss_rts(4).unwrap();
+        let mut r = rng(3);
+        let a = p.assignment(32, &mut r).unwrap();
+        let b = p.assignment(32, &mut r).unwrap();
+        assert_ne!(a, b, "two RTS draws should differ with overwhelming probability");
+        // Still a valid partition into 4 groups of 8.
+        assert_eq!(a.sizes(), vec![8; 4]);
+        let mut lanes: Vec<usize> = a.lanes_by_subwarp().into_iter().flatten().collect();
+        lanes.sort_unstable();
+        assert_eq!(lanes, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = CoalescingPolicy::rss_rts(8).unwrap();
+        let a = p.assignment(32, &mut rng(99)).unwrap();
+        let b = p.assignment(32, &mut rng(99)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_sizes_respect_invariants() {
+        let mut r = rng(5);
+        for _ in 0..200 {
+            let sizes = normal_sizes(32, 8, &mut r);
+            assert_eq!(sizes.iter().sum::<usize>(), 32);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert!(!CoalescingPolicy::Baseline.is_randomized());
+        assert!(!CoalescingPolicy::fss(4).unwrap().is_randomized());
+        assert!(CoalescingPolicy::rss(4).unwrap().is_randomized());
+        assert!(CoalescingPolicy::fss_rts(4).unwrap().is_randomized());
+        assert_eq!(CoalescingPolicy::rss_rts(4).unwrap().name(), "RSS+RTS");
+        assert_eq!(CoalescingPolicy::Baseline.num_subwarps(32), 1);
+        assert_eq!(CoalescingPolicy::Disabled.num_subwarps(32), 32);
+        assert_eq!(CoalescingPolicy::fss(16).unwrap().num_subwarps(32), 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoalescingPolicy::Baseline.to_string(), "baseline");
+        assert_eq!(
+            CoalescingPolicy::fss(8).unwrap().to_string(),
+            "FSS(M=8)"
+        );
+        assert_eq!(
+            CoalescingPolicy::rss(4).unwrap().to_string(),
+            "RSS(M=4, skewed)"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+use crate::SubwarpAssignment;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the pending request table (PRT) inside the memory
+/// coalescing unit, following Leng et al. (GPUWattch) as extended by RCoal
+/// §IV-D with a subwarp-id field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrtEntry {
+    /// Requesting thread (lane) index within the warp.
+    pub tid: u8,
+    /// Block-aligned base address of the request.
+    pub base_addr: u64,
+    /// Byte offset of the request within its block.
+    pub offset: u16,
+    /// Request size in bytes.
+    pub size: u16,
+    /// Subwarp id — the field RCoal adds to the PRT.
+    pub sid: u8,
+}
+
+/// A structural model of the modified coalescing unit's pending request
+/// table (paper Figure 11).
+///
+/// The table is filled from a warp's lane addresses and a
+/// [`SubwarpAssignment`]; the hardware then merges entries that share
+/// `(sid, base_addr)`. The model exists to make the hardware cost of the
+/// defense concrete — see [`PendingRequestTable::sid_overhead_bits`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PendingRequestTable {
+    entries: Vec<PrtEntry>,
+}
+
+impl PendingRequestTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logs one entry per active lane, tagging each with its subwarp id.
+    pub fn fill(
+        &mut self,
+        assignment: &SubwarpAssignment,
+        lane_addrs: &[Option<u64>],
+        request_size: u16,
+        block_size: u64,
+    ) {
+        self.entries.clear();
+        for (lane, sid) in assignment.iter() {
+            let Some(addr) = lane_addrs.get(lane).copied().flatten() else {
+                continue;
+            };
+            let base_addr = addr & !(block_size - 1);
+            self.entries.push(PrtEntry {
+                tid: lane as u8,
+                base_addr,
+                offset: (addr - base_addr) as u16,
+                size: request_size,
+                sid,
+            });
+        }
+    }
+
+    /// The logged entries, in lane order.
+    pub fn entries(&self) -> &[PrtEntry] {
+        &self.entries
+    }
+
+    /// Number of logged entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct `(sid, base_addr)` groups, i.e. the coalesced
+    /// access count the merge stage will emit.
+    pub fn merged_groups(&self) -> usize {
+        let mut seen: Vec<(u8, u64)> = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let key = (e.sid, e.base_addr);
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen.len()
+    }
+
+    /// Storage overhead of the added sid fields for one SM, in bits
+    /// (paper §IV-D: 32 threads × 2 schedulers × 5 bits = 320 bits).
+    pub fn sid_overhead_bits(warp_size: usize, warp_schedulers: usize) -> usize {
+        let sid_bits = usize::BITS as usize - (warp_size - 1).leading_zeros() as usize;
+        warp_size * warp_schedulers * sid_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overhead_number() {
+        // §IV-D: 32 × 2 × 5 bits = 320 bits per SM.
+        assert_eq!(PendingRequestTable::sid_overhead_bits(32, 2), 320);
+        assert_eq!(PendingRequestTable::sid_overhead_bits(16, 2), 128);
+    }
+
+    #[test]
+    fn fill_tags_entries_with_sid() {
+        let a = SubwarpAssignment::in_order(&[2, 2]).unwrap();
+        let mut prt = PendingRequestTable::new();
+        prt.fill(&a, &[Some(10), Some(70), None, Some(130)], 4, 64);
+        assert_eq!(prt.len(), 3);
+        assert!(!prt.is_empty());
+        assert_eq!(prt.entries()[0], PrtEntry { tid: 0, base_addr: 0, offset: 10, size: 4, sid: 0 });
+        assert_eq!(prt.entries()[1].sid, 0);
+        assert_eq!(prt.entries()[2].sid, 1);
+        assert_eq!(prt.entries()[2].base_addr, 128);
+        assert_eq!(prt.entries()[2].offset, 2);
+    }
+
+    #[test]
+    fn merged_groups_match_coalescer() {
+        use crate::Coalescer;
+        let a = SubwarpAssignment::in_order(&[2, 2]).unwrap();
+        let addrs = [Some(0u64), Some(64), Some(96), Some(128)];
+        let mut prt = PendingRequestTable::new();
+        prt.fill(&a, &addrs, 4, 64);
+        let c = Coalescer::new();
+        assert_eq!(prt.merged_groups(), c.coalesce(&a, &addrs).num_accesses());
+    }
+
+    #[test]
+    fn refill_clears_previous_contents() {
+        let a = SubwarpAssignment::single(2).unwrap();
+        let mut prt = PendingRequestTable::new();
+        prt.fill(&a, &[Some(0), Some(4)], 4, 64);
+        assert_eq!(prt.len(), 2);
+        prt.fill(&a, &[Some(0), None], 4, 64);
+        assert_eq!(prt.len(), 1);
+    }
+}

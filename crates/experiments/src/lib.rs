@@ -1,0 +1,28 @@
+//! # rcoal-experiments
+//!
+//! End-to-end experiment harness for the RCoal reproduction: encrypts
+//! attacker-style plaintext streams on the simulated GPU under a chosen
+//! coalescing policy, packages the observations for the attack suite, and
+//! regenerates every table and figure of the paper's evaluation
+//! (see [`figures`]).
+//!
+//! ```no_run
+//! use rcoal_experiments::{ExperimentConfig, TimingSource};
+//! use rcoal_core::CoalescingPolicy;
+//! use rcoal_attack::Attack;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = ExperimentConfig::new(CoalescingPolicy::Baseline, 100, 32).run()?;
+//! let attack = Attack::baseline(32);
+//! let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles));
+//! println!("{:?}", recovery.outcome(&data.true_last_round_key()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod figures;
+mod run;
+mod workload;
+
+pub use run::{ExperimentConfig, ExperimentData, TimingSource};
+pub use workload::{random_plaintexts, DEMO_KEY};

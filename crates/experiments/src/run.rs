@@ -1,0 +1,466 @@
+use crate::workload::{random_plaintexts, DEMO_KEY};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
+use rcoal_attack::AttackSample;
+use rcoal_core::{Coalescer, CoalescingPolicy};
+use rcoal_gpu_sim::{GpuConfig, GpuSimulator, Kernel, LaunchPolicy, SimError, TraceInstr};
+use serde::{Deserialize, Serialize};
+
+/// Which measurement plays the role of the attacker's timing observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingSource {
+    /// Cycles spent after round 9 — the paper's strong attacker (§II-C).
+    LastRoundCycles,
+    /// Whole-kernel cycles — the realistic remote attacker.
+    TotalCycles,
+    /// The true number of last-round coalesced accesses — the paper's
+    /// §VI-D trick to cancel warp-scheduling noise entirely.
+    LastRoundAccesses,
+    /// The last-round accesses of a single byte position's T4 load — the
+    /// cleanest possible per-byte channel, useful for isolating one
+    /// byte's leakage from the other fifteen.
+    ByteAccesses(u8),
+}
+
+/// Configuration of one end-to-end encryption experiment: `num_plaintexts`
+/// plaintexts of `lines` lines are encrypted on the simulated GPU under
+/// `policy`, recording per-plaintext timing and access counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Coalescing policy the victim GPU deploys.
+    pub policy: CoalescingPolicy,
+    /// Number of plaintexts (timing samples).
+    pub num_plaintexts: usize,
+    /// Lines per plaintext (32 = one warp; 1024 = the §VI-D case study).
+    pub lines: usize,
+    /// Master seed for plaintexts and per-launch policy randomness.
+    pub seed: u64,
+    /// AES-128 key held by the victim.
+    pub key: [u8; 16],
+    /// Simulated GPU configuration.
+    pub gpu: GpuConfig,
+    /// When false, skip the cycle simulator and collect only (functional)
+    /// access counts — orders of magnitude faster, sufficient for the
+    /// access-based security analyses.
+    pub timing: bool,
+    /// Optional launch-policy override; when set, `policy` is ignored and
+    /// this (possibly selective) launch policy is used instead.
+    pub launch: Option<LaunchPolicy>,
+}
+
+impl ExperimentConfig {
+    /// Creates a timing experiment with the paper's GPU configuration and
+    /// the demo key.
+    pub fn new(policy: CoalescingPolicy, num_plaintexts: usize, lines: usize) -> Self {
+        ExperimentConfig {
+            policy,
+            num_plaintexts,
+            lines,
+            seed: 0x5C0A1,
+            key: DEMO_KEY,
+            gpu: GpuConfig::paper(),
+            timing: true,
+            launch: None,
+        }
+    }
+
+    /// Creates a *selective* experiment implementing the paper's §VII
+    /// future-work design: only the last-round (vulnerable) T4 loads use
+    /// the randomized `vulnerable_policy`; every other load keeps stock
+    /// baseline coalescing.
+    pub fn selective(
+        vulnerable_policy: CoalescingPolicy,
+        num_plaintexts: usize,
+        lines: usize,
+    ) -> Self {
+        let mut cfg = Self::new(vulnerable_policy, num_plaintexts, lines);
+        cfg.launch = Some(LaunchPolicy::Selective {
+            vulnerable: vulnerable_policy,
+            default: CoalescingPolicy::Baseline,
+            vulnerable_tags: (LAST_ROUND_TAG_BASE, LAST_ROUND_TAG_BASE + 16),
+        });
+        cfg
+    }
+
+    /// Overrides the launch policy (e.g. a custom selective split).
+    pub fn with_launch(mut self, launch: LaunchPolicy) -> Self {
+        self.launch = Some(launch);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the victim key.
+    pub fn with_key(mut self, key: [u8; 16]) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Overrides the GPU configuration.
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Disables the cycle simulator (access counts only).
+    pub fn functional_only(mut self) -> Self {
+        self.timing = false;
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]); functional-only runs
+    /// can still fail on a policy/warp-size mismatch.
+    pub fn run(&self) -> Result<ExperimentData, SimError> {
+        let plaintexts = random_plaintexts(self.num_plaintexts, self.lines, self.seed);
+        let sim = GpuSimulator::new(self.gpu.clone());
+        let coalescer = Coalescer::with_block_size(self.gpu.block_size)?;
+        let launch = self.launch.unwrap_or(LaunchPolicy::Uniform(self.policy));
+
+        let mut data = ExperimentData {
+            policy: self.policy,
+            key: self.key,
+            ciphertexts: Vec::with_capacity(self.num_plaintexts),
+            last_round_accesses: Vec::with_capacity(self.num_plaintexts),
+            last_round_accesses_by_byte: Vec::with_capacity(self.num_plaintexts),
+            total_accesses: Vec::with_capacity(self.num_plaintexts),
+            total_requests: Vec::with_capacity(self.num_plaintexts),
+            last_round_cycles: self.timing.then(Vec::new),
+            total_cycles: self.timing.then(Vec::new),
+        };
+
+        for (i, lines) in plaintexts.iter().enumerate() {
+            let kernel = AesGpuKernel::new(&self.key, lines.clone(), self.gpu.warp_size);
+            // One kernel launch per plaintext; each launch re-draws the
+            // policy randomness from its own seed.
+            let launch_seed = self.seed.wrapping_add(1 + i as u64);
+            if self.timing {
+                let stats = sim.run_launch(&kernel, launch, launch_seed)?;
+                let mut by_byte = [0u64; 16];
+                for (j, slot) in by_byte.iter_mut().enumerate() {
+                    *slot = stats.accesses_for_tag(LAST_ROUND_TAG_BASE + j as u16);
+                }
+                data.last_round_accesses.push(by_byte.iter().sum());
+                data.last_round_accesses_by_byte.push(by_byte);
+                data.total_accesses.push(stats.total_accesses);
+                data.total_requests.push(stats.total_requests);
+                data.last_round_cycles
+                    .as_mut()
+                    .expect("timing enabled")
+                    .push(stats.cycles_after_round(9));
+                data.total_cycles
+                    .as_mut()
+                    .expect("timing enabled")
+                    .push(stats.total_cycles);
+            } else {
+                let counts =
+                    functional_counts(&kernel, launch, launch_seed, &coalescer, &self.gpu)?;
+                data.total_accesses.push(counts.total);
+                data.last_round_accesses.push(counts.by_byte.iter().sum());
+                data.last_round_accesses_by_byte.push(counts.by_byte);
+                data.total_requests.push(counts.requests);
+            }
+            data.ciphertexts.push(kernel.ciphertexts().to_vec());
+        }
+        Ok(data)
+    }
+}
+
+struct FunctionalCounts {
+    total: u64,
+    requests: u64,
+    by_byte: [u64; 16],
+}
+
+/// Counts coalesced accesses without the cycle model, drawing the same
+/// per-warp subwarp assignments the simulator would (same seed, same warp
+/// order).
+fn functional_counts(
+    kernel: &AesGpuKernel,
+    launch: LaunchPolicy,
+    launch_seed: u64,
+    coalescer: &Coalescer,
+    gpu: &GpuConfig,
+) -> Result<FunctionalCounts, SimError> {
+    let mut rng = StdRng::seed_from_u64(launch_seed);
+    let mut counts = FunctionalCounts {
+        total: 0,
+        requests: 0,
+        by_byte: [0; 16],
+    };
+    let (default_policy, vulnerable_policy) = launch.policies();
+    for w in 0..kernel.num_warps() {
+        let width = kernel.warp_width(w).min(gpu.warp_size);
+        // Same draw order as the simulator's launch stage, so seeded
+        // functional runs reproduce its assignments exactly.
+        let assignment = default_policy.assignment(width, &mut rng)?;
+        let vulnerable_assignment = if matches!(launch, LaunchPolicy::Uniform(_)) {
+            assignment.clone()
+        } else {
+            vulnerable_policy.assignment(width, &mut rng)?
+        };
+        for instr in kernel.trace(w).instrs() {
+            if let TraceInstr::Load { addrs, tag } = instr {
+                let a = if launch.is_vulnerable_tag(*tag) {
+                    &vulnerable_assignment
+                } else {
+                    &assignment
+                };
+                let n = coalescer.count_accesses(a, addrs) as u64;
+                counts.total += n;
+                counts.requests += addrs.iter().filter(|a| a.is_some()).count() as u64;
+                if *tag >= LAST_ROUND_TAG_BASE {
+                    counts.by_byte[usize::from(tag - LAST_ROUND_TAG_BASE)] += n;
+                }
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Results of one experiment: per-plaintext observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// The deployed policy.
+    pub policy: CoalescingPolicy,
+    /// The victim key (available here because we are the experimenter;
+    /// the attack itself never reads it).
+    pub key: [u8; 16],
+    /// Per-plaintext ciphertext lines.
+    pub ciphertexts: Vec<Vec<Block>>,
+    /// Per-plaintext last-round coalesced accesses.
+    pub last_round_accesses: Vec<u64>,
+    /// Per-plaintext last-round accesses split by ciphertext byte
+    /// position (`[n][j]` = plaintext `n`, byte `j`).
+    pub last_round_accesses_by_byte: Vec<[u64; 16]>,
+    /// Per-plaintext total coalesced accesses.
+    pub total_accesses: Vec<u64>,
+    /// Per-plaintext pre-coalescing lane requests.
+    pub total_requests: Vec<u64>,
+    /// Per-plaintext last-round cycles (timing runs only).
+    pub last_round_cycles: Option<Vec<u64>>,
+    /// Per-plaintext total cycles (timing runs only).
+    pub total_cycles: Option<Vec<u64>>,
+}
+
+impl ExperimentData {
+    /// The true last-round key (ground truth for scoring recoveries).
+    pub fn true_last_round_key(&self) -> [u8; 16] {
+        rcoal_aes::Aes128::new(&self.key).last_round_key()
+    }
+
+    /// Packages the observations as attack samples with the chosen
+    /// timing source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cycle-based source is requested from a
+    /// functional-only run.
+    pub fn attack_samples(&self, source: TimingSource) -> Vec<AttackSample> {
+        let times: Vec<f64> = match source {
+            TimingSource::LastRoundCycles => self
+                .last_round_cycles
+                .as_ref()
+                .expect("timing was not recorded; run without functional_only()")
+                .iter()
+                .map(|&c| c as f64)
+                .collect(),
+            TimingSource::TotalCycles => self
+                .total_cycles
+                .as_ref()
+                .expect("timing was not recorded; run without functional_only()")
+                .iter()
+                .map(|&c| c as f64)
+                .collect(),
+            TimingSource::LastRoundAccesses => self
+                .last_round_accesses
+                .iter()
+                .map(|&c| c as f64)
+                .collect(),
+            TimingSource::ByteAccesses(j) => self
+                .last_round_accesses_by_byte
+                .iter()
+                .map(|b| b[usize::from(j)] as f64)
+                .collect(),
+        };
+        self.ciphertexts
+            .iter()
+            .zip(times)
+            .map(|(cts, time)| AttackSample {
+                ciphertexts: cts.clone(),
+                time,
+            })
+            .collect()
+    }
+
+    /// Mean total cycles per plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a functional-only run.
+    pub fn mean_total_cycles(&self) -> f64 {
+        mean_u64(
+            self.total_cycles
+                .as_ref()
+                .expect("timing was not recorded; run without functional_only()"),
+        )
+    }
+
+    /// Mean last-round cycles per plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a functional-only run.
+    pub fn mean_last_round_cycles(&self) -> f64 {
+        mean_u64(
+            self.last_round_cycles
+                .as_ref()
+                .expect("timing was not recorded; run without functional_only()"),
+        )
+    }
+
+    /// Mean total coalesced accesses per plaintext.
+    pub fn mean_total_accesses(&self) -> f64 {
+        mean_u64(&self.total_accesses)
+    }
+
+    /// Mean last-round coalesced accesses per plaintext.
+    pub fn mean_last_round_accesses(&self) -> f64 {
+        mean_u64(&self.last_round_accesses)
+    }
+
+    /// Number of plaintexts observed.
+    pub fn len(&self) -> usize {
+        self.ciphertexts.len()
+    }
+
+    /// Whether the experiment observed no plaintexts.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertexts.is_empty()
+    }
+}
+
+fn mean_u64(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<u64>() as f64 / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcoal_aes::Aes128;
+
+    fn quick(policy: CoalescingPolicy, timing: bool) -> ExperimentData {
+        let mut cfg = ExperimentConfig::new(policy, 4, 32).with_seed(7);
+        cfg.timing = timing;
+        cfg.run().unwrap()
+    }
+
+    #[test]
+    fn ciphertexts_match_reference_aes() {
+        let data = quick(CoalescingPolicy::Baseline, false);
+        let plaintexts = random_plaintexts(4, 32, 7);
+        let aes = Aes128::new(&DEMO_KEY);
+        for (p, c) in plaintexts.iter().zip(&data.ciphertexts) {
+            for (line, ct) in p.iter().zip(c) {
+                assert_eq!(aes.encrypt_block(*line), *ct);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_counts_match_simulator_counts() {
+        for policy in [
+            CoalescingPolicy::Baseline,
+            CoalescingPolicy::Disabled,
+            CoalescingPolicy::fss(4).unwrap(),
+            CoalescingPolicy::rss_rts(8).unwrap(),
+        ] {
+            let timing = quick(policy, true);
+            let functional = quick(policy, false);
+            assert_eq!(
+                timing.total_accesses, functional.total_accesses,
+                "{policy}"
+            );
+            assert_eq!(
+                timing.last_round_accesses, functional.last_round_accesses,
+                "{policy}"
+            );
+            assert_eq!(timing.total_requests, functional.total_requests);
+        }
+    }
+
+    #[test]
+    fn last_round_access_bounds() {
+        // Baseline: per byte 1..=16 blocks, 16 bytes → 16..=256 per warp.
+        let data = quick(CoalescingPolicy::Baseline, false);
+        for &a in &data.last_round_accesses {
+            assert!((16..=256).contains(&a), "accesses {a}");
+        }
+        // Disabled: exactly 32 threads × 16 bytes = 512.
+        let data = quick(CoalescingPolicy::Disabled, false);
+        assert!(data.last_round_accesses.iter().all(|&a| a == 512));
+    }
+
+    #[test]
+    fn attack_samples_carry_requested_source() {
+        let data = quick(CoalescingPolicy::Baseline, true);
+        let s = data.attack_samples(TimingSource::LastRoundAccesses);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].time, data.last_round_accesses[0] as f64);
+        let s = data.attack_samples(TimingSource::TotalCycles);
+        assert_eq!(s[0].time, data.total_cycles.as_ref().unwrap()[0] as f64);
+        assert_eq!(s[0].ciphertexts.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "timing was not recorded")]
+    fn cycle_source_requires_timing_run() {
+        let data = quick(CoalescingPolicy::Baseline, false);
+        let _ = data.attack_samples(TimingSource::LastRoundCycles);
+    }
+
+    #[test]
+    fn randomized_policies_vary_across_plaintexts() {
+        let data = quick(CoalescingPolicy::rss_rts(4).unwrap(), false);
+        // With random subwarps the per-plaintext last-round counts should
+        // not all coincide (holds with overwhelming probability).
+        let first = data.last_round_accesses[0];
+        assert!(
+            data.last_round_accesses.iter().any(|&a| a != first),
+            "counts: {:?}",
+            data.last_round_accesses
+        );
+    }
+
+    #[test]
+    fn subwarping_increases_accesses_and_time() {
+        let base = quick(CoalescingPolicy::Baseline, true);
+        let fss16 = quick(CoalescingPolicy::fss(16).unwrap(), true);
+        assert!(fss16.mean_total_accesses() > base.mean_total_accesses());
+        assert!(fss16.mean_total_cycles() > base.mean_total_cycles());
+        assert!(fss16.mean_last_round_accesses() > base.mean_last_round_accesses());
+        assert!(!base.is_empty());
+        assert_eq!(base.len(), 4);
+    }
+
+    #[test]
+    fn true_last_round_key_matches_reference() {
+        let data = quick(CoalescingPolicy::Baseline, false);
+        assert_eq!(
+            data.true_last_round_key(),
+            Aes128::new(&DEMO_KEY).last_round_key()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcoal_aes::Block;
+
+/// Generates `num_plaintexts` random plaintexts of `lines` 16-byte lines
+/// each, reproducibly from `seed`. This models the attacker-chosen (in
+/// practice: attacker-observed, uniformly random) plaintext stream.
+pub fn random_plaintexts(num_plaintexts: usize, lines: usize, seed: u64) -> Vec<Vec<Block>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_plaintexts)
+        .map(|_| {
+            (0..lines)
+                .map(|_| {
+                    let mut b = [0u8; 16];
+                    rng.fill(&mut b);
+                    b
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The fixed demonstration key used by examples and benches (any key
+/// works; the attack recovers whatever key the server holds).
+pub const DEMO_KEY: [u8; 16] = *b"rcoal demo key<>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = random_plaintexts(3, 32, 9);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|p| p.len() == 32));
+        let b = random_plaintexts(3, 32, 9);
+        assert_eq!(a, b);
+        let c = random_plaintexts(3, 32, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plaintexts_differ_across_samples_and_lines() {
+        let p = random_plaintexts(2, 4, 1);
+        assert_ne!(p[0][0], p[0][1]);
+        assert_ne!(p[0][0], p[1][0]);
+    }
+}

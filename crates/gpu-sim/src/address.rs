@@ -1,0 +1,147 @@
+use crate::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// The DRAM location a physical address decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysLoc {
+    /// Memory controller (partition) index.
+    pub mc: usize,
+    /// Bank index within the controller.
+    pub bank: usize,
+    /// Bank group of `bank`.
+    pub bank_group: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (byte offset within the row, block-aligned).
+    pub col: u64,
+}
+
+/// Decodes global linear addresses into (controller, bank, row, column)
+/// coordinates.
+///
+/// Following the paper's Table I (and GPGPU-Sim's default mapping), the
+/// global linear address space is interleaved among the partitions in
+/// chunks of 256 bytes; within a partition, consecutive chunks walk the
+/// banks so that streaming accesses spread across banks, and higher bits
+/// select the row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapper {
+    num_mcs: usize,
+    banks: usize,
+    bank_groups: usize,
+    interleave: u64,
+    row_size: u64,
+}
+
+impl AddressMapper {
+    /// Builds a mapper from the simulator configuration.
+    pub fn new(config: &GpuConfig) -> Self {
+        AddressMapper {
+            num_mcs: config.num_mem_controllers,
+            banks: config.banks_per_mc,
+            bank_groups: config.bank_groups_per_mc,
+            interleave: config.interleave_bytes,
+            row_size: config.row_size_bytes,
+        }
+    }
+
+    /// Decodes `addr` to its DRAM location.
+    pub fn decode(&self, addr: u64) -> PhysLoc {
+        let chunk = addr / self.interleave;
+        let mc = (chunk % self.num_mcs as u64) as usize;
+        // Address local to the partition: drop the partition-select bits by
+        // compacting the chunk index.
+        let local_chunk = chunk / self.num_mcs as u64;
+        let local_addr = local_chunk * self.interleave + (addr % self.interleave);
+        let bank = (local_chunk % self.banks as u64) as usize;
+        let row = local_addr / (self.row_size * self.banks as u64);
+        let col = local_addr % self.row_size;
+        PhysLoc {
+            mc,
+            bank,
+            bank_group: bank % self.bank_groups,
+            row,
+            col,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(&GpuConfig::default())
+    }
+
+    #[test]
+    fn partitions_interleave_every_256_bytes() {
+        let m = mapper();
+        assert_eq!(m.decode(0).mc, 0);
+        assert_eq!(m.decode(255).mc, 0);
+        assert_eq!(m.decode(256).mc, 1);
+        assert_eq!(m.decode(256 * 5).mc, 5);
+        assert_eq!(m.decode(256 * 6).mc, 0, "wraps after 6 partitions");
+    }
+
+    #[test]
+    fn banks_rotate_across_partition_chunks() {
+        let m = mapper();
+        // Consecutive chunks of the same partition land in different banks.
+        let a = m.decode(0); // local chunk 0
+        let b = m.decode(256 * 6); // local chunk 1 of MC 0
+        assert_eq!(a.mc, b.mc);
+        assert_ne!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn bank_group_is_consistent_with_bank() {
+        let m = mapper();
+        for addr in (0..(1 << 20)).step_by(4096) {
+            let loc = m.decode(addr);
+            assert_eq!(loc.bank_group, loc.bank % 4);
+            assert!(loc.bank < 16);
+            assert!(loc.mc < 6);
+            assert!(loc.col < 2048);
+        }
+    }
+
+    #[test]
+    fn same_block_maps_to_same_location() {
+        let m = mapper();
+        let a = m.decode(4096);
+        let b = m.decode(4096 + 63);
+        assert_eq!((a.mc, a.bank, a.row), (b.mc, b.bank, b.row));
+    }
+
+    #[test]
+    fn row_advances_with_address() {
+        let m = mapper();
+        // One row per bank is row_size bytes; the partition cycles through
+        // all banks before reusing a bank, so the same bank's next row is
+        // banks × row_size local bytes later.
+        let first = m.decode(0);
+        let stride = 2048 * 16 * 6; // row_size × banks × mcs of global space
+        let next = m.decode(stride);
+        assert_eq!(first.bank, next.bank);
+        assert_eq!(first.mc, next.mc);
+        assert_eq!(next.row, first.row + 1);
+    }
+
+    #[test]
+    fn small_table_fits_in_one_row() {
+        // The 1 KiB AES T4 table at any 256-aligned base touches at most a
+        // handful of (mc, bank, row) tuples — sanity for the timing model.
+        let m = mapper();
+        let mut locs: Vec<(usize, usize, u64)> = (0..1024u64)
+            .step_by(64)
+            .map(|off| {
+                let l = m.decode(0x2000 + off);
+                (l.mc, l.bank, l.row)
+            })
+            .collect();
+        locs.sort_unstable();
+        locs.dedup();
+        assert!(locs.len() <= 4, "1 KiB spans {} row-buffers", locs.len());
+    }
+}

@@ -1,0 +1,179 @@
+use serde::{Deserialize, Serialize};
+
+/// One instruction of a warp's dynamic trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceInstr {
+    /// `cycles` of ALU work with no memory traffic.
+    Compute {
+        /// Core cycles the warp is busy.
+        cycles: u32,
+    },
+    /// A warp-wide global load; `addrs[lane]` is the byte address lane
+    /// `lane` requests, or `None` when the lane is inactive.
+    Load {
+        /// Per-lane request addresses.
+        addrs: Vec<Option<u64>>,
+        /// Statistics tag: accesses from this load are accumulated into
+        /// [`crate::SimStats::accesses_by_tag`] under this index. The AES
+        /// kernel tags loads with their round number.
+        tag: u16,
+    },
+    /// Marks that the warp has finished logical phase `round` (e.g. one
+    /// AES round). Zero-cost; recorded in the statistics.
+    RoundMark {
+        /// Phase index that just completed.
+        round: u16,
+    },
+}
+
+impl TraceInstr {
+    /// Convenience constructor for an untagged load (tag 0).
+    pub fn load(addrs: Vec<Option<u64>>) -> Self {
+        TraceInstr::Load { addrs, tag: 0 }
+    }
+
+    /// Convenience constructor for a tagged load.
+    pub fn load_tagged(addrs: Vec<Option<u64>>, tag: u16) -> Self {
+        TraceInstr::Load { addrs, tag }
+    }
+
+    /// Convenience constructor for compute work.
+    pub fn compute(cycles: u32) -> Self {
+        TraceInstr::Compute { cycles }
+    }
+}
+
+/// The dynamic instruction trace of a single warp.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WarpTrace {
+    instrs: Vec<TraceInstr>,
+}
+
+impl WarpTrace {
+    /// Creates a trace from a list of instructions.
+    pub fn from_instrs(instrs: Vec<TraceInstr>) -> Self {
+        WarpTrace { instrs }
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[TraceInstr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: TraceInstr) {
+        self.instrs.push(instr);
+    }
+}
+
+impl FromIterator<TraceInstr> for WarpTrace {
+    fn from_iter<I: IntoIterator<Item = TraceInstr>>(iter: I) -> Self {
+        WarpTrace {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceInstr> for WarpTrace {
+    fn extend<I: IntoIterator<Item = TraceInstr>>(&mut self, iter: I) {
+        self.instrs.extend(iter);
+    }
+}
+
+/// A workload the simulator can execute: a set of warps, each with an
+/// instruction trace.
+///
+/// Traces must be *timing-independent* (addresses fixed by the input data,
+/// not by execution interleaving), which holds for the lock-step SIMT
+/// kernels the paper studies.
+pub trait Kernel {
+    /// Number of warps launched by the kernel grid.
+    fn num_warps(&self) -> usize;
+
+    /// Number of active threads in warp `warp_id` (≤ the machine warp
+    /// size; partial warps occur when the workload is not a multiple of
+    /// 32 lines).
+    fn warp_width(&self, warp_id: usize) -> usize;
+
+    /// The dynamic trace of warp `warp_id`.
+    fn trace(&self, warp_id: usize) -> WarpTrace;
+}
+
+/// A trivial [`Kernel`] built directly from traces; used by tests and
+/// microbenchmarks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceKernel {
+    traces: Vec<WarpTrace>,
+    warp_width: usize,
+}
+
+impl TraceKernel {
+    /// Wraps explicit traces; every warp reports `warp_width` active
+    /// threads.
+    pub fn new(traces: Vec<WarpTrace>, warp_width: usize) -> Self {
+        TraceKernel { traces, warp_width }
+    }
+}
+
+impl Kernel for TraceKernel {
+    fn num_warps(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn warp_width(&self, _warp_id: usize) -> usize {
+        self.warp_width
+    }
+
+    fn trace(&self, warp_id: usize) -> WarpTrace {
+        self.traces[warp_id].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_collects_from_iterator() {
+        let t: WarpTrace = (0..3).map(|_| TraceInstr::compute(1)).collect();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let mut t2 = WarpTrace::default();
+        t2.extend(t.instrs().iter().cloned());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn trace_kernel_round_trips() {
+        let t = WarpTrace::from_instrs(vec![TraceInstr::load(vec![Some(0)])]);
+        let k = TraceKernel::new(vec![t.clone(), t.clone()], 1);
+        assert_eq!(k.num_warps(), 2);
+        assert_eq!(k.warp_width(0), 1);
+        assert_eq!(k.trace(1), t);
+    }
+
+    #[test]
+    fn instr_constructors() {
+        assert_eq!(
+            TraceInstr::compute(4),
+            TraceInstr::Compute { cycles: 4 }
+        );
+        assert_eq!(
+            TraceInstr::load_tagged(vec![None], 10),
+            TraceInstr::Load {
+                addrs: vec![None],
+                tag: 10
+            }
+        );
+    }
+}

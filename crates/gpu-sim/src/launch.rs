@@ -1,0 +1,115 @@
+use rcoal_core::CoalescingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How a kernel launch maps coalescing policies onto its loads.
+///
+/// `Uniform` is the paper's deployed design: one policy for the whole
+/// kernel. `Selective` implements the hardware/software co-design the
+/// paper sketches as future work (§VII): randomized coalescing is applied
+/// only to the *vulnerable* loads (identified by their statistics tag,
+/// e.g. the AES last-round T4 lookups), while every other load keeps a
+/// cheaper default policy. This recovers most of the performance of the
+/// baseline while keeping the secret-dependent loads randomized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaunchPolicy {
+    /// One policy for every load of the kernel.
+    Uniform(CoalescingPolicy),
+    /// Split policies: loads whose tag falls in
+    /// `vulnerable_tags.0..vulnerable_tags.1` use `vulnerable`; all other
+    /// loads use `default`.
+    Selective {
+        /// Policy for the protected (secret-dependent) loads.
+        vulnerable: CoalescingPolicy,
+        /// Policy for everything else (typically `Baseline`).
+        default: CoalescingPolicy,
+        /// Half-open tag range `[start, end)` marking protected loads.
+        vulnerable_tags: (u16, u16),
+    },
+}
+
+impl LaunchPolicy {
+    /// The policy applied to a load carrying `tag`.
+    pub fn policy_for_tag(&self, tag: u16) -> CoalescingPolicy {
+        match *self {
+            LaunchPolicy::Uniform(p) => p,
+            LaunchPolicy::Selective {
+                vulnerable,
+                default,
+                vulnerable_tags: (lo, hi),
+            } => {
+                if (lo..hi).contains(&tag) {
+                    vulnerable
+                } else {
+                    default
+                }
+            }
+        }
+    }
+
+    /// The two distinct policies a warp must hold assignments for, in
+    /// `(default, vulnerable)` order. For `Uniform` both are the same.
+    pub fn policies(&self) -> (CoalescingPolicy, CoalescingPolicy) {
+        match *self {
+            LaunchPolicy::Uniform(p) => (p, p),
+            LaunchPolicy::Selective {
+                vulnerable,
+                default,
+                ..
+            } => (default, vulnerable),
+        }
+    }
+
+    /// Whether `tag` falls in the protected range.
+    pub fn is_vulnerable_tag(&self, tag: u16) -> bool {
+        match *self {
+            LaunchPolicy::Uniform(_) => false,
+            LaunchPolicy::Selective {
+                vulnerable_tags: (lo, hi),
+                ..
+            } => (lo..hi).contains(&tag),
+        }
+    }
+}
+
+impl From<CoalescingPolicy> for LaunchPolicy {
+    fn from(p: CoalescingPolicy) -> Self {
+        LaunchPolicy::Uniform(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let lp = LaunchPolicy::Uniform(CoalescingPolicy::Baseline);
+        assert_eq!(lp.policy_for_tag(0), CoalescingPolicy::Baseline);
+        assert_eq!(lp.policy_for_tag(31), CoalescingPolicy::Baseline);
+        assert!(!lp.is_vulnerable_tag(20));
+        let (d, v) = lp.policies();
+        assert_eq!(d, v);
+    }
+
+    #[test]
+    fn selective_splits_on_tag_range() {
+        let rts = CoalescingPolicy::fss_rts(8).unwrap();
+        let lp = LaunchPolicy::Selective {
+            vulnerable: rts,
+            default: CoalescingPolicy::Baseline,
+            vulnerable_tags: (16, 32),
+        };
+        assert_eq!(lp.policy_for_tag(5), CoalescingPolicy::Baseline);
+        assert_eq!(lp.policy_for_tag(16), rts);
+        assert_eq!(lp.policy_for_tag(31), rts);
+        assert_eq!(lp.policy_for_tag(32), CoalescingPolicy::Baseline);
+        assert!(lp.is_vulnerable_tag(16));
+        assert!(!lp.is_vulnerable_tag(15));
+    }
+
+    #[test]
+    fn from_policy_is_uniform() {
+        let lp: LaunchPolicy = CoalescingPolicy::Disabled.into();
+        assert_eq!(lp, LaunchPolicy::Uniform(CoalescingPolicy::Disabled));
+    }
+}

@@ -1,0 +1,692 @@
+use crate::cache::L1Cache;
+use crate::dram::MemRequest;
+use crate::sm::{Sm, WarpCtx};
+use crate::{
+    AddressMapper, Crossbar, GpuConfig, Kernel, LaunchPolicy, MemoryController, PhysLoc, SimStats,
+    TraceInstr,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcoal_core::{Coalescer, CoalescingPolicy, PolicyError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`GpuSimulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The coalescing policy could not produce a subwarp assignment.
+    Policy(PolicyError),
+    /// The simulation exceeded `GpuConfig::max_cycles`.
+    CycleLimit {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid gpu configuration: {msg}"),
+            SimError::Policy(e) => write!(f, "coalescing policy failed: {e}"),
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Policy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PolicyError> for SimError {
+    fn from(e: PolicyError) -> Self {
+        SimError::Policy(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqMeta {
+    sm: usize,
+    warp: usize,
+    loc: PhysLoc,
+    block_addr: u64,
+    issued_at: u64,
+}
+
+/// The cycle-level GPU simulator.
+///
+/// Construct once from a [`GpuConfig`] and call [`GpuSimulator::run`] per
+/// kernel launch; the simulator itself is stateless between runs, so one
+/// instance can serve many launches (and many threads, behind `&self`).
+#[derive(Debug, Clone)]
+pub struct GpuSimulator {
+    config: GpuConfig,
+}
+
+impl GpuSimulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        GpuSimulator { config }
+    }
+
+    /// The configuration this simulator models.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Executes `kernel` under `policy` and returns timing and access
+    /// statistics.
+    ///
+    /// `seed` drives every random draw (subwarp sizes for RSS, lane
+    /// permutations for RTS); a fixed seed reproduces the launch exactly.
+    /// Each warp draws its own assignment at launch, which then stays
+    /// fixed for the whole run (paper §IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for invalid configurations,
+    /// [`SimError::Policy`] if the policy cannot split this warp size, and
+    /// [`SimError::CycleLimit`] if the run exceeds the configured bound.
+    pub fn run(
+        &self,
+        kernel: &dyn Kernel,
+        policy: CoalescingPolicy,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        self.run_launch(kernel, LaunchPolicy::Uniform(policy), seed)
+    }
+
+    /// Executes `kernel` under a [`LaunchPolicy`], which may protect only
+    /// the vulnerable (tagged) loads with a randomized policy — the
+    /// selective-randomization extension sketched in the paper's §VII.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSimulator::run`].
+    pub fn run_launch(
+        &self,
+        kernel: &dyn Kernel,
+        launch: LaunchPolicy,
+        seed: u64,
+    ) -> Result<SimStats, SimError> {
+        self.config.validate().map_err(SimError::Config)?;
+        let cfg = &self.config;
+        let mapper = AddressMapper::new(cfg);
+        let coalescer =
+            Coalescer::with_block_size(cfg.block_size).map_err(SimError::Policy)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Launch: distribute warps round-robin over SMs, each drawing its
+        // subwarp assignment for this run.
+        let mut sms: Vec<Sm> = (0..cfg.num_sms)
+            .map(|_| Sm::with_policy(cfg.warp_schedulers, cfg.scheduler))
+            .collect();
+        let (default_policy, vulnerable_policy) = launch.policies();
+        for w in 0..kernel.num_warps() {
+            let width = kernel.warp_width(w).min(cfg.warp_size);
+            let assignment = default_policy.assignment(width, &mut rng)?;
+            // Uniform launches must consume exactly one draw per warp so
+            // seeded runs line up with the functional counting path.
+            let vulnerable_assignment = if matches!(launch, LaunchPolicy::Uniform(_)) {
+                assignment.clone()
+            } else {
+                vulnerable_policy.assignment(width, &mut rng)?
+            };
+            sms[w % cfg.num_sms]
+                .warps
+                .push(WarpCtx::new(kernel.trace(w), assignment, vulnerable_assignment));
+        }
+
+        let mut stats = SimStats {
+            num_warps: kernel.num_warps(),
+            warp_finish_cycle: vec![0; kernel.num_warps()],
+            ..SimStats::default()
+        };
+        let mut req_net = Crossbar::new(
+            cfg.num_sms,
+            cfg.icnt_latency,
+            cfg.icnt_injection_rate,
+            cfg.icnt_ejection_rate,
+        );
+        let mut reply_net = Crossbar::new(
+            cfg.num_mem_controllers,
+            cfg.icnt_latency,
+            cfg.icnt_injection_rate,
+            cfg.icnt_ejection_rate,
+        );
+        let mut mcs: Vec<MemoryController> = (0..cfg.num_mem_controllers)
+            .map(|_| MemoryController::new(cfg))
+            .collect();
+        let mut req_meta: Vec<ReqMeta> = Vec::new();
+        // Per-SM MSHR: in-flight block -> (primary request id, waiting
+        // (warp, lanes) entries to release on the primary's reply).
+        let mut mshrs: Vec<HashMap<u64, (u64, Vec<usize>)>> =
+            vec![HashMap::new(); cfg.num_sms];
+        // Optional per-SM L1 data caches.
+        let mut l1s: Vec<Option<L1Cache>> = (0..cfg.num_sms)
+            .map(|_| (cfg.l1_sets > 0).then(|| L1Cache::new(cfg.l1_sets, cfg.l1_ways)))
+            .collect();
+        // Replies waiting for their core-clock release time, as
+        // (release cycle, mc, id).
+        let mut pending_replies: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut mem_ticks: u64 = 0;
+        let mut dram_done: Vec<(u64, u64)> = Vec::new();
+
+        let mut now: u64 = 0;
+        loop {
+            // --- Issue stage: each SM issues up to `warp_schedulers`
+            // instructions from distinct ready warps.
+            for s in 0..sms.len() {
+                let ready = sms[s].select_ready(now);
+                for widx in ready {
+                    loop {
+                        let warp = &mut sms[s].warps[widx];
+                        match warp.current_instr().cloned() {
+                            None => break,
+                            Some(TraceInstr::RoundMark { round }) => {
+                                warp.pc += 1;
+                                stats.record_round_mark(round, now);
+                                // Marks are free: keep consuming.
+                            }
+                            Some(TraceInstr::Compute { cycles }) => {
+                                warp.pc += 1;
+                                warp.busy_until =
+                                    now + u64::from(cycles) + u64::from(cfg.issue_cycles);
+                                break;
+                            }
+                            Some(TraceInstr::Load { ref addrs, tag }) => {
+                                warp.pc += 1;
+                                let assignment = if launch.is_vulnerable_tag(tag) {
+                                    &warp.vulnerable_assignment
+                                } else {
+                                    &warp.assignment
+                                };
+                                let result = coalescer.coalesce(assignment, addrs);
+                                let n = result.num_accesses() as u64;
+                                let active =
+                                    addrs.iter().filter(|a| a.is_some()).count() as u64;
+                                stats.total_requests += active;
+                                stats.record_tagged_accesses(tag, n);
+                                if n == 0 {
+                                    continue; // all lanes inactive
+                                }
+                                warp.outstanding = n as u32;
+                                for access in result.accesses() {
+                                    // L1 probe: hits are served without a
+                                    // memory transaction.
+                                    if let Some(l1) = l1s[s].as_mut() {
+                                        if l1.probe(access.block_addr) {
+                                            stats.l1_hits += 1;
+                                            warp.outstanding -= 1;
+                                            continue;
+                                        }
+                                    }
+                                    // MSHR merge: piggyback on an
+                                    // in-flight request to the same block
+                                    // from this SM.
+                                    if cfg.mshr_entries > 0 {
+                                        if let Some((_, waiters)) =
+                                            mshrs[s].get_mut(&access.block_addr)
+                                        {
+                                            waiters.push(widx);
+                                            stats.mshr_merged += 1;
+                                            continue;
+                                        }
+                                    }
+                                    let id = req_meta.len() as u64;
+                                    let loc = mapper.decode(access.block_addr);
+                                    req_meta.push(ReqMeta {
+                                        sm: s,
+                                        warp: widx,
+                                        loc,
+                                        block_addr: access.block_addr,
+                                        issued_at: now,
+                                    });
+                                    if cfg.mshr_entries > 0
+                                        && mshrs[s].len() < cfg.mshr_entries
+                                    {
+                                        mshrs[s]
+                                            .insert(access.block_addr, (id, Vec::new()));
+                                    }
+                                    req_net.inject(s, loc.mc, id);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Request network (icnt clock == core clock in Table I).
+            let mem_now = now * u64::from(cfg.mem_clock_mhz) / u64::from(cfg.core_clock_mhz);
+            for (mc, id) in req_net.tick(now) {
+                let loc = req_meta[id as usize].loc;
+                mcs[mc].enqueue(MemRequest {
+                    id,
+                    loc,
+                    arrival: mem_now,
+                });
+            }
+
+            // --- DRAM: advance memory clock to keep pace with core clock.
+            let target_mem =
+                (now + 1) * u64::from(cfg.mem_clock_mhz) / u64::from(cfg.core_clock_mhz);
+            while mem_ticks < target_mem {
+                for (mc_idx, mc) in mcs.iter_mut().enumerate() {
+                    dram_done.clear();
+                    mc.tick(mem_ticks, &mut dram_done);
+                    for &(id, done_mem) in &dram_done {
+                        let done_core = self.config.mem_to_core_cycles(done_mem).max(now + 1);
+                        pending_replies.push(Reverse((done_core, mc_idx, id)));
+                    }
+                }
+                mem_ticks += 1;
+            }
+
+            // --- Release replies whose DRAM data is ready.
+            while let Some(&Reverse((t, mc, id))) = pending_replies.peek() {
+                if t > now {
+                    break;
+                }
+                pending_replies.pop();
+                let sm = req_meta[id as usize].sm;
+                reply_net.inject(mc, sm, id);
+            }
+
+            // --- Reply network: returning data unblocks warps.
+            for (_sm, id) in reply_net.tick(now) {
+                let meta = req_meta[id as usize];
+                stats.mem_latency_sum += now - meta.issued_at;
+                if let Some(l1) = l1s[meta.sm].as_mut() {
+                    l1.fill(meta.block_addr);
+                }
+                let warp = &mut sms[meta.sm].warps[meta.warp];
+                debug_assert!(warp.outstanding > 0);
+                warp.outstanding -= 1;
+                // Release MSHR waiters piggybacked on this request.
+                if cfg.mshr_entries > 0 {
+                    let block = mshrs[meta.sm]
+                        .iter()
+                        .find(|(_, (pid, _))| *pid == id)
+                        .map(|(&b, _)| b);
+                    if let Some(block) = block {
+                        let (_, waiters) =
+                            mshrs[meta.sm].remove(&block).expect("entry exists");
+                        for w in waiters {
+                            let waiter = &mut sms[meta.sm].warps[w];
+                            debug_assert!(waiter.outstanding > 0);
+                            waiter.outstanding -= 1;
+                        }
+                    }
+                }
+            }
+
+            // --- Termination.
+            let quiescent = req_net.pending() == 0
+                && reply_net.pending() == 0
+                && pending_replies.is_empty()
+                && mcs.iter().all(|m| m.pending() == 0);
+            // Record per-warp completion as warps drain (0 = not yet).
+            for (s, sm) in sms.iter().enumerate() {
+                for (l, warp) in sm.warps.iter().enumerate() {
+                    let gid = l * cfg.num_sms + s;
+                    if stats.warp_finish_cycle[gid] == 0 && warp.done(now) {
+                        stats.warp_finish_cycle[gid] = now + 1;
+                    }
+                }
+            }
+            if quiescent && sms.iter().all(|sm| sm.all_done(now)) {
+                stats.total_cycles = now + 1;
+                break;
+            }
+
+            now += 1;
+            if now >= cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: cfg.max_cycles,
+                });
+            }
+        }
+
+        let (hits, serviced) = mcs.iter().fold((0.0, 0u64), |(h, n), mc| {
+            (
+                h + mc.row_hit_rate() * mc.serviced() as f64,
+                n + mc.serviced(),
+            )
+        });
+        stats.row_hit_rate = if serviced == 0 {
+            0.0
+        } else {
+            hits / serviced as f64
+        };
+        debug_assert_eq!(
+            serviced,
+            stats.total_accesses - stats.mshr_merged - stats.l1_hits
+        );
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceKernel, WarpTrace};
+
+    fn one_warp_kernel(instrs: Vec<TraceInstr>, width: usize) -> TraceKernel {
+        TraceKernel::new(vec![WarpTrace::from_instrs(instrs)], width)
+    }
+
+    fn sim() -> GpuSimulator {
+        GpuSimulator::new(GpuConfig::tiny())
+    }
+
+    #[test]
+    fn empty_kernel_finishes_immediately() {
+        let k = TraceKernel::new(vec![], 4);
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.total_accesses, 0);
+        assert_eq!(stats.num_warps, 0);
+        assert!(stats.total_cycles <= 2);
+    }
+
+    #[test]
+    fn compute_only_kernel_time_matches_trace() {
+        let k = one_warp_kernel(
+            vec![TraceInstr::compute(10), TraceInstr::compute(10)],
+            4,
+        );
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert!(stats.total_cycles >= 20);
+        assert!(stats.total_cycles < 40);
+        assert_eq!(stats.total_accesses, 0);
+    }
+
+    #[test]
+    fn single_load_counts_accesses_and_costs_memory_latency() {
+        let k = one_warp_kernel(
+            vec![TraceInstr::load(vec![Some(0), Some(16), Some(4096), Some(8192)])],
+            4,
+        );
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.total_accesses, 3, "lanes 0 and 1 share a block");
+        assert_eq!(stats.total_requests, 4);
+        // Must include interconnect (2×8) and DRAM (≥ 26 mem cycles ≈ 40 core).
+        assert!(stats.total_cycles > 50, "got {}", stats.total_cycles);
+    }
+
+    #[test]
+    fn disabled_coalescing_issues_more_accesses_and_is_slower() {
+        let addrs: Vec<Option<u64>> = (0..4).map(|i| Some(i * 8)).collect();
+        let k = one_warp_kernel(vec![TraceInstr::load(addrs)], 4);
+        let base = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let off = sim().run(&k, CoalescingPolicy::Disabled, 0).unwrap();
+        assert_eq!(base.total_accesses, 1);
+        assert_eq!(off.total_accesses, 4);
+        assert!(off.total_cycles > base.total_cycles);
+    }
+
+    #[test]
+    fn round_marks_split_time() {
+        let k = one_warp_kernel(
+            vec![
+                TraceInstr::compute(50),
+                TraceInstr::RoundMark { round: 1 },
+                TraceInstr::compute(100),
+                TraceInstr::RoundMark { round: 2 },
+            ],
+            4,
+        );
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let after1 = stats.cycles_after_round(1);
+        let after2 = stats.cycles_after_round(2);
+        assert!(after1 > 100 && after1 < 120, "round 2 takes ~100 cycles, got {after1}");
+        assert!(after2 <= 2);
+    }
+
+    #[test]
+    fn tags_split_access_counts() {
+        let k = one_warp_kernel(
+            vec![
+                TraceInstr::load_tagged(vec![Some(0), Some(4096), None, None], 1),
+                TraceInstr::load_tagged(vec![Some(0), Some(1), Some(2), Some(3)], 2),
+            ],
+            4,
+        );
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.accesses_for_tag(1), 2);
+        assert_eq!(stats.accesses_for_tag(2), 1);
+        assert_eq!(stats.total_accesses, 3);
+    }
+
+    #[test]
+    fn more_memory_traffic_takes_more_time() {
+        let spread: Vec<Option<u64>> = (0..4).map(|i| Some(i * 4096)).collect();
+        let k_light = one_warp_kernel(vec![TraceInstr::load(spread.clone())], 4);
+        let heavy: Vec<TraceInstr> =
+            (0..8).map(|_| TraceInstr::load(spread.clone())).collect();
+        let k_heavy = one_warp_kernel(heavy, 4);
+        let light = sim().run(&k_light, CoalescingPolicy::Baseline, 0).unwrap();
+        let heavy = sim().run(&k_heavy, CoalescingPolicy::Baseline, 0).unwrap();
+        assert!(heavy.total_cycles > light.total_cycles);
+        assert_eq!(heavy.total_accesses, 8 * light.total_accesses);
+    }
+
+    #[test]
+    fn multi_warp_multi_sm_completes() {
+        let cfg = GpuConfig {
+            num_sms: 3,
+            ..GpuConfig::tiny()
+        };
+        let trace = WarpTrace::from_instrs(vec![
+            TraceInstr::load((0..4).map(|i| Some(i * 256)).collect()),
+            TraceInstr::compute(5),
+            TraceInstr::load((0..4).map(|i| Some(i * 512)).collect()),
+        ]);
+        let k = TraceKernel::new(vec![trace; 7], 4);
+        let stats = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
+        assert_eq!(stats.num_warps, 7);
+        assert_eq!(stats.total_accesses, 7 * 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = WarpTrace::from_instrs(vec![TraceInstr::load(
+            (0..4).map(|i| Some(i * 64)).collect(),
+        )]);
+        let k = TraceKernel::new(vec![trace; 4], 4);
+        let p = CoalescingPolicy::rss_rts(2).unwrap();
+        let a = sim().run(&k, p, 9).unwrap();
+        let b = sim().run(&k, p, 9).unwrap();
+        assert_eq!(a, b);
+        let c = sim().run(&k, p, 10).unwrap();
+        // A different seed draws different subwarps; access counts may
+        // differ (not guaranteed, but cycles rarely coincide — allow equality
+        // of either one, require equality of totals only for same seed).
+        assert_eq!(a.num_warps, c.num_warps);
+    }
+
+    #[test]
+    fn latency_and_finish_stats_are_recorded() {
+        let k = one_warp_kernel(
+            vec![TraceInstr::load(vec![Some(0), Some(4096), None, None])],
+            4,
+        );
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.warp_finish_cycle.len(), 1);
+        assert!(stats.warp_finish_cycle[0] > 0);
+        assert!(stats.warp_finish_cycle[0] <= stats.total_cycles);
+        // Two accesses, each with a full round trip through icnt + DRAM.
+        assert!(stats.avg_mem_latency() > 2.0 * 8.0, "at least the crossbar latency");
+        assert_eq!(stats.mem_latency_sum % 1, 0);
+    }
+
+    #[test]
+    fn warps_finish_no_later_than_the_kernel() {
+        let trace = WarpTrace::from_instrs(vec![
+            TraceInstr::load((0..4).map(|i| Some(i * 256)).collect()),
+            TraceInstr::compute(20),
+        ]);
+        let k = TraceKernel::new(vec![trace; 5], 4);
+        let cfg = GpuConfig { num_sms: 2, ..GpuConfig::tiny() };
+        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.warp_finish_cycle.len(), 5);
+        for &f in &stats.warp_finish_cycle {
+            assert!(f > 0 && f <= stats.total_cycles);
+        }
+        assert_eq!(
+            *stats.warp_finish_cycle.iter().max().unwrap(),
+            stats.total_cycles,
+            "the last warp defines the kernel end"
+        );
+    }
+
+    #[test]
+    fn mshrs_merge_cross_warp_requests_to_the_same_block() {
+        // Two warps on one SM loading the same block back to back.
+        let trace = WarpTrace::from_instrs(vec![TraceInstr::load(vec![
+            Some(0),
+            Some(8),
+            Some(16),
+            Some(24),
+        ])]);
+        let k = TraceKernel::new(vec![trace; 2], 4);
+        let off = GpuConfig::tiny();
+        let on = GpuConfig {
+            mshr_entries: 64,
+            ..GpuConfig::tiny()
+        };
+        let stats_off = GpuSimulator::new(off).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let stats_on = GpuSimulator::new(on).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats_off.mshr_merged, 0);
+        assert_eq!(stats_on.mshr_merged, 1, "second warp's access piggybacks");
+        // Coalesced-access accounting is unchanged (it is pre-MSHR).
+        assert_eq!(stats_on.total_accesses, stats_off.total_accesses);
+        assert!(stats_on.total_cycles <= stats_off.total_cycles);
+    }
+
+    #[test]
+    fn mshr_capacity_zero_never_merges() {
+        let trace = WarpTrace::from_instrs(vec![TraceInstr::load(vec![Some(0); 4])]);
+        let k = TraceKernel::new(vec![trace; 4], 4);
+        let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.mshr_merged, 0);
+    }
+
+    #[test]
+    fn mshr_capacity_limits_tracked_blocks() {
+        // Capacity 1: only the first in-flight block can absorb merges;
+        // requests to other blocks go to memory unmerged.
+        let trace = WarpTrace::from_instrs(vec![TraceInstr::load(vec![
+            Some(0),
+            Some(4096),
+            None,
+            None,
+        ])]);
+        let k = TraceKernel::new(vec![trace; 3], 4);
+        let cfg = GpuConfig {
+            mshr_entries: 1,
+            ..GpuConfig::tiny()
+        };
+        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        // 3 warps x 2 blocks = 6 accesses; block 0 is tracked, so up to 2
+        // of the 4 same-block repeats merge (while in flight).
+        assert!(stats.mshr_merged >= 1 && stats.mshr_merged <= 3, "merged {}", stats.mshr_merged);
+    }
+
+    #[test]
+    fn l1_hits_skip_the_memory_system() {
+        // Same block loaded twice by the same warp: second load hits.
+        let k = one_warp_kernel(
+            vec![
+                TraceInstr::load(vec![Some(0), None, None, None]),
+                TraceInstr::load(vec![Some(8), None, None, None]),
+            ],
+            4,
+        );
+        let cfg = GpuConfig {
+            l1_sets: 16,
+            ..GpuConfig::tiny()
+        };
+        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.total_accesses, 2, "coalescer accounting is pre-L1");
+
+        let stats_off = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        assert_eq!(stats_off.l1_hits, 0);
+        assert!(stats.total_cycles < stats_off.total_cycles);
+    }
+
+    #[test]
+    fn cached_table_flattens_timing() {
+        // Repeatedly load random-ish blocks from a 16-block table; once
+        // resident, every load hits and the per-load time is constant.
+        let blocks: Vec<u64> = (0..16).map(|i| i * 64).collect();
+        let mut instrs = Vec::new();
+        for r in 0..8u64 {
+            for i in 0..4u64 {
+                let b = blocks[((r * 7 + i * 3) % 16) as usize];
+                instrs.push(TraceInstr::load(vec![Some(b), None, None, None]));
+            }
+        }
+        let k = one_warp_kernel(instrs, 4);
+        let cfg = GpuConfig {
+            l1_sets: 16,
+            l1_ways: 4,
+            ..GpuConfig::tiny()
+        };
+        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        // 16 compulsory misses, everything else hits.
+        assert_eq!(stats.l1_hits, 32 - 16);
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let cfg = GpuConfig {
+            max_cycles: 10,
+            ..GpuConfig::tiny()
+        };
+        let k = one_warp_kernel(vec![TraceInstr::compute(1000)], 4);
+        let err = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 10 });
+        assert!(err.to_string().contains("cycle limit"));
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let cfg = GpuConfig {
+            num_sms: 0,
+            ..GpuConfig::tiny()
+        };
+        let k = one_warp_kernel(vec![], 4);
+        assert!(matches!(
+            GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0),
+            Err(SimError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn policy_mismatch_is_reported() {
+        // FSS with 8 subwarps cannot split a 4-thread warp.
+        let k = one_warp_kernel(vec![TraceInstr::compute(1)], 4);
+        let p = CoalescingPolicy::fss(8).unwrap();
+        assert!(matches!(
+            sim().run(&k, p, 0),
+            Err(SimError::Policy(_))
+        ));
+    }
+}

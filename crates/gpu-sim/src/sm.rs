@@ -1,0 +1,207 @@
+use crate::{SchedulerPolicy, TraceInstr, WarpTrace};
+use rcoal_core::SubwarpAssignment;
+
+/// Execution state of one warp resident on an SM.
+#[derive(Debug, Clone)]
+pub(crate) struct WarpCtx {
+    pub trace: WarpTrace,
+    pub pc: usize,
+    /// Core cycle until which the warp is occupied by compute.
+    pub busy_until: u64,
+    /// Memory replies still outstanding for the current load.
+    pub outstanding: u32,
+    /// Subwarp assignment for ordinary loads.
+    pub assignment: SubwarpAssignment,
+    /// Subwarp assignment for loads tagged vulnerable by a selective
+    /// launch policy (identical to `assignment` for uniform launches).
+    pub vulnerable_assignment: SubwarpAssignment,
+}
+
+impl WarpCtx {
+    pub fn new(
+        trace: WarpTrace,
+        assignment: SubwarpAssignment,
+        vulnerable_assignment: SubwarpAssignment,
+    ) -> Self {
+        WarpCtx {
+            trace,
+            pc: 0,
+            busy_until: 0,
+            outstanding: 0,
+            assignment,
+            vulnerable_assignment,
+        }
+    }
+
+    pub fn done(&self, now: u64) -> bool {
+        self.pc >= self.trace.len() && self.outstanding == 0 && self.busy_until <= now
+    }
+
+    pub fn ready(&self, now: u64) -> bool {
+        self.pc < self.trace.len() && self.outstanding == 0 && self.busy_until <= now
+    }
+
+    pub fn current_instr(&self) -> Option<&TraceInstr> {
+        self.trace.instrs().get(self.pc)
+    }
+}
+
+/// One streaming multiprocessor: a set of resident warps and a
+/// configurable warp scheduler with `warp_schedulers` issue slots per
+/// cycle.
+#[derive(Debug, Clone)]
+pub(crate) struct Sm {
+    pub warps: Vec<WarpCtx>,
+    pub schedulers: usize,
+    policy: SchedulerPolicy,
+    /// GTO: warp granted an issue slot most recently.
+    greedy: Option<usize>,
+    /// LRR: scan start for the next cycle.
+    rr_next: usize,
+}
+
+impl Sm {
+    #[cfg(test)]
+    pub fn new(schedulers: usize) -> Self {
+        Self::with_policy(schedulers, SchedulerPolicy::Gto)
+    }
+
+    pub fn with_policy(schedulers: usize, policy: SchedulerPolicy) -> Self {
+        Sm {
+            warps: Vec::new(),
+            schedulers: schedulers.max(1),
+            policy,
+            greedy: None,
+            rr_next: 0,
+        }
+    }
+
+    /// Indices of up to `schedulers` distinct warps ready to issue at
+    /// `now`, ordered by the scheduling policy. Updates the scheduler
+    /// state (greedy pointer / round-robin cursor).
+    pub fn select_ready(&mut self, now: u64) -> Vec<usize> {
+        if self.warps.is_empty() {
+            return Vec::new();
+        }
+        let n = self.warps.len();
+        let mut picked = Vec::with_capacity(self.schedulers);
+        match self.policy {
+            SchedulerPolicy::Gto => {
+                // Greedy slot: stick with the last-issued warp if ready.
+                if let Some(g) = self.greedy {
+                    if self.warps[g].ready(now) {
+                        picked.push(g);
+                    }
+                }
+                for i in 0..n {
+                    if picked.len() >= self.schedulers {
+                        break;
+                    }
+                    if !picked.contains(&i) && self.warps[i].ready(now) {
+                        picked.push(i);
+                    }
+                }
+                self.greedy = picked.first().copied().or(self.greedy);
+            }
+            SchedulerPolicy::Lrr => {
+                for k in 0..n {
+                    if picked.len() >= self.schedulers {
+                        break;
+                    }
+                    let i = (self.rr_next + k) % n;
+                    if self.warps[i].ready(now) {
+                        picked.push(i);
+                    }
+                }
+                if let Some(&last) = picked.last() {
+                    self.rr_next = (last + 1) % n;
+                }
+            }
+        }
+        picked
+    }
+
+    pub fn all_done(&self, now: u64) -> bool {
+        self.warps.iter().all(|w| w.done(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceInstr;
+
+    fn warp(n_instr: usize) -> WarpCtx {
+        let trace: WarpTrace = (0..n_instr).map(|_| TraceInstr::compute(1)).collect();
+        let a = SubwarpAssignment::single(4).unwrap();
+        WarpCtx::new(trace, a.clone(), a)
+    }
+
+    #[test]
+    fn empty_trace_is_done_immediately() {
+        let w = warp(0);
+        assert!(w.done(0));
+        assert!(!w.ready(0));
+    }
+
+    #[test]
+    fn warp_is_not_done_while_compute_is_in_flight() {
+        let mut w = warp(0);
+        w.busy_until = 10;
+        assert!(!w.done(5));
+        assert!(w.done(10));
+    }
+
+    #[test]
+    fn warp_readiness_respects_busy_and_outstanding() {
+        let mut w = warp(2);
+        assert!(w.ready(0));
+        w.busy_until = 10;
+        assert!(!w.ready(5));
+        assert!(w.ready(10));
+        w.busy_until = 0;
+        w.outstanding = 3;
+        assert!(!w.ready(0));
+    }
+
+    #[test]
+    fn gto_scheduler_picks_oldest_first_then_sticks() {
+        let mut sm = Sm::new(2);
+        sm.warps = vec![warp(1), warp(1), warp(1)];
+        assert_eq!(sm.select_ready(0), vec![0, 1]);
+        // Greedy: warp 0 keeps its slot while ready.
+        assert_eq!(sm.select_ready(1), vec![0, 1]);
+        sm.warps[0].busy_until = 100;
+        assert_eq!(sm.select_ready(2), vec![1, 2]);
+        // New greedy warp is 1.
+        assert_eq!(sm.select_ready(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn lrr_scheduler_rotates_across_warps() {
+        let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
+        sm.warps = vec![warp(5), warp(5), warp(5)];
+        assert_eq!(sm.select_ready(0), vec![0]);
+        assert_eq!(sm.select_ready(1), vec![1]);
+        assert_eq!(sm.select_ready(2), vec![2]);
+        assert_eq!(sm.select_ready(3), vec![0], "wraps around");
+    }
+
+    #[test]
+    fn lrr_skips_unready_warps() {
+        let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
+        sm.warps = vec![warp(5), warp(5), warp(5)];
+        sm.warps[1].outstanding = 1;
+        assert_eq!(sm.select_ready(0), vec![0]);
+        assert_eq!(sm.select_ready(1), vec![2]);
+    }
+
+    #[test]
+    fn all_done_tracks_warps() {
+        let mut sm = Sm::new(2);
+        sm.warps = vec![warp(0), warp(1)];
+        assert!(!sm.all_done(0));
+        sm.warps[1].pc = 1;
+        assert!(sm.all_done(0));
+    }
+}

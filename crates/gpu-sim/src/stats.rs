@@ -1,0 +1,142 @@
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Core cycles from launch to the last warp's completion.
+    pub total_cycles: u64,
+    /// Coalesced memory accesses issued to the memory system.
+    pub total_accesses: u64,
+    /// Per-lane requests before coalescing (the data-movement the
+    /// coalescer saved is `total_requests - total_accesses`).
+    pub total_requests: u64,
+    /// Coalesced accesses grouped by the issuing load's `tag` (the AES
+    /// kernel tags each load with its round number).
+    pub accesses_by_tag: Vec<u64>,
+    /// `round_complete_cycle[r]` is the core cycle at which the *last*
+    /// warp passed `RoundMark { round: r }`; zero if never passed.
+    pub round_complete_cycle: Vec<u64>,
+    /// Number of warps executed.
+    pub num_warps: usize,
+    /// Fraction of DRAM reads that hit an open row, averaged over
+    /// controllers that serviced traffic.
+    pub row_hit_rate: f64,
+    /// Sum over all memory requests of (reply cycle − issue cycle).
+    pub mem_latency_sum: u64,
+    /// Coalesced accesses that merged into an in-flight request via the
+    /// MSHRs instead of travelling to memory (0 when MSHRs are disabled).
+    pub mshr_merged: u64,
+    /// Coalesced accesses served by the L1 cache (0 when the L1 is
+    /// disabled).
+    pub l1_hits: u64,
+    /// Core cycle at which each warp finished, indexed by global warp id.
+    pub warp_finish_cycle: Vec<u64>,
+}
+
+impl SimStats {
+    /// Coalesced accesses carrying tag `tag`.
+    pub fn accesses_for_tag(&self, tag: u16) -> u64 {
+        self.accesses_by_tag
+            .get(usize::from(tag))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Core cycles spent after phase `round` completed — with the AES
+    /// kernel's convention, `cycles_after_round(9)` is the last-round
+    /// execution time the attacker correlates against.
+    pub fn cycles_after_round(&self, round: u16) -> u64 {
+        let mark = self
+            .round_complete_cycle
+            .get(usize::from(round))
+            .copied()
+            .unwrap_or(0);
+        self.total_cycles.saturating_sub(mark)
+    }
+
+    /// Average round-trip latency of a coalesced memory access in core
+    /// cycles (interconnect + queueing + DRAM service).
+    pub fn avg_mem_latency(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.mem_latency_sum as f64 / self.total_accesses as f64
+        }
+    }
+
+    /// Ratio of pre-coalescing requests to issued accesses; 1.0 means
+    /// coalescing saved nothing.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.total_requests as f64 / self.total_accesses as f64
+        }
+    }
+
+    pub(crate) fn record_tagged_accesses(&mut self, tag: u16, n: u64) {
+        let idx = usize::from(tag);
+        if self.accesses_by_tag.len() <= idx {
+            self.accesses_by_tag.resize(idx + 1, 0);
+        }
+        self.accesses_by_tag[idx] += n;
+        self.total_accesses += n;
+    }
+
+    pub(crate) fn record_round_mark(&mut self, round: u16, cycle: u64) {
+        let idx = usize::from(round);
+        if self.round_complete_cycle.len() <= idx {
+            self.round_complete_cycle.resize(idx + 1, 0);
+        }
+        self.round_complete_cycle[idx] = self.round_complete_cycle[idx].max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_accesses_accumulate() {
+        let mut s = SimStats::default();
+        s.record_tagged_accesses(10, 5);
+        s.record_tagged_accesses(10, 2);
+        s.record_tagged_accesses(1, 3);
+        assert_eq!(s.accesses_for_tag(10), 7);
+        assert_eq!(s.accesses_for_tag(1), 3);
+        assert_eq!(s.accesses_for_tag(99), 0);
+        assert_eq!(s.total_accesses, 10);
+    }
+
+    #[test]
+    fn round_marks_keep_latest_cycle() {
+        let mut s = SimStats::default();
+        s.record_round_mark(9, 100);
+        s.record_round_mark(9, 80); // an earlier warp finished first
+        s.total_cycles = 150;
+        assert_eq!(s.cycles_after_round(9), 50);
+        assert_eq!(s.cycles_after_round(3), 150, "unpassed round counts from launch");
+    }
+
+    #[test]
+    fn avg_mem_latency() {
+        let s = SimStats {
+            total_accesses: 4,
+            mem_latency_sum: 200,
+            ..SimStats::default()
+        };
+        assert!((s.avg_mem_latency() - 50.0).abs() < 1e-12);
+        assert_eq!(SimStats::default().avg_mem_latency(), 0.0);
+    }
+
+    #[test]
+    fn coalescing_factor() {
+        let s = SimStats {
+            total_requests: 320,
+            total_accesses: 80,
+            ..SimStats::default()
+        };
+        assert!((s.coalescing_factor() - 4.0).abs() < 1e-12);
+        assert_eq!(SimStats::default().coalescing_factor(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # rcoal-theory
+//!
+//! The information-theoretic security analysis of RCoal (paper §V),
+//! reproducing Table II: for each defense mechanism and subwarp count,
+//! the correlation ρ between the attacker's best estimation vector and
+//! the true coalesced-access counts, and the induced number of timing
+//! samples `S ∝ 1/ρ²` needed for a successful attack.
+//!
+//! The analysis composes:
+//!
+//! * [`Occupancy`] — Definition 1's distribution 𝔑(m, n) of occupied
+//!   memory blocks, computed by a stable DP and cross-checked against the
+//!   Stirling-number closed form;
+//! * [`frequency_classes`] / [`composition_classes`] — Definition 2's
+//!   frequency set ℱ and §V-B3's size set 𝒲, collapsed from ~10¹²
+//!   ordered vectors to a few thousand integer-partition classes;
+//! * [`SecurityModel`] — the ρ formulas for FSS (§V-B1), FSS+RTS (§V-B2)
+//!   and RSS+RTS (§V-B3), including Definition 3's subwarp-hit
+//!   expectation;
+//! * [`RCoalScore`] — the Eq. 7 trade-off metric of §VI-C.
+//!
+//! ```
+//! use rcoal_theory::{table2, Mechanism, SecurityModel};
+//!
+//! let rows = table2();
+//! // FSS alone is transparent to the FSS attack (ρ = 1) ...
+//! assert_eq!(rows[2].m, 4);
+//! assert_eq!(rows[2].rho_fss, 1.0);
+//! // ... while FSS+RTS at M = 16 needs ~961× more samples.
+//! assert!(rows[4].s_fss_rts > 500.0);
+//!
+//! let model = SecurityModel::default();
+//! assert!(model.rho(Mechanism::RssRts, 4) < 0.25);
+//! ```
+
+mod model;
+mod occupancy;
+mod partitions;
+mod score;
+mod stirling;
+
+pub use model::{table2, table2_for, Mechanism, SecurityModel, Table2Row};
+pub use occupancy::{occupancy_mean, Occupancy};
+pub use partitions::{
+    composition_classes, frequency_classes, partitions_at_most, partitions_exact,
+    WeightedPartition,
+};
+pub use score::RCoalScore;
+pub use stirling::{binomial, factorial, stirling2, stirling2_exact};

@@ -1,0 +1,357 @@
+//! The analytical security model of §V: correlation ρ between the
+//! attacker's estimation vector and the defense's actual coalesced-access
+//! counts, and the induced normalized sample count S ∝ 1/ρ², for each
+//! defense mechanism. Reproduces the paper's Table II.
+
+use crate::occupancy::Occupancy;
+use crate::partitions::{composition_classes, frequency_classes};
+use crate::stirling::binomial;
+use serde::{Deserialize, Serialize};
+
+/// The defense mechanisms covered by the closed-form analysis. (The paper
+/// skips standalone RSS, whose cross-moment needs the full mapping
+/// enumeration; its security is evaluated empirically in §VI.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Fixed-sized subwarps.
+    Fss,
+    /// Fixed-sized subwarps with random thread allocation.
+    FssRts,
+    /// Random-sized (skewed) subwarps with random thread allocation.
+    RssRts,
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mechanism::Fss => f.write_str("FSS"),
+            Mechanism::FssRts => f.write_str("FSS+RTS"),
+            Mechanism::RssRts => f.write_str("RSS+RTS"),
+        }
+    }
+}
+
+/// Analytical model for `N` threads over `R` memory blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityModel {
+    /// Threads per warp (32 in the paper).
+    pub n: usize,
+    /// Memory blocks the lookup table spans (16 in the paper).
+    pub r: usize,
+}
+
+impl Default for SecurityModel {
+    fn default() -> Self {
+        SecurityModel { n: 32, r: 16 }
+    }
+}
+
+/// Per-thread probability table for Definition 3: `hit[c][f]` is the
+/// probability that a subwarp of capacity `c` contains at least one of
+/// the `f` threads that access a given block, under a uniform random
+/// permutation of all `s` threads: `1 − C(s−c, f)/C(s, f)`.
+fn hit_table(s: usize) -> Vec<Vec<f64>> {
+    let mut t = vec![vec![0.0; s + 1]; s + 1];
+    for (c, row) in t.iter_mut().enumerate() {
+        for (f, cell) in row.iter_mut().enumerate() {
+            let denom = binomial(s, f);
+            if denom > 0.0 {
+                *cell = 1.0 - binomial(s - c, f) / denom;
+            }
+        }
+    }
+    t
+}
+
+impl SecurityModel {
+    /// Builds a model; the paper's instance is `SecurityModel::default()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 1` and `r ≥ 1`.
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(n >= 1 && r >= 1, "model needs positive n and r");
+        SecurityModel { n, r }
+    }
+
+    /// The correlation ρ(U, Û) between the true and attacker-estimated
+    /// access counts for `mechanism` with `m` subwarps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not divide `n` (subwarps are sized `n/m` for
+    /// the FSS-based mechanisms, and the paper's RSS+RTS analysis assumes
+    /// the same sweep).
+    pub fn rho(&self, mechanism: Mechanism, m: usize) -> f64 {
+        assert!(
+            m >= 1 && m <= self.n && self.n % m == 0,
+            "number of subwarps must divide the warp size"
+        );
+        match mechanism {
+            Mechanism::Fss => self.rho_fss(m),
+            Mechanism::FssRts => self.rho_fss_rts(m),
+            Mechanism::RssRts => self.rho_rss_rts(m),
+        }
+    }
+
+    /// Normalized sample count `S = 1/ρ²` (relative to FSS at `m = 1`,
+    /// where ρ = 1); `∞` when ρ = 0.
+    pub fn normalized_samples(&self, mechanism: Mechanism, m: usize) -> f64 {
+        let rho = self.rho(mechanism, m);
+        if rho <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (rho * rho)
+        }
+    }
+
+    fn rho_fss(&self, m: usize) -> f64 {
+        // U ≡ Û: the attacker's Algorithm 1 reproduces the count exactly,
+        // so ρ = 1 whenever U varies at all. With subwarps of size 1 the
+        // count is constantly n and the channel is closed.
+        let per = Occupancy::new(self.n / m, self.r);
+        if per.variance() * m as f64 > 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn rho_fss_rts(&self, m: usize) -> f64 {
+        let size = self.n / m;
+        let per = Occupancy::new(size, self.r);
+        let mu = m as f64 * per.mean();
+        let var = m as f64 * per.variance();
+        if var <= 1e-12 {
+            return 0.0;
+        }
+        // ḡ[f]: expected accesses contributed by a block with frequency f,
+        // summed over the M equal-capacity subwarps.
+        let hit = hit_table(self.n);
+        let gbar: Vec<f64> = (0..=self.n).map(|f| m as f64 * hit[size][f]).collect();
+        let cross = self.mu_cross(&gbar);
+        ((cross - mu * mu) / var).clamp(-1.0, 1.0)
+    }
+
+    fn rho_rss_rts(&self, m: usize) -> f64 {
+        if m == self.n {
+            return 0.0; // all subwarps have size 1: constant count
+        }
+        let classes = composition_classes(self.n, m);
+        // Precompute 𝔑(w, R) moments for every distinct part size.
+        let occ: Vec<Occupancy> = (0..=self.n)
+            .map(|w| Occupancy::new(w.max(1), self.r))
+            .collect();
+
+        // μ(U) and μ(U²) over the size classes.
+        let mut mu = 0.0;
+        let mut mu2 = 0.0;
+        for class in &classes {
+            let mean_w: f64 = class.parts.iter().map(|&w| occ[w].mean()).sum();
+            let var_w: f64 = class.parts.iter().map(|&w| occ[w].variance()).sum();
+            mu += class.probability * mean_w;
+            mu2 += class.probability * (var_w + mean_w * mean_w);
+        }
+        let var = mu2 - mu * mu;
+        if var <= 1e-12 {
+            return 0.0;
+        }
+
+        // ḡ[f] = Σ_W P(W) Σ_{c∈W} hit[c][f]: expected contribution of a
+        // frequency-f block, marginalized over subwarp sizes.
+        let hit = hit_table(self.n);
+        let mut gbar = vec![0.0; self.n + 1];
+        for class in &classes {
+            for f in 0..=self.n {
+                let sum_c: f64 = class.parts.iter().map(|&c| hit[c][f]).sum();
+                gbar[f] += class.probability * sum_c;
+            }
+        }
+        let cross = self.mu_cross(&gbar);
+        ((cross - mu * mu) / var).clamp(-1.0, 1.0)
+    }
+
+    /// `μ(U × Û) = Σ_F P(F) · μ(U|F)²` (Eq. 6), with
+    /// `μ(U|F) = Σ_{f ∈ F} ḡ[f]` by linearity over blocks.
+    fn mu_cross(&self, gbar: &[f64]) -> f64 {
+        frequency_classes(self.n, self.r)
+            .iter()
+            .map(|class| {
+                let mu_f: f64 = class.parts.iter().map(|&f| gbar[f]).sum();
+                class.probability * mu_f * mu_f
+            })
+            .sum()
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Number of subwarps `M`.
+    pub m: usize,
+    /// ρ for FSS.
+    pub rho_fss: f64,
+    /// ρ for FSS+RTS.
+    pub rho_fss_rts: f64,
+    /// ρ for RSS+RTS.
+    pub rho_rss_rts: f64,
+    /// Normalized samples for FSS.
+    pub s_fss: f64,
+    /// Normalized samples for FSS+RTS.
+    pub s_fss_rts: f64,
+    /// Normalized samples for RSS+RTS.
+    pub s_rss_rts: f64,
+}
+
+/// Computes the paper's Table II (`N = 32`, `R = 16`,
+/// `M ∈ {1, 2, 4, 8, 16, 32}`).
+pub fn table2() -> Vec<Table2Row> {
+    table2_for(SecurityModel::default())
+}
+
+/// Table II for an arbitrary model size (`m` sweeps the divisors of `n`).
+pub fn table2_for(model: SecurityModel) -> Vec<Table2Row> {
+    (0..)
+        .map(|k| 1usize << k)
+        .take_while(|&m| m <= model.n)
+        .filter(|&m| model.n % m == 0)
+        .map(|m| Table2Row {
+            m,
+            rho_fss: model.rho(Mechanism::Fss, m),
+            rho_fss_rts: model.rho(Mechanism::FssRts, m),
+            rho_rss_rts: model.rho(Mechanism::RssRts, m),
+            s_fss: model.normalized_samples(Mechanism::Fss, m),
+            s_fss_rts: model.normalized_samples(Mechanism::FssRts, m),
+            s_rss_rts: model.normalized_samples(Mechanism::RssRts, m),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: SecurityModel = SecurityModel { n: 32, r: 16 };
+
+    #[test]
+    fn fss_is_fully_correlated_until_fully_split() {
+        for m in [1, 2, 4, 8, 16] {
+            assert_eq!(MODEL.rho(Mechanism::Fss, m), 1.0, "M={m}");
+            assert_eq!(MODEL.normalized_samples(Mechanism::Fss, m), 1.0);
+        }
+        assert_eq!(MODEL.rho(Mechanism::Fss, 32), 0.0);
+        assert_eq!(
+            MODEL.normalized_samples(Mechanism::Fss, 32),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn rts_mechanisms_equal_one_at_m1_and_zero_at_m32() {
+        for mech in [Mechanism::FssRts, Mechanism::RssRts] {
+            assert!(
+                (MODEL.rho(mech, 1) - 1.0).abs() < 1e-6,
+                "{mech} at M=1: {}",
+                MODEL.rho(mech, 1)
+            );
+            assert_eq!(MODEL.rho(mech, 32), 0.0, "{mech} at M=32");
+        }
+    }
+
+    #[test]
+    fn table_2_fss_rts_row_values() {
+        // Paper Table II: ρ(FSS+RTS) = 1.00, 0.41, 0.20, 0.09, 0.03, 0.
+        let expect = [(2, 0.41), (4, 0.20), (8, 0.09), (16, 0.03)];
+        for (m, rho) in expect {
+            let got = MODEL.rho(Mechanism::FssRts, m);
+            assert!(
+                (got - rho).abs() < 0.015,
+                "FSS+RTS M={m}: got {got}, paper {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_2_rss_rts_row_values() {
+        // Paper Table II: ρ(RSS+RTS) = 1.00, 0.20, 0.15, 0.11, 0.05, 0.
+        let expect = [(2, 0.20), (4, 0.15), (8, 0.11), (16, 0.05)];
+        for (m, rho) in expect {
+            let got = MODEL.rho(Mechanism::RssRts, m);
+            assert!(
+                (got - rho).abs() < 0.02,
+                "RSS+RTS M={m}: got {got}, paper {rho}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_2_sample_counts() {
+        // S = 1/ρ²: paper reports 6/24/115/961 for FSS+RTS and
+        // 25/42/78/349 for RSS+RTS.
+        let t = table2();
+        let row = |m: usize| t.iter().find(|r| r.m == m).unwrap();
+        assert!((5.0..8.0).contains(&row(2).s_fss_rts));
+        assert!((20.0..30.0).contains(&row(4).s_fss_rts));
+        assert!((90.0..140.0).contains(&row(8).s_fss_rts));
+        assert!((700.0..1300.0).contains(&row(16).s_fss_rts));
+        assert!((20.0..31.0).contains(&row(2).s_rss_rts));
+        assert!((35.0..50.0).contains(&row(4).s_rss_rts));
+        assert!((65.0..95.0).contains(&row(8).s_rss_rts));
+        assert!((280.0..450.0).contains(&row(16).s_rss_rts));
+        assert!(row(32).s_fss.is_infinite());
+        assert!(row(32).s_fss_rts.is_infinite());
+        assert!(row(32).s_rss_rts.is_infinite());
+    }
+
+    #[test]
+    fn crossover_between_fss_rts_and_rss_rts() {
+        // Paper: RSS+RTS is stronger (smaller ρ) at M ∈ {2, 4}; FSS+RTS
+        // is stronger at M ∈ {8, 16}.
+        for m in [2, 4] {
+            assert!(
+                MODEL.rho(Mechanism::RssRts, m) < MODEL.rho(Mechanism::FssRts, m),
+                "RSS+RTS should win at M={m}"
+            );
+        }
+        for m in [8, 16] {
+            assert!(
+                MODEL.rho(Mechanism::FssRts, m) < MODEL.rho(Mechanism::RssRts, m),
+                "FSS+RTS should win at M={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_decreases_with_subwarp_count_for_fss_rts() {
+        let mut prev = 1.1;
+        for m in [1, 2, 4, 8, 16] {
+            let rho = MODEL.rho(Mechanism::FssRts, m);
+            assert!(rho < prev, "ρ must fall with M (M={m}: {rho} vs {prev})");
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn small_models_behave() {
+        let small = SecurityModel::new(4, 4);
+        assert!((small.rho(Mechanism::FssRts, 1) - 1.0).abs() < 1e-9);
+        let rho2 = small.rho(Mechanism::FssRts, 2);
+        assert!(rho2 > 0.0 && rho2 < 1.0);
+        assert_eq!(small.rho(Mechanism::Fss, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn non_divisor_subwarp_count_panics() {
+        let _ = MODEL.rho(Mechanism::FssRts, 3);
+    }
+
+    #[test]
+    fn table2_has_six_rows() {
+        let t = table2();
+        assert_eq!(
+            t.iter().map(|r| r.m).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32]
+        );
+    }
+}

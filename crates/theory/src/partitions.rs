@@ -1,0 +1,223 @@
+//! Integer-partition enumeration with multiplicity weights.
+//!
+//! The paper's analysis sums over the frequency set ℱ (all `(f_1..f_R)`
+//! with `Σf_i = N`, Definition 2) and over the subwarp-size set 𝒲 (all
+//! positive compositions of `N` into `M` parts). Direct enumeration is
+//! huge (`C(47,15) ≈ 10¹²` frequency vectors), but every quantity involved
+//! is symmetric in the parts, so we enumerate integer *partitions* and
+//! weight each by the number of ordered vectors it represents — a few
+//! thousand terms.
+
+use crate::stirling::{binomial, factorial};
+
+/// One partition class and its weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPartition {
+    /// The positive parts, non-increasing.
+    pub parts: Vec<usize>,
+    /// Probability mass of the whole class under the relevant uniform
+    /// model (see [`frequency_classes`] / [`composition_classes`]).
+    pub probability: f64,
+}
+
+fn for_each_partition(
+    n: usize,
+    max_parts: usize,
+    max_part: usize,
+    current: &mut Vec<usize>,
+    out: &mut impl FnMut(&[usize]),
+) {
+    if n == 0 {
+        out(current);
+        return;
+    }
+    if current.len() == max_parts {
+        return;
+    }
+    let hi = n.min(max_part);
+    for p in (1..=hi).rev() {
+        current.push(p);
+        for_each_partition(n - p, max_parts, p, current, out);
+        current.pop();
+    }
+}
+
+/// All partitions of `n` into at most `max_parts` positive parts
+/// (non-increasing order).
+pub fn partitions_at_most(n: usize, max_parts: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for_each_partition(n, max_parts, n, &mut cur, &mut |p| out.push(p.to_vec()));
+    out
+}
+
+/// All partitions of `n` into exactly `parts` positive parts.
+pub fn partitions_exact(n: usize, parts: usize) -> Vec<Vec<usize>> {
+    partitions_at_most(n, parts)
+        .into_iter()
+        .filter(|p| p.len() == parts)
+        .collect()
+}
+
+/// Product of `multiplicity!` over the distinct part values of a
+/// non-increasing partition.
+fn multiplicity_factor(parts: &[usize]) -> f64 {
+    let mut acc = 1.0;
+    let mut run = 1usize;
+    for i in 1..=parts.len() {
+        if i < parts.len() && parts[i] == parts[i - 1] {
+            run += 1;
+        } else {
+            acc *= factorial(run);
+            run = 1;
+        }
+    }
+    acc
+}
+
+/// The frequency set ℱ of Definition 2, collapsed to partition classes.
+///
+/// Model: `n` threads each pick one of `r` blocks uniformly; `F` is the
+/// vector of per-block access counts. Each returned class carries the
+/// total probability of all ordered frequency vectors whose positive
+/// parts equal the partition:
+///
+/// `P(class) = [R-block arrangements] × N!/(∏ fᵢ!) / Rᴺ`
+///
+/// The probabilities over all classes sum to 1.
+pub fn frequency_classes(n: usize, r: usize) -> Vec<WeightedPartition> {
+    let r_pow = (r as f64).ln() * n as f64;
+    partitions_at_most(n, r)
+        .into_iter()
+        .map(|parts| {
+            let k = parts.len();
+            // Ways to assign the k distinct-part slots to r labelled
+            // blocks (remaining blocks get frequency 0):
+            // r!/( (r-k)! · ∏ mult_v! ).
+            let arrangements =
+                factorial(r) / (factorial(r - k) * multiplicity_factor(&parts));
+            // Multinomial N! / ∏ f_i! (in log space with Rᴺ).
+            let mut log_multinomial = factorial(n).ln();
+            for &f in &parts {
+                log_multinomial -= factorial(f).ln();
+            }
+            let probability = arrangements * (log_multinomial - r_pow).exp();
+            WeightedPartition { parts, probability }
+        })
+        .collect()
+}
+
+/// The subwarp-size set 𝒲 of §V-B3, collapsed to partition classes.
+///
+/// Model: uniform over the `C(n-1, m-1)` compositions of `n` into `m`
+/// positive parts (the skewed RSS distribution). Each class carries
+/// `[orderings] / C(n-1, m-1)`; the probabilities sum to 1.
+pub fn composition_classes(n: usize, m: usize) -> Vec<WeightedPartition> {
+    let total = binomial(n - 1, m - 1);
+    partitions_exact(n, m)
+        .into_iter()
+        .map(|parts| {
+            let orderings = factorial(m) / multiplicity_factor(&parts);
+            WeightedPartition {
+                probability: orderings / total,
+                parts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_counts() {
+        assert_eq!(partitions_at_most(4, 4).len(), 5); // p(4) = 5
+        assert_eq!(partitions_at_most(5, 5).len(), 7); // p(5) = 7
+        assert_eq!(partitions_at_most(5, 2).len(), 3); // 5, 4+1, 3+2
+        assert_eq!(partitions_exact(5, 2).len(), 2); // 4+1, 3+2
+        assert_eq!(partitions_exact(4, 4), vec![vec![1, 1, 1, 1]]);
+        // p(32) = 8349.
+        assert_eq!(partitions_at_most(32, 32).len(), 8349);
+    }
+
+    #[test]
+    fn partitions_are_non_increasing_and_sum() {
+        for p in partitions_at_most(12, 5) {
+            assert!(p.windows(2).all(|w| w[0] >= w[1]));
+            assert_eq!(p.iter().sum::<usize>(), 12);
+            assert!(p.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn multiplicity_factor_values() {
+        assert_eq!(multiplicity_factor(&[3, 1]), 1.0);
+        assert_eq!(multiplicity_factor(&[2, 2]), 2.0);
+        assert_eq!(multiplicity_factor(&[1, 1, 1, 1]), 24.0);
+        assert_eq!(multiplicity_factor(&[4, 2, 2, 1, 1, 1]), 12.0);
+    }
+
+    #[test]
+    fn frequency_classes_sum_to_one() {
+        for (n, r) in [(4, 4), (8, 16), (32, 16), (5, 2)] {
+            let total: f64 = frequency_classes(n, r)
+                .iter()
+                .map(|c| c.probability)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}, r={r}: {total}");
+        }
+    }
+
+    #[test]
+    fn frequency_classes_tiny_case_by_hand() {
+        // 2 threads, 2 blocks: F ∈ {(2,0),(0,2)} with prob 1/4 each and
+        // (1,1) with prob 1/2.
+        let classes = frequency_classes(2, 2);
+        let p_of = |parts: &[usize]| {
+            classes
+                .iter()
+                .find(|c| c.parts == parts)
+                .map(|c| c.probability)
+                .unwrap()
+        };
+        assert!((p_of(&[2]) - 0.5).abs() < 1e-12);
+        assert!((p_of(&[1, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_classes_sum_to_one() {
+        for (n, m) in [(4, 2), (32, 4), (32, 16), (6, 6)] {
+            let total: f64 = composition_classes(n, m)
+                .iter()
+                .map(|c| c.probability)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}, m={m}: {total}");
+        }
+    }
+
+    #[test]
+    fn composition_classes_match_stars_and_bars() {
+        // n=4, m=2: compositions (1,3),(2,2),(3,1) — class {3,1} has
+        // probability 2/3, class {2,2} has 1/3.
+        let classes = composition_classes(4, 2);
+        assert_eq!(classes.len(), 2);
+        for c in classes {
+            if c.parts == vec![3, 1] {
+                assert!((c.probability - 2.0 / 3.0).abs() < 1e-12);
+            } else {
+                assert_eq!(c.parts, vec![2, 2]);
+                assert!((c.probability - 1.0 / 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_class_count_is_tractable_for_paper_size() {
+        // The whole point of the partition collapse: ~8k classes instead
+        // of 16³² ordered mappings.
+        let classes = frequency_classes(32, 16);
+        assert!(classes.len() < 10_000);
+        assert!(classes.len() > 5_000);
+    }
+}

@@ -1,0 +1,92 @@
+//! The RCoal_Score security/performance trade-off metric (paper Eq. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable security-vs-performance score:
+///
+/// `RCoal_Score = Sᵃ / execution_timᵇ`
+///
+/// where `S = (1/ρ̄)²` is the squared inverse of the average attack
+/// correlation and `execution_time` is normalized to the baseline. The
+/// exponents let a hardware engineer emphasize security (`a = b = 1`,
+/// Figure 17a) or performance (`a = 1, b = 20`, Figure 17b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RCoalScore {
+    /// Security exponent `a`.
+    pub a: f64,
+    /// Performance exponent `b`.
+    pub b: f64,
+}
+
+impl RCoalScore {
+    /// The paper's security-oriented setting (`a = 1, b = 1`).
+    pub fn security_oriented() -> Self {
+        RCoalScore { a: 1.0, b: 1.0 }
+    }
+
+    /// The paper's performance-oriented setting (`a = 1, b = 20`).
+    pub fn performance_oriented() -> Self {
+        RCoalScore { a: 1.0, b: 20.0 }
+    }
+
+    /// Security strength `S = (1/ρ̄)²` from an average attack correlation;
+    /// `∞` for a zero correlation.
+    pub fn security_strength(avg_correlation: f64) -> f64 {
+        let c = avg_correlation.abs();
+        if c < 1e-12 {
+            f64::INFINITY
+        } else {
+            1.0 / (c * c)
+        }
+    }
+
+    /// Evaluates Eq. 7 from an average attack correlation and an
+    /// execution time normalized to the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `normalized_time > 0`.
+    pub fn score(&self, avg_correlation: f64, normalized_time: f64) -> f64 {
+        assert!(normalized_time > 0.0, "execution time must be positive");
+        Self::security_strength(avg_correlation).powf(self.a) / normalized_time.powf(self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stronger_security_scores_higher_at_equal_time() {
+        let s = RCoalScore::security_oriented();
+        assert!(s.score(0.1, 1.2) > s.score(0.5, 1.2));
+    }
+
+    #[test]
+    fn performance_orientation_punishes_slowdowns() {
+        let sec = RCoalScore::security_oriented();
+        let perf = RCoalScore::performance_oriented();
+        // Mechanism A: better security, 30% slower. Mechanism B: weaker
+        // security, 5% slower.
+        let (rho_a, t_a) = (0.05, 1.30);
+        let (rho_b, t_b) = (0.10, 1.05);
+        assert!(sec.score(rho_a, t_a) > sec.score(rho_b, t_b));
+        assert!(perf.score(rho_a, t_a) < perf.score(rho_b, t_b));
+    }
+
+    #[test]
+    fn zero_correlation_is_infinitely_secure() {
+        assert_eq!(RCoalScore::security_strength(0.0), f64::INFINITY);
+        assert_eq!(
+            RCoalScore::security_oriented().score(0.0, 2.0),
+            f64::INFINITY
+        );
+        assert!((RCoalScore::security_strength(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        let _ = RCoalScore::security_oriented().score(0.5, 0.0);
+    }
+}

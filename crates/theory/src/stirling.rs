@@ -1,0 +1,127 @@
+//! Combinatorial primitives: factorials, binomial coefficients and
+//! Stirling numbers of the second kind.
+
+/// `n!` as `f64` (exact up to 22!, then correctly rounded).
+///
+/// # Panics
+///
+/// Panics if `n > 170` (would overflow `f64`).
+pub fn factorial(n: usize) -> f64 {
+    assert!(n <= 170, "factorial overflows f64 beyond 170!");
+    (1..=n).fold(1.0, |acc, k| acc * k as f64)
+}
+
+/// Binomial coefficient `C(n, k)` as `f64`; 0 when `k > n`.
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Stirling number of the second kind `S(n, k)` as an exact `u128`:
+/// the number of ways to partition `n` labelled items into `k` non-empty
+/// unlabelled subsets.
+///
+/// # Panics
+///
+/// Panics on internal overflow (safe for `n ≤ 32`, the paper's range).
+pub fn stirling2_exact(n: usize, k: usize) -> u128 {
+    if n == 0 && k == 0 {
+        return 1;
+    }
+    if k == 0 || k > n {
+        return 0;
+    }
+    // S(n, k) = k·S(n-1, k) + S(n-1, k-1)
+    let mut row = vec![0u128; k + 1];
+    row[0] = 1; // S(0, 0)
+    for _i in 1..=n {
+        let mut next = vec![0u128; k + 1];
+        for j in 1..=k {
+            next[j] = (j as u128)
+                .checked_mul(row[j])
+                .and_then(|v| v.checked_add(row[j - 1]))
+                .expect("stirling2 overflow");
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// Stirling number of the second kind as `f64`.
+pub fn stirling2(n: usize, k: usize) -> f64 {
+    stirling2_exact(n, k) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(5), 120.0);
+        assert_eq!(factorial(12), 479_001_600.0);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(32, 16), 601_080_390.0);
+        assert_eq!(binomial(4, 7), 0.0);
+        assert_eq!(binomial(10, 0), 1.0);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in 0..20 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+                if n > 0 && k > 0 {
+                    assert_eq!(
+                        binomial(n, k),
+                        binomial(n - 1, k - 1) + binomial(n - 1, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stirling_known_values() {
+        assert_eq!(stirling2_exact(0, 0), 1);
+        assert_eq!(stirling2_exact(4, 2), 7);
+        assert_eq!(stirling2_exact(5, 3), 25);
+        assert_eq!(stirling2_exact(10, 5), 42_525);
+        assert_eq!(stirling2_exact(3, 0), 0);
+        assert_eq!(stirling2_exact(3, 4), 0);
+        assert_eq!(stirling2_exact(7, 7), 1);
+        assert_eq!(stirling2_exact(7, 1), 1);
+    }
+
+    #[test]
+    fn stirling_row_sums_are_bell_numbers() {
+        let bell = [1u128, 1, 2, 5, 15, 52, 203, 877, 4140];
+        for (n, &b) in bell.iter().enumerate() {
+            let sum: u128 = (0..=n).map(|k| stirling2_exact(n, k)).sum();
+            assert_eq!(sum, b, "Bell({n})");
+        }
+    }
+
+    #[test]
+    fn stirling_recurrence_holds_at_32() {
+        for k in 1..=16 {
+            assert_eq!(
+                stirling2_exact(32, k),
+                (k as u128) * stirling2_exact(31, k) + stirling2_exact(31, k - 1)
+            );
+        }
+    }
+}

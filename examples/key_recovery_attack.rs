@@ -1,0 +1,69 @@
+//! Full correlation timing attack against the baseline (vulnerable) GPU:
+//! collect ciphertexts + last-round timings from the simulated encryption
+//! server, then recover the AES-128 last-round key byte by byte.
+//!
+//! Run with: `cargo run --release --example key_recovery_attack`
+//! (Pass a sample count as the first argument; default 400.)
+
+use rcoal::prelude::*;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(400);
+
+    // The victim: a remote GPU AES server with stock coalescing. The
+    // attacker chooses the plaintext stream and observes ciphertexts and
+    // timing. (The experiment driver holds the key; the attack never
+    // reads it — it is used only to grade the result.)
+    let secret_key = *b"an actual secret";
+    println!("collecting {samples} timing samples from the victim GPU ...");
+    let data = ExperimentConfig::new(CoalescingPolicy::Baseline, samples, 32)
+        .with_key(secret_key)
+        .with_seed(2024)
+        .run()?;
+    let true_k10 = data.true_last_round_key();
+
+    println!("running the correlation attack (256 guesses x 16 bytes) ...\n");
+    let attack = Attack::baseline(32);
+    let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles));
+
+    println!("byte | guessed | actual | corr(guess) | rank of actual");
+    println!("-----+---------+--------+-------------+---------------");
+    for (j, byte) in recovery.bytes.iter().enumerate() {
+        let ok = if byte.best_guess == true_k10[j] { "" } else { "  <- miss" };
+        println!(
+            "  {:2} |    0x{:02x} |   0x{:02x} |      {:+.3} | {:3}{}",
+            j,
+            byte.best_guess,
+            true_k10[j],
+            byte.correlation_of(true_k10[j]),
+            byte.rank_of(true_k10[j]),
+            ok,
+        );
+    }
+
+    let outcome = recovery.outcome(&true_k10);
+    println!(
+        "\nrecovered {}/16 last-round key bytes (avg corr of correct guess: {:.3})",
+        outcome.num_correct, outcome.avg_correct_correlation
+    );
+    if outcome.complete() {
+        // The paper's final step (§II-C): key expansion is invertible,
+        // so the last round key yields the original private key.
+        let master = Aes128::from_last_round_key(&recovery.recovered_key()).master_key();
+        println!("complete break: inverting the key schedule ...");
+        println!("  recovered master key: {}", hex(&master));
+        println!("  actual    master key: {}", hex(&secret_key));
+        assert_eq!(master, secret_key);
+    } else {
+        println!("partial break: the remaining bytes fall with more samples (try a larger N).");
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: encrypt a plaintext on the simulated GPU under different
+//! coalescing policies and watch the security/performance trade-off.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rcoal::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The coalescer itself, on the paper's Figure 2 example: four
+    // threads, the middle two sharing a memory block.
+    let coalescer = Coalescer::new();
+    let addrs = [Some(0u64), Some(64), Some(96), Some(128)];
+
+    let one_subwarp = SubwarpAssignment::single(4)?;
+    let two_subwarps = SubwarpAssignment::in_order(&[2, 2])?;
+    println!("Figure 2 worked example (4 threads, lanes 1+2 share a block):");
+    println!(
+        "  1 subwarp  -> {} coalesced accesses",
+        coalescer.coalesce(&one_subwarp, &addrs).num_accesses()
+    );
+    println!(
+        "  2 subwarps -> {} coalesced accesses",
+        coalescer.coalesce(&two_subwarps, &addrs).num_accesses()
+    );
+
+    // --- 2. Full-system runs: AES-128 on the simulated GPU (Table I
+    // configuration), 20 plaintexts of 32 lines each.
+    println!("\nAES-128 on the simulated GPU (20 plaintexts x 32 lines):");
+    println!(
+        "  {:<18} {:>12} {:>14} {:>12}",
+        "policy", "cycles", "mem accesses", "vs baseline"
+    );
+    let mut baseline_cycles = None;
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::fss(4)?,
+        CoalescingPolicy::rss(4)?,
+        CoalescingPolicy::fss_rts(4)?,
+        CoalescingPolicy::rss_rts(4)?,
+        CoalescingPolicy::Disabled,
+    ] {
+        let data = ExperimentConfig::new(policy, 20, 32).with_seed(42).run()?;
+        let cycles = data.mean_total_cycles();
+        let base = *baseline_cycles.get_or_insert(cycles);
+        println!(
+            "  {:<18} {:>12.0} {:>14.0} {:>11.2}x",
+            policy.to_string(),
+            cycles,
+            data.mean_total_accesses(),
+            cycles / base
+        );
+    }
+
+    // --- 3. What the defender buys: the analytical Table II.
+    println!("\nAnalytical security (Table II, N=32 threads, R=16 blocks):");
+    println!(
+        "  {:>3} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "M", "rho FSS", "FSS+RTS", "RSS+RTS", "S FSS+RTS", "S RSS+RTS"
+    );
+    for row in table2() {
+        println!(
+            "  {:>3} {:>8.2} {:>9.2} {:>9.2} {:>10.0} {:>10.0}",
+            row.m, row.rho_fss, row.rho_fss_rts, row.rho_rss_rts, row.s_fss_rts, row.s_rss_rts
+        );
+    }
+    println!("\n(S = samples needed for a successful attack, normalized to the baseline.)");
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! `rcoal-cli` — command-line front end to the RCoal reproduction.
+//!
+//! ```text
+//! rcoal-cli table2
+//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true]
+//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7]
+//! rcoal-cli score    [--samples 100] [--seed 7]
+//! ```
+
+use rcoal::cli::{parse_policy, ParsedArgs};
+use rcoal::prelude::*;
+use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rcoal-cli — randomized GPU coalescing vs. correlation timing attacks
+
+USAGE:
+  rcoal-cli table2
+      Print the analytical security model (paper Table II).
+
+  rcoal-cli simulate --policy <POLICY> [--plaintexts N] [--lines L] [--seed S] [--selective true]
+      Encrypt N plaintexts of L lines on the simulated GPU and report
+      cycles and coalesced accesses. With --selective true, only the
+      last-round loads use the (randomized) policy.
+
+  rcoal-cli attack --policy <POLICY> [--samples N] [--byte J|all] [--seed S]
+      Deploy POLICY on the victim, collect N timing samples, run the
+      corresponding correlation attack, and grade the key recovery.
+
+  rcoal-cli score [--samples N] [--seed S]
+      Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
+
+POLICY: baseline | disabled | fss:M | rss:M | fss-rts:M | rss-rts:M
+        (M = number of subwarps, a divisor of 32 for fss variants)";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = ParsedArgs::parse(std::env::args().skip(1))?;
+    match args.positional.first().map(String::as_str) {
+        Some("table2") => cmd_table2(),
+        Some("simulate") => cmd_simulate(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("score") => cmd_score(&args),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_table2() -> Result<(), String> {
+    println!("Table II (N = 32 threads, R = 16 memory blocks)");
+    println!(
+        "{:>3} | {:>7} {:>8} {:>8} | {:>6} {:>10} {:>10}",
+        "M", "rho FSS", "FSS+RTS", "RSS+RTS", "S FSS", "S FSS+RTS", "S RSS+RTS"
+    );
+    for r in table2() {
+        println!(
+            "{:>3} | {:>7.2} {:>8.2} {:>8.2} | {:>6.0} {:>10.0} {:>10.0}",
+            r.m, r.rho_fss, r.rho_fss_rts, r.rho_rss_rts, r.s_fss, r.s_fss_rts, r.s_rss_rts
+        );
+    }
+    Ok(())
+}
+
+fn policy_from(args: &ParsedArgs) -> Result<CoalescingPolicy, String> {
+    parse_policy(args.get("policy").unwrap_or("baseline"))
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
+    let policy = policy_from(args)?;
+    let plaintexts: usize = args.get_or("plaintexts", 20)?;
+    let lines: usize = args.get_or("lines", 32)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let selective: bool = args.get_or("selective", false)?;
+
+    let cfg = if selective {
+        ExperimentConfig::selective(policy, plaintexts, lines)
+    } else {
+        ExperimentConfig::new(policy, plaintexts, lines)
+    };
+    let data = cfg.with_seed(seed).run().map_err(|e| e.to_string())?;
+    let base = ExperimentConfig::new(CoalescingPolicy::Baseline, plaintexts, lines)
+        .with_seed(seed)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "policy           : {policy}{}",
+        if selective { " (selective, last round only)" } else { "" }
+    );
+    println!("plaintexts       : {plaintexts} x {lines} lines");
+    println!("mean cycles      : {:.0} ({:.3}x baseline)",
+        data.mean_total_cycles(),
+        data.mean_total_cycles() / base.mean_total_cycles());
+    println!("mean accesses    : {:.0} ({:.3}x baseline)",
+        data.mean_total_accesses(),
+        data.mean_total_accesses() / base.mean_total_accesses());
+    println!("last-round mean  : {:.0} cycles / {:.0} accesses",
+        data.mean_last_round_cycles(),
+        data.mean_last_round_accesses());
+    Ok(())
+}
+
+fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
+    let policy = policy_from(args)?;
+    let samples: usize = args.get_or("samples", 400)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let byte_spec = args.get("byte").unwrap_or("all").to_string();
+
+    println!("victim policy : {policy}");
+    println!("samples       : {samples} (32-line plaintexts, last-round timing)");
+    let data = ExperimentConfig::new(policy, samples, 32)
+        .with_seed(seed)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let k10 = data.true_last_round_key();
+    let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
+    let samples = data.attack_samples(TimingSource::LastRoundCycles);
+
+    if byte_spec == "all" {
+        let rec = attack.recover_key(&samples);
+        let out = rec.outcome(&k10);
+        for (j, b) in rec.bytes.iter().enumerate() {
+            let hit = if b.best_guess == k10[j] { "HIT " } else { "miss" };
+            println!(
+                "byte {j:2}: guess 0x{:02x} actual 0x{:02x} [{hit}] corr {:+.3} rank {}",
+                b.best_guess,
+                k10[j],
+                b.correlation_of(k10[j]),
+                b.rank_of(k10[j])
+            );
+        }
+        println!(
+            "\nrecovered {}/16 bytes; avg corr(correct) = {:+.3}; avg rank = {:.1}",
+            out.num_correct, out.avg_correct_correlation, out.avg_rank_of_correct
+        );
+        println!(
+            "remaining key security: ~2^{:.1} candidate keys to enumerate",
+            rcoal_attack::log2_key_rank(&rec, &k10)
+        );
+    } else {
+        let j: usize = byte_spec
+            .parse()
+            .map_err(|_| format!("--byte must be 0..=15 or 'all', got {byte_spec:?}"))?;
+        if j >= 16 {
+            return Err("--byte must be 0..=15 or 'all'".into());
+        }
+        let rec = attack.recover_byte(&samples, j);
+        println!(
+            "byte {j}: guess 0x{:02x} actual 0x{:02x} corr {:+.3} rank {}",
+            rec.best_guess,
+            k10[j],
+            rec.correlation_of(k10[j]),
+            rec.rank_of(k10[j])
+        );
+    }
+    Ok(())
+}
+
+fn cmd_score(args: &ParsedArgs) -> Result<(), String> {
+    let samples: usize = args.get_or("samples", 100)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    println!("sweeping 4 mechanisms x M in {{2,4,8,16}} with {samples} plaintexts each ...");
+    let cmp = fig15_16_comparison(samples, seed).map_err(|e| e.to_string())?;
+    let mut scores = fig17_rcoal_score(&cmp);
+    scores.sort_by(|a, b| b.security_oriented.total_cmp(&a.security_oriented));
+    println!("\nby security-oriented score (a = b = 1):");
+    for s in scores.iter().take(5) {
+        println!("  {:>8} M={:<2} score {:.1}", s.mechanism, s.m, s.security_oriented);
+    }
+    scores.sort_by(|a, b| b.performance_oriented.total_cmp(&a.performance_oriented));
+    println!("by performance-oriented score (a = 1, b = 20):");
+    for s in scores.iter().take(5) {
+        println!("  {:>8} M={:<2} score {:.4}", s.mechanism, s.m, s.performance_oriented);
+    }
+    Ok(())
+}

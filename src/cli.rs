@@ -1,0 +1,164 @@
+//! Argument parsing helpers for the `rcoal` command-line tool
+//! (`src/bin/rcoal-cli.rs`). Kept in the library so the grammar is unit
+//! tested.
+
+use rcoal_core::{CoalescingPolicy, PolicyError};
+
+/// Parses a policy spec:
+///
+/// * `baseline`, `disabled`
+/// * `fss:M`, `rss:M`, `fss-rts:M`, `rss-rts:M` with `M` the subwarp count
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names, missing or
+/// malformed subwarp counts, and policy validation failures.
+pub fn parse_policy(spec: &str) -> Result<CoalescingPolicy, String> {
+    let lower = spec.to_ascii_lowercase();
+    let (name, m) = match lower.split_once(':') {
+        Some((name, m_str)) => {
+            let m: usize = m_str
+                .parse()
+                .map_err(|_| format!("invalid subwarp count {m_str:?} in {spec:?}"))?;
+            (name.to_string(), Some(m))
+        }
+        None => (lower, None),
+    };
+    let fail = |e: PolicyError| format!("{spec:?}: {e}");
+    match (name.as_str(), m) {
+        ("baseline", None) => Ok(CoalescingPolicy::Baseline),
+        ("disabled" | "off" | "no-coalescing", None) => Ok(CoalescingPolicy::Disabled),
+        ("fss", Some(m)) => CoalescingPolicy::fss(m).map_err(fail),
+        ("rss", Some(m)) => CoalescingPolicy::rss(m).map_err(fail),
+        ("fss-rts" | "fss+rts", Some(m)) => CoalescingPolicy::fss_rts(m).map_err(fail),
+        ("rss-rts" | "rss+rts", Some(m)) => CoalescingPolicy::rss_rts(m).map_err(fail),
+        ("fss" | "rss" | "fss-rts" | "fss+rts" | "rss-rts" | "rss+rts", None) => Err(format!(
+            "policy {spec:?} needs a subwarp count, e.g. {name}:4"
+        )),
+        _ => Err(format!(
+            "unknown policy {spec:?} (expected baseline, disabled, fss:M, rss:M, fss-rts:M, rss-rts:M)"
+        )),
+    }
+}
+
+/// Extracts `--flag value` pairs and positional arguments from raw args.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options in order of appearance.
+    pub options: Vec<(String, String)>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments; every `--flag` must be followed by a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming a trailing flag with no value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ParsedArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                out.options.push((key.to_string(), value));
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Last value given for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses option `key` as `T`, falling back to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcoal_core::NumSubwarps;
+
+    #[test]
+    fn parses_simple_policies() {
+        assert_eq!(parse_policy("baseline"), Ok(CoalescingPolicy::Baseline));
+        assert_eq!(parse_policy("BASELINE"), Ok(CoalescingPolicy::Baseline));
+        assert_eq!(parse_policy("disabled"), Ok(CoalescingPolicy::Disabled));
+        assert_eq!(parse_policy("off"), Ok(CoalescingPolicy::Disabled));
+    }
+
+    #[test]
+    fn parses_subwarp_policies() {
+        assert_eq!(
+            parse_policy("fss:8"),
+            Ok(CoalescingPolicy::Fss {
+                num_subwarps: NumSubwarps::new(8, 32).unwrap()
+            })
+        );
+        assert_eq!(parse_policy("rss-rts:4"), CoalescingPolicy::rss_rts(4).map_err(|_| String::new()));
+        assert_eq!(parse_policy("FSS+RTS:16"), CoalescingPolicy::fss_rts(16).map_err(|_| String::new()));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_policy("fss").unwrap_err().contains("subwarp count"));
+        assert!(parse_policy("fss:3").unwrap_err().contains("divide"));
+        assert!(parse_policy("fss:x").unwrap_err().contains("invalid"));
+        assert!(parse_policy("magic").unwrap_err().contains("unknown"));
+        assert!(parse_policy("rss:0").is_err());
+        assert!(parse_policy("rss:33").is_err());
+    }
+
+    #[test]
+    fn parsed_args_splits_flags_and_positionals() {
+        let args = ParsedArgs::parse(
+            ["attack", "--samples", "200", "--policy", "fss:4", "extra"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.positional, vec!["attack", "extra"]);
+        assert_eq!(args.get("samples"), Some("200"));
+        assert_eq!(args.get("policy"), Some("fss:4"));
+        assert_eq!(args.get("missing"), None);
+        assert_eq!(args.get_or("samples", 10usize), Ok(200));
+        assert_eq!(args.get_or("seed", 7u64), Ok(7));
+        assert!(args.get_or::<usize>("policy", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let err = ParsedArgs::parse(["--samples".to_string()]).unwrap_err();
+        assert!(err.contains("--samples"));
+    }
+
+    #[test]
+    fn later_options_override_earlier_ones() {
+        let args = ParsedArgs::parse(
+            ["--seed", "1", "--seed", "2"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.get("seed"), Some("2"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # rcoal — randomized GPU memory-access coalescing against timing attacks
+//!
+//! A full-system Rust reproduction of *RCoal: Mitigating GPU Timing Attack
+//! via Subwarp-Based Randomized Coalescing Techniques* (HPCA 2018).
+//!
+//! This facade crate re-exports the workspace's components:
+//!
+//! * [`core`] — the subwarp coalescing mechanisms (FSS, RSS, RTS) and the
+//!   modified coalescing unit; the paper's primary contribution.
+//! * [`sim`] — a cycle-level GPU timing simulator (SMs, warp scheduler,
+//!   crossbar interconnect, GDDR5 memory controllers with FR-FCFS).
+//! * [`aes`] — AES-128 with T-tables plus the GPU kernel model that turns
+//!   encryptions into per-warp memory-access traces.
+//! * [`attack`] — the correlation timing attacks (baseline, FSS, RSS, and
+//!   the +RTS "corresponding attacks") used to evaluate each defense.
+//! * [`theory`] — the analytical security model reproducing Table II.
+//! * [`experiments`] — end-to-end experiment harness regenerating every
+//!   table and figure in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rcoal::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Encrypt 100 random plaintexts (32 lines each) on the simulated GPU
+//! // under the vulnerable baseline policy, then under RSS+RTS.
+//! let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 8, 32).with_seed(1);
+//! let base = cfg.run()?;
+//!
+//! let rss_rts = ExperimentConfig::new(CoalescingPolicy::rss_rts(4)?, 8, 32)
+//!     .with_seed(1)
+//!     .run()?;
+//!
+//! // Randomization costs performance but raises security.
+//! assert!(rss_rts.mean_total_accesses() > base.mean_total_accesses());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cli;
+
+pub use rcoal_aes as aes;
+pub use rcoal_attack as attack;
+pub use rcoal_core as core;
+pub use rcoal_experiments as experiments;
+pub use rcoal_gpu_sim as sim;
+pub use rcoal_theory as theory;
+
+/// Commonly used items, importable with `use rcoal::prelude::*`.
+pub mod prelude {
+    pub use rcoal_aes::{Aes128, AesGpuKernel};
+    pub use rcoal_attack::{Attack, AttackSample, KeyRecovery, RecoveryOutcome};
+    pub use rcoal_core::{
+        CoalescingPolicy, Coalescer, NumSubwarps, SizeDistribution, SubwarpAssignment,
+    };
+    pub use rcoal_experiments::{ExperimentConfig, ExperimentData, TimingSource};
+    pub use rcoal_gpu_sim::{GpuConfig, GpuSimulator, SimStats};
+    pub use rcoal_theory::{table2, Mechanism, RCoalScore, SecurityModel};
+}

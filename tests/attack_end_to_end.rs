@@ -1,0 +1,148 @@
+//! End-to-end attack/defense integration: the full pipeline from
+//! plaintext generation through the simulated GPU to key recovery.
+//!
+//! These tests use the *functional* access-count timing source
+//! ([`TimingSource::LastRoundAccesses`]) where possible: it is exact (no
+//! scheduler noise), fast in debug builds, and matches the paper's §VI-D
+//! methodology for isolating the coalescing channel.
+
+use rcoal::prelude::*;
+
+fn run(policy: CoalescingPolicy, n: usize, seed: u64) -> ExperimentData {
+    ExperimentConfig::new(policy, n, 32)
+        .with_seed(seed)
+        .functional_only()
+        .run()
+        .expect("experiment")
+}
+
+#[test]
+fn baseline_attack_recovers_key_byte_on_vulnerable_gpu() {
+    let data = run(CoalescingPolicy::Baseline, 600, 101);
+    let k10 = data.true_last_round_key();
+    let attack = Attack::baseline(32);
+    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+    assert_eq!(
+        rec.rank_of(k10[0]),
+        0,
+        "baseline attack must recover byte 0 from clean access counts"
+    );
+    assert_eq!(rec.best_guess, k10[0]);
+}
+
+#[test]
+fn disabling_coalescing_closes_the_channel() {
+    let data = run(CoalescingPolicy::Disabled, 200, 102);
+    let k10 = data.true_last_round_key();
+    // Every plaintext issues exactly 32 × 16 last-round accesses.
+    assert!(data.last_round_accesses.iter().all(|&a| a == 512));
+    let attack = Attack::baseline(32);
+    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+    assert_eq!(
+        rec.correlation_of(k10[0]),
+        0.0,
+        "constant timing leaks nothing"
+    );
+    assert!(rec.correlations.iter().all(|&c| c == 0.0));
+}
+
+#[test]
+fn fss_beats_the_naive_attack_but_falls_to_the_fss_attack() {
+    let policy = CoalescingPolicy::fss(4).expect("4 divides 32");
+    let data = run(policy, 400, 103);
+    let k10 = data.true_last_round_key();
+    // Isolate byte 0's channel (its own T4 load's access count) so the
+    // other 15 byte positions do not act as noise.
+    let samples = data.attack_samples(TimingSource::ByteAccesses(0));
+
+    // The FSS attack (Algorithm 1) mirrors the subwarping: the correct
+    // guess's prediction equals the true count exactly, so corr = 1.
+    let fss_attack = Attack::against(policy, 32);
+    let rec = fss_attack.recover_byte(&samples, 0);
+    assert_eq!(rec.rank_of(k10[0]), 0, "FSS attack recovers the byte");
+    assert!(
+        rec.correlation_of(k10[0]) > 0.999,
+        "Algorithm 1 reproduces the count: corr = {}",
+        rec.correlation_of(k10[0])
+    );
+
+    // The naive (num-subwarp = 1) attack sees a weaker correlation than
+    // the matched attack does.
+    let naive = Attack::baseline(32);
+    let naive_rec = naive.recover_byte(&samples, 0);
+    assert!(
+        naive_rec.correlation_of(k10[0]) < rec.correlation_of(k10[0]) - 0.2,
+        "naive corr {} should be well below matched corr {}",
+        naive_rec.correlation_of(k10[0]),
+        rec.correlation_of(k10[0])
+    );
+}
+
+#[test]
+fn randomized_mechanisms_break_the_corresponding_attack() {
+    // Timing = byte-0's true access count (the cleanest possible channel
+    // for the attacker). Even then, the defense's per-launch randomness
+    // caps the attacker's correlation near the analytic rho.
+    for (policy, max_corr) in [
+        (CoalescingPolicy::fss_rts(8).expect("valid"), 0.45),
+        (CoalescingPolicy::rss_rts(8).expect("valid"), 0.45),
+    ] {
+        let data = run(policy, 300, 104);
+        let k10 = data.true_last_round_key();
+        let attack = Attack::against(policy, 32).with_seed(999);
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+        let corr = rec.correlation_of(k10[0]);
+        assert!(
+            corr < max_corr,
+            "{policy}: correct-guess corr {corr} should be far below 1"
+        );
+    }
+}
+
+#[test]
+fn fss_at_32_subwarps_is_equivalent_to_disabling() {
+    let fss32 = run(CoalescingPolicy::fss(32).expect("valid"), 50, 105);
+    let disabled = run(CoalescingPolicy::Disabled, 50, 105);
+    assert_eq!(fss32.last_round_accesses, disabled.last_round_accesses);
+    assert_eq!(fss32.total_accesses, disabled.total_accesses);
+}
+
+#[test]
+fn defense_strength_orders_like_table_2_at_m8() {
+    // Table II at M = 8: FSS (rho = 1) < FSS+RTS (0.09) — i.e. FSS+RTS
+    // needs far more samples. Check the empirical ordering of correct-
+    // guess correlations: FSS ≈ 1, randomized mechanisms ≪ FSS.
+    let n = 300;
+    let seed = 106;
+    let corr_for = |policy: CoalescingPolicy| {
+        let data = run(policy, n, seed);
+        let k10 = data.true_last_round_key();
+        let attack = Attack::against(policy, 32).with_seed(7);
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)), 0);
+        rec.correlation_of(k10[0])
+    };
+    let fss = corr_for(CoalescingPolicy::fss(8).expect("valid"));
+    let fss_rts = corr_for(CoalescingPolicy::fss_rts(8).expect("valid"));
+    let rss_rts = corr_for(CoalescingPolicy::rss_rts(8).expect("valid"));
+    assert!(fss > 0.9, "FSS is transparent to its attack: {fss}");
+    assert!(fss_rts < 0.5, "FSS+RTS resists: {fss_rts}");
+    assert!(rss_rts < 0.5, "RSS+RTS resists: {rss_rts}");
+}
+
+#[test]
+fn multi_warp_plaintexts_still_recoverable_at_baseline() {
+    // 64-line plaintexts span two warps; the per-byte channel persists.
+    let data = ExperimentConfig::new(CoalescingPolicy::Baseline, 500, 64)
+        .with_seed(107)
+        .functional_only()
+        .run()
+        .expect("experiment");
+    let k10 = data.true_last_round_key();
+    let attack = Attack::baseline(32);
+    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 5);
+    assert!(
+        rec.rank_of(k10[5]) <= 1,
+        "rank {} should be ~0 with 500 clean samples",
+        rec.rank_of(k10[5])
+    );
+}

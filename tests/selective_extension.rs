@@ -1,0 +1,132 @@
+//! Tests of the selective-randomization extension (the hardware/software
+//! co-design the paper sketches as future work in §VII): only the
+//! vulnerable last-round loads are randomized.
+
+use rcoal::prelude::*;
+use rcoal_gpu_sim::LaunchPolicy;
+
+#[test]
+fn selective_matches_uniform_on_the_last_round() {
+    // With the same seed, the vulnerable policy draws can differ between
+    // uniform and selective runs (different rng stream), but the
+    // *distributional* security must match: compare correct-guess
+    // correlations on the per-byte channel.
+    let policy = CoalescingPolicy::rss_rts(8).expect("valid");
+    let corr_for = |cfg: ExperimentConfig| {
+        let data = cfg.functional_only().run().expect("experiment");
+        let k10 = data.true_last_round_key();
+        let attack = Attack::against(policy, 32).with_seed(5);
+        attack
+            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)), 0)
+            .correlation_of(k10[0])
+    };
+    let uniform = corr_for(ExperimentConfig::new(policy, 250, 32).with_seed(301));
+    let selective = corr_for(ExperimentConfig::selective(policy, 250, 32).with_seed(301));
+    assert!(
+        uniform.abs() < 0.4 && selective.abs() < 0.4,
+        "both should break the channel: uniform {uniform}, selective {selective}"
+    );
+}
+
+#[test]
+fn selective_keeps_rounds_1_to_9_at_baseline_cost() {
+    let policy = CoalescingPolicy::fss(16).expect("valid");
+    let base = ExperimentConfig::new(CoalescingPolicy::Baseline, 5, 32)
+        .with_seed(302)
+        .functional_only()
+        .run()
+        .expect("experiment");
+    let uniform = ExperimentConfig::new(policy, 5, 32)
+        .with_seed(302)
+        .functional_only()
+        .run()
+        .expect("experiment");
+    let selective = ExperimentConfig::selective(policy, 5, 32)
+        .with_seed(302)
+        .functional_only()
+        .run()
+        .expect("experiment");
+
+    // Last-round accesses are protected in both defended configurations.
+    assert!(selective.mean_last_round_accesses() > base.mean_last_round_accesses() * 1.5);
+    assert_eq!(
+        selective.mean_last_round_accesses(),
+        uniform.mean_last_round_accesses(),
+        "FSS is deterministic, so the protected last round matches exactly"
+    );
+    // But total data movement stays near baseline for selective.
+    let selective_overhead = selective.mean_total_accesses() / base.mean_total_accesses();
+    let uniform_overhead = uniform.mean_total_accesses() / base.mean_total_accesses();
+    assert!(
+        selective_overhead < 1.3,
+        "selective should be cheap: {selective_overhead}"
+    );
+    assert!(
+        uniform_overhead > 1.8,
+        "uniform FSS(32) should be expensive: {uniform_overhead}"
+    );
+}
+
+#[test]
+fn selective_timing_cost_is_a_fraction_of_uniform() {
+    let policy = CoalescingPolicy::rss_rts(8).expect("valid");
+    let cycles = |cfg: ExperimentConfig| cfg.run().expect("experiment").mean_total_cycles();
+    let base = cycles(ExperimentConfig::new(CoalescingPolicy::Baseline, 4, 32).with_seed(303));
+    let uniform = cycles(ExperimentConfig::new(policy, 4, 32).with_seed(303));
+    let selective = cycles(ExperimentConfig::selective(policy, 4, 32).with_seed(303));
+    assert!(selective > base * 0.99, "still does last-round extra work");
+    assert!(
+        selective - base < (uniform - base) * 0.45,
+        "selective slowdown {} should be well under half the uniform slowdown {}",
+        selective - base,
+        uniform - base
+    );
+}
+
+#[test]
+fn launch_policy_round_trips_through_config() {
+    let policy = CoalescingPolicy::fss_rts(4).expect("valid");
+    let cfg = ExperimentConfig::new(policy, 1, 32).with_launch(LaunchPolicy::Selective {
+        vulnerable: policy,
+        default: CoalescingPolicy::Baseline,
+        vulnerable_tags: (16, 32),
+    });
+    let data = cfg.functional_only().run().expect("experiment");
+    assert_eq!(data.len(), 1);
+}
+
+#[test]
+fn custom_tag_range_protects_chosen_rounds() {
+    // Protect round 9 (tag 9) as well as the last round: rounds tagged
+    // 9..32 use the randomized policy.
+    let policy = CoalescingPolicy::fss(32).expect("valid");
+    let narrow = ExperimentConfig::new(policy, 3, 32)
+        .with_seed(304)
+        .with_launch(LaunchPolicy::Selective {
+            vulnerable: policy,
+            default: CoalescingPolicy::Baseline,
+            vulnerable_tags: (16, 32),
+        })
+        .functional_only()
+        .run()
+        .expect("experiment");
+    let wide = ExperimentConfig::new(policy, 3, 32)
+        .with_seed(304)
+        .with_launch(LaunchPolicy::Selective {
+            vulnerable: policy,
+            default: CoalescingPolicy::Baseline,
+            vulnerable_tags: (9, 32),
+        })
+        .functional_only()
+        .run()
+        .expect("experiment");
+    assert!(
+        wide.mean_total_accesses() > narrow.mean_total_accesses(),
+        "protecting more rounds costs more accesses"
+    );
+    assert_eq!(
+        wide.mean_last_round_accesses(),
+        narrow.mean_last_round_accesses(),
+        "the last round itself is protected identically"
+    );
+}

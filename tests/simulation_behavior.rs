@@ -1,0 +1,139 @@
+//! Cross-crate timing-behavior integration: the cycle simulator must
+//! exhibit the architectural trends the paper's evaluation rests on.
+
+use rcoal::prelude::*;
+use rcoal_attack::pearson;
+
+fn timed(policy: CoalescingPolicy, n: usize, lines: usize, seed: u64) -> ExperimentData {
+    ExperimentConfig::new(policy, n, lines)
+        .with_seed(seed)
+        .run()
+        .expect("experiment")
+}
+
+#[test]
+fn execution_time_rises_with_subwarp_count() {
+    let mut prev = 0.0;
+    for m in [1usize, 4, 16] {
+        let policy = CoalescingPolicy::fss(m).expect("divisor");
+        let cycles = timed(policy, 5, 32, 201).mean_total_cycles();
+        assert!(
+            cycles > prev,
+            "FSS(M={m}) at {cycles} cycles should be slower than previous {prev}"
+        );
+        prev = cycles;
+    }
+}
+
+#[test]
+fn disabling_coalescing_is_the_most_expensive_option() {
+    let base = timed(CoalescingPolicy::Baseline, 5, 32, 202);
+    let off = timed(CoalescingPolicy::Disabled, 5, 32, 202);
+    let fss8 = timed(CoalescingPolicy::fss(8).expect("valid"), 5, 32, 202);
+    assert!(off.mean_total_cycles() > fss8.mean_total_cycles());
+    assert!(off.mean_total_accesses() > fss8.mean_total_accesses());
+    // Paper §III: ~2.7× data movement at the kernel level.
+    let factor = off.mean_total_accesses() / base.mean_total_accesses();
+    assert!(
+        (1.8..3.5).contains(&factor),
+        "no-coalescing access factor {factor} should be in the ~2-3x range"
+    );
+}
+
+#[test]
+fn rts_is_performance_neutral() {
+    let fss = timed(CoalescingPolicy::fss(8).expect("valid"), 8, 32, 203);
+    let fss_rts = timed(CoalescingPolicy::fss_rts(8).expect("valid"), 8, 32, 203);
+    let rel = (fss_rts.mean_total_cycles() - fss.mean_total_cycles()).abs()
+        / fss.mean_total_cycles();
+    assert!(
+        rel < 0.05,
+        "RTS should cost ~nothing; saw {:.1}% difference",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn rss_coalesces_better_than_fss() {
+    // Skewed sizes leave a few large subwarps, recovering coalescing
+    // opportunity (paper Figure 16 discussion).
+    let fss = timed(CoalescingPolicy::fss(8).expect("valid"), 10, 32, 204);
+    let rss = timed(CoalescingPolicy::rss(8).expect("valid"), 10, 32, 204);
+    assert!(
+        rss.mean_total_accesses() < fss.mean_total_accesses(),
+        "RSS {} vs FSS {}",
+        rss.mean_total_accesses(),
+        fss.mean_total_accesses()
+    );
+    assert!(rss.mean_total_cycles() < fss.mean_total_cycles());
+}
+
+#[test]
+fn last_round_time_correlates_with_last_round_accesses() {
+    let data = timed(CoalescingPolicy::Baseline, 40, 32, 205);
+    let accesses: Vec<f64> = data.last_round_accesses.iter().map(|&a| a as f64).collect();
+    let cycles: Vec<f64> = data
+        .last_round_cycles
+        .as_ref()
+        .expect("timing run")
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let rho = pearson(&accesses, &cycles);
+    assert!(
+        rho > 0.5,
+        "the timing channel must be strong at the last round: rho = {rho}"
+    );
+}
+
+#[test]
+fn total_time_correlates_with_last_round_time() {
+    // Figure 5: the attacker can use total time as a proxy.
+    let data = timed(CoalescingPolicy::Baseline, 60, 32, 206);
+    let last: Vec<f64> = data
+        .last_round_cycles
+        .as_ref()
+        .expect("timing run")
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let total: Vec<f64> = data
+        .total_cycles
+        .as_ref()
+        .expect("timing run")
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let rho = pearson(&last, &total);
+    assert!(rho > 0.15, "Figure 5 relationship: rho = {rho}");
+}
+
+#[test]
+fn larger_plaintexts_take_proportionally_longer() {
+    let small = timed(CoalescingPolicy::Baseline, 2, 32, 207);
+    let large = timed(CoalescingPolicy::Baseline, 2, 1024, 207);
+    // 32 warps of work over 15 SMs: expect a clear increase, but far less
+    // than 32x thanks to parallelism across SMs and schedulers.
+    let ratio = large.mean_total_cycles() / small.mean_total_cycles();
+    assert!(
+        (2.0..32.0).contains(&ratio),
+        "1024-line / 32-line cycle ratio = {ratio}"
+    );
+    assert!(
+        (large.mean_total_accesses() / small.mean_total_accesses() - 32.0).abs() < 3.0,
+        "access counts scale with the number of warps"
+    );
+}
+
+#[test]
+fn coalescing_factor_reflects_spatial_locality() {
+    // AES T-table lookups coalesce several-fold at baseline.
+    let base = timed(CoalescingPolicy::Baseline, 5, 32, 208);
+    let total_requests: f64 =
+        base.total_requests.iter().sum::<u64>() as f64 / base.total_requests.len() as f64;
+    let factor = total_requests / base.mean_total_accesses();
+    assert!(
+        factor > 1.5,
+        "baseline coalescing should merge lanes substantially: {factor}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Validates the analytical security model (rcoal-theory) against Monte
+//! Carlo simulation of the actual defense machinery (rcoal-core) — the
+//! same cross-check the paper makes between Table II and §VI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcoal::prelude::*;
+use rcoal_attack::pearson;
+use rcoal_theory::{Occupancy, SecurityModel};
+
+const R: usize = 16;
+const BLOCK: u64 = 64;
+
+/// Draws one warp's worth of uniform block indices (the model's
+/// assumption for random plaintexts).
+fn random_addrs(rng: &mut StdRng) -> Vec<Option<u64>> {
+    (0..32)
+        .map(|_| Some(rng.gen_range(0..R as u64) * BLOCK))
+        .collect()
+}
+
+#[test]
+fn occupancy_distribution_matches_monte_carlo() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let coalescer = Coalescer::new();
+    let single = SubwarpAssignment::single(32).expect("warp");
+    let trials = 20_000;
+    let mut mean = 0.0;
+    for _ in 0..trials {
+        let addrs = random_addrs(&mut rng);
+        mean += coalescer.count_accesses(&single, &addrs) as f64 / trials as f64;
+    }
+    let theory = Occupancy::new(32, R).mean();
+    assert!(
+        (mean - theory).abs() < 0.05,
+        "empirical {mean} vs theoretical {theory}"
+    );
+}
+
+/// Empirical ρ(U, Û) for a randomized policy: both the defense and the
+/// attacker draw independent assignments over the same block indices.
+fn empirical_rho(policy: CoalescingPolicy, trials: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coalescer = Coalescer::new();
+    let mut u = Vec::with_capacity(trials);
+    let mut u_hat = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let addrs = random_addrs(&mut rng);
+        let defense = policy.assignment(32, &mut rng).expect("valid");
+        let attacker = policy.assignment(32, &mut rng).expect("valid");
+        u.push(coalescer.count_accesses(&defense, &addrs) as f64);
+        u_hat.push(coalescer.count_accesses(&attacker, &addrs) as f64);
+    }
+    pearson(&u, &u_hat)
+}
+
+#[test]
+fn fss_rts_monte_carlo_matches_table_2() {
+    let model = SecurityModel::default();
+    for m in [2usize, 4, 8] {
+        let analytic = model.rho(Mechanism::FssRts, m);
+        let empirical = empirical_rho(
+            CoalescingPolicy::fss_rts(m).expect("valid"),
+            30_000,
+            40 + m as u64,
+        );
+        assert!(
+            (analytic - empirical).abs() < 0.03,
+            "FSS+RTS M={m}: analytic {analytic:.3} vs Monte Carlo {empirical:.3}"
+        );
+    }
+}
+
+#[test]
+fn rss_rts_monte_carlo_matches_table_2() {
+    let model = SecurityModel::default();
+    for m in [2usize, 4, 8] {
+        let analytic = model.rho(Mechanism::RssRts, m);
+        let empirical = empirical_rho(
+            CoalescingPolicy::rss_rts(m).expect("valid"),
+            30_000,
+            50 + m as u64,
+        );
+        assert!(
+            (analytic - empirical).abs() < 0.03,
+            "RSS+RTS M={m}: analytic {analytic:.3} vs Monte Carlo {empirical:.3}"
+        );
+    }
+}
+
+#[test]
+fn fss_replay_is_perfectly_correlated() {
+    // FSS is deterministic: two "draws" coincide, ρ = 1 exactly.
+    let rho = empirical_rho(CoalescingPolicy::fss(4).expect("valid"), 5_000, 60);
+    assert!((rho - 1.0).abs() < 1e-9, "rho = {rho}");
+}
+
+#[test]
+fn fully_split_warp_has_no_variance() {
+    let mut rng = StdRng::seed_from_u64(61);
+    let coalescer = Coalescer::new();
+    let policy = CoalescingPolicy::fss(32).expect("valid");
+    for _ in 0..100 {
+        let addrs = random_addrs(&mut rng);
+        let a = policy.assignment(32, &mut rng).expect("valid");
+        assert_eq!(coalescer.count_accesses(&a, &addrs), 32);
+    }
+}
+
+#[test]
+fn mean_accesses_under_fss_matches_occupancy_sum() {
+    // μ(U) = M · μ(𝔑(N/M, R)) — §V-B1.
+    let mut rng = StdRng::seed_from_u64(62);
+    let coalescer = Coalescer::new();
+    for m in [2usize, 8] {
+        let policy = CoalescingPolicy::fss(m).expect("valid");
+        let trials = 20_000;
+        let mut mean = 0.0;
+        for _ in 0..trials {
+            let addrs = random_addrs(&mut rng);
+            let a = policy.assignment(32, &mut rng).expect("valid");
+            mean += coalescer.count_accesses(&a, &addrs) as f64 / trials as f64;
+        }
+        let theory = m as f64 * Occupancy::new(32 / m, R).mean();
+        assert!(
+            (mean - theory).abs() < 0.1,
+            "FSS M={m}: empirical {mean} vs M*mu = {theory}"
+        );
+    }
+}
+
+#[test]
+fn skewed_rss_mean_subwarp_size_profile() {
+    // Under the skewed distribution, the largest subwarp is big most of
+    // the time (the paper's Figure 9 observation / its RSS+RTS security
+    // hypothesis).
+    let mut rng = StdRng::seed_from_u64(63);
+    let policy = CoalescingPolicy::rss(4).expect("valid");
+    let trials = 4_000;
+    let mut max_size_sum = 0usize;
+    for _ in 0..trials {
+        let a = policy.assignment(32, &mut rng).expect("valid");
+        max_size_sum += a.sizes().into_iter().max().expect("non-empty");
+    }
+    let avg_max = max_size_sum as f64 / trials as f64;
+    // Uniform compositions of 32 into 4 parts: E[max] ≈ 16.6 ≫ 8 (the
+    // FSS size).
+    assert!(
+        avg_max > 14.0,
+        "skewed RSS should usually have one large subwarp: avg max = {avg_max}"
+    );
+}
