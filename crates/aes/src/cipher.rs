@@ -1,12 +1,11 @@
 use crate::tables::{gf_mul, INV_SBOX, SBOX, T0, T1, T2, T3};
-use serde::{Deserialize, Serialize};
 
 /// An AES-128 block, 16 bytes.
 pub type Block = [u8; 16];
 
 /// One table lookup performed during encryption, as seen by the memory
 /// system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableLookup {
     /// Which table: 0–3 for the round T-tables, 4 for the last-round T4.
     pub table: u8,
@@ -18,7 +17,7 @@ pub struct TableLookup {
 /// block: rounds 1–9 do 16 T0–T3 lookups each; round 10 does 16 T4
 /// lookups, one per ciphertext byte and **indexed by ciphertext byte
 /// position** — exactly the ordering the correlation attack exploits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupTrace {
     /// `rounds[r - 1]` holds round `r`'s 16 lookups, `r ∈ 1..=10`.
     pub rounds: Vec<[TableLookup; 16]>,
@@ -51,24 +50,9 @@ impl LookupTrace {
 /// let ct = aes.encrypt_block([0u8; 16]);
 /// assert_eq!(aes.decrypt_block(ct), [0u8; 16]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Aes128 {
-    #[serde(with = "round_keys_serde")]
     round_keys: [u32; 44],
-}
-
-mod round_keys_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u32; 44], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u32; 44], D::Error> {
-        let v = Vec::<u32>::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| serde::de::Error::custom("expected 44 round-key words"))
-    }
 }
 
 const RCON: [u32; 10] = [
@@ -158,7 +142,7 @@ fn encrypt_rounds(
             index: idx as u8,
         };
     }
-    if let Some(tr) = trace.as_deref_mut() {
+    if let Some(tr) = trace {
         tr.rounds.push(lookups);
     }
     ct
@@ -383,7 +367,7 @@ mod tests {
 /// The paper evaluates AES-128 "without losing generality"; the larger
 /// variants share the vulnerable T4 last round, so the same attack and
 /// defenses apply. Provided for cipher completeness.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Aes192 {
     round_keys: Vec<u32>,
 }
@@ -418,7 +402,7 @@ impl Aes192 {
 }
 
 /// An expanded AES-256 key schedule (14 rounds).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Aes256 {
     round_keys: Vec<u32>,
 }

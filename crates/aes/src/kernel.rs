@@ -1,10 +1,9 @@
 use crate::cipher::{Aes128, Block, LookupTrace};
 use rcoal_gpu_sim::{Kernel, TraceInstr, WarpTrace};
-use serde::{Deserialize, Serialize};
 
 /// Memory layout of the AES kernel's tables and buffers in the simulated
 /// global address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TableLayout {
     /// Base address of T0; T1–T4 follow at 1 KiB strides.
     pub table_base: u64,
@@ -70,7 +69,7 @@ pub fn round_tags(r: u16) -> std::ops::Range<u16> {
 /// assert_eq!(kernel.num_warps(), 2);
 /// assert_eq!(kernel.ciphertexts().len(), 64);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AesGpuKernel {
     aes: Aes128,
     lines: Vec<Block>,

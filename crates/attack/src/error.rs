@@ -1,0 +1,48 @@
+//! Typed errors for the attack drivers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the attack drivers and estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A recovery was requested over an empty sample set — there is
+    /// nothing to correlate against.
+    NoSamples,
+    /// A key-byte index outside `0..16` was requested.
+    ByteIndex {
+        /// The offending index.
+        j: usize,
+    },
+    /// A numeric parameter was outside its mathematical domain (e.g. a
+    /// negative noise sigma, a correlation of magnitude ≥ 1, a
+    /// non-positive signal variance).
+    Domain(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoSamples => write!(f, "no attack samples were provided"),
+            AttackError::ByteIndex { j } => {
+                write!(f, "key byte index {j} out of range (AES-128 has 16 key bytes)")
+            }
+            AttackError::Domain(msg) => write!(f, "parameter out of domain: {msg}"),
+        }
+    }
+}
+
+impl Error for AttackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(AttackError::NoSamples.to_string().contains("no attack samples"));
+        assert!(AttackError::ByteIndex { j: 16 }.to_string().contains("16"));
+        assert!(AttackError::Domain("sigma -1".into()).to_string().contains("sigma -1"));
+    }
+}

@@ -43,8 +43,8 @@ mod tests {
             .map(|&r| {
                 let mut correlations = vec![0.0f64; 256];
                 correlations[0] = 0.5;
-                for g in 1..=r {
-                    correlations[g] = 0.6 + g as f64 * 1e-3;
+                for (g, c) in correlations.iter_mut().enumerate().take(r + 1).skip(1) {
+                    *c = 0.6 + g as f64 * 1e-3;
                 }
                 ByteRecovery {
                     best_guess: if r == 0 { 0 } else { r as u8 },

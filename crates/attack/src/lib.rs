@@ -18,6 +18,11 @@
 //! predictor reuses the same [`rcoal_core::CoalescingPolicy`] machinery
 //! the defense uses — the strongest "corresponding attack" possible.
 
+// Library code must propagate failures as typed errors, never panic;
+// test modules are exempt (the harness is the panic handler there).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod error;
 mod key_rank;
 mod noise;
 mod online;
@@ -26,6 +31,7 @@ mod recover;
 mod samples;
 mod stats;
 
+pub use error::AttackError;
 pub use key_rank::{log2_key_rank, remaining_security_bits};
 pub use noise::{attenuated_correlation, GaussianNoise};
 pub use online::{recovery_curve, OnlineByteRecovery};

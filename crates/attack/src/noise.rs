@@ -8,9 +8,10 @@
 //! adding noise of variance σ² to a signal of variance v scales every
 //! correlation by `√(v / (v + σ²))`.
 
+use crate::error::AttackError;
 use crate::recover::AttackSample;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcoal_rng::StdRng;
+use rcoal_rng::{Rng, SeedableRng};
 
 /// Additive Gaussian measurement noise.
 #[derive(Debug, Clone)]
@@ -22,15 +23,19 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// Noise with standard deviation `sigma`, reproducible from `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sigma` is negative or not finite.
-    pub fn new(sigma: f64, seed: u64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
-        GaussianNoise {
+    /// [`AttackError::Domain`] if `sigma` is negative or not finite.
+    pub fn new(sigma: f64, seed: u64) -> Result<Self, AttackError> {
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(AttackError::Domain(format!(
+                "noise sigma must be finite and >= 0, got {sigma}"
+            )));
+        }
+        Ok(GaussianNoise {
             sigma,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// The configured standard deviation.
@@ -38,7 +43,7 @@ impl GaussianNoise {
         self.sigma
     }
 
-    /// Draws one noise value (Box–Muller over the sanctioned `rand`
+    /// Draws one noise value (Box–Muller over the workspace `rcoal-rng`
     /// uniform API).
     pub fn sample(&mut self) -> f64 {
         let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -67,12 +72,26 @@ impl GaussianNoise {
 ///
 /// `rho' = rho · √(v / (v + σ²))`
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `signal_variance` is not positive.
-pub fn attenuated_correlation(rho: f64, signal_variance: f64, sigma: f64) -> f64 {
-    assert!(signal_variance > 0.0, "signal variance must be positive");
-    rho * (signal_variance / (signal_variance + sigma * sigma)).sqrt()
+/// [`AttackError::Domain`] if `signal_variance` is not positive (or any
+/// argument is not finite).
+pub fn attenuated_correlation(
+    rho: f64,
+    signal_variance: f64,
+    sigma: f64,
+) -> Result<f64, AttackError> {
+    if !(signal_variance.is_finite() && signal_variance > 0.0) {
+        return Err(AttackError::Domain(format!(
+            "signal variance must be finite and positive, got {signal_variance}"
+        )));
+    }
+    if !rho.is_finite() || !sigma.is_finite() {
+        return Err(AttackError::Domain(format!(
+            "attenuation arguments must be finite (rho {rho}, sigma {sigma})"
+        )));
+    }
+    Ok(rho * (signal_variance / (signal_variance + sigma * sigma)).sqrt())
 }
 
 #[cfg(test)]
@@ -94,14 +113,14 @@ mod tests {
             };
             5
         ];
-        let mut noise = GaussianNoise::new(0.0, 1);
+        let mut noise = GaussianNoise::new(0.0, 1).unwrap();
         let noisy = noise.applied(&samples);
         assert_eq!(noisy, samples);
     }
 
     #[test]
     fn sample_moments_match_configuration() {
-        let mut noise = GaussianNoise::new(3.0, 7);
+        let mut noise = GaussianNoise::new(3.0, 7).unwrap();
         let draws: Vec<f64> = (0..20_000).map(|_| noise.sample()).collect();
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
@@ -112,11 +131,11 @@ mod tests {
     #[test]
     fn noise_is_seed_deterministic() {
         let a: Vec<f64> = {
-            let mut n = GaussianNoise::new(1.0, 9);
+            let mut n = GaussianNoise::new(1.0, 9).unwrap();
             (0..10).map(|_| n.sample()).collect()
         };
         let b: Vec<f64> = {
-            let mut n = GaussianNoise::new(1.0, 9);
+            let mut n = GaussianNoise::new(1.0, 9).unwrap();
             (0..10).map(|_| n.sample()).collect()
         };
         assert_eq!(a, b);
@@ -130,10 +149,10 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i: u64| ((i * 48271) % 101) as f64).collect();
         let v = variance(&xs);
         let sigma = 40.0;
-        let mut noise = GaussianNoise::new(sigma, 3);
+        let mut noise = GaussianNoise::new(sigma, 3).unwrap();
         let ys: Vec<f64> = xs.iter().map(|x| x + noise.sample()).collect();
         let measured = pearson(&xs, &ys);
-        let predicted = attenuated_correlation(1.0, v, sigma);
+        let predicted = attenuated_correlation(1.0, v, sigma).unwrap();
         assert!(
             (measured - predicted).abs() < 0.02,
             "measured {measured} vs predicted {predicted}"
@@ -142,13 +161,27 @@ mod tests {
 
     #[test]
     fn attenuation_degenerates_sensibly() {
-        assert_eq!(attenuated_correlation(0.5, 4.0, 0.0), 0.5);
-        assert!(attenuated_correlation(0.5, 1.0, 100.0) < 0.01);
+        assert_eq!(attenuated_correlation(0.5, 4.0, 0.0).unwrap(), 0.5);
+        assert!(attenuated_correlation(0.5, 1.0, 100.0).unwrap() < 0.01);
     }
 
     #[test]
-    #[should_panic(expected = "sigma")]
-    fn negative_sigma_rejected() {
-        let _ = GaussianNoise::new(-1.0, 0);
+    fn domain_violations_are_typed_errors() {
+        assert!(matches!(
+            GaussianNoise::new(-1.0, 0),
+            Err(AttackError::Domain(_))
+        ));
+        assert!(matches!(
+            GaussianNoise::new(f64::NAN, 0),
+            Err(AttackError::Domain(_))
+        ));
+        assert!(matches!(
+            attenuated_correlation(0.5, 0.0, 1.0),
+            Err(AttackError::Domain(_))
+        ));
+        assert!(matches!(
+            attenuated_correlation(f64::NAN, 1.0, 1.0),
+            Err(AttackError::Domain(_))
+        ));
     }
 }

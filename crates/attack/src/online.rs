@@ -6,6 +6,7 @@
 //! stabilizes") and it makes sample-cost sweeps like the Table II
 //! validation linear instead of quadratic.
 
+use crate::error::AttackError;
 use crate::predict::AccessPredictor;
 use crate::recover::{Attack, AttackSample, ByteRecovery};
 use crate::stats::argmax;
@@ -29,15 +30,17 @@ impl OnlineByteRecovery {
     /// Starts a streaming recovery of key byte `byte` using `attack`'s
     /// mirrored policy for predictions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `byte >= 16`.
-    pub fn new(attack: &Attack, byte: usize) -> Self {
-        assert!(byte < 16, "AES-128 has 16 key bytes");
+    /// [`AttackError::ByteIndex`] for `byte >= 16`.
+    pub fn new(attack: &Attack, byte: usize) -> Result<Self, AttackError> {
+        if byte >= 16 {
+            return Err(AttackError::ByteIndex { j: byte });
+        }
         let predictors = (0..=255u8)
             .map(|m| attack.predictor_for_guess(m))
             .collect();
-        OnlineByteRecovery {
+        Ok(OnlineByteRecovery {
             predictors,
             byte,
             n: 0,
@@ -46,7 +49,7 @@ impl OnlineByteRecovery {
             sum_x: vec![0.0; 256],
             sum_x2: vec![0.0; 256],
             sum_xy: vec![0.0; 256],
-        }
+        })
     }
 
     /// Feeds one observed sample.
@@ -107,13 +110,17 @@ impl OnlineByteRecovery {
 /// Runs a streaming recovery over `samples`, snapshotting at each of the
 /// (ascending) `checkpoints`; checkpoint values beyond the stream length
 /// are clamped to the end.
+///
+/// # Errors
+///
+/// [`AttackError::ByteIndex`] for `byte >= 16`.
 pub fn recovery_curve(
     attack: &Attack,
     samples: &[AttackSample],
     byte: usize,
     checkpoints: &[usize],
-) -> Vec<(usize, ByteRecovery)> {
-    let mut online = OnlineByteRecovery::new(attack, byte);
+) -> Result<Vec<(usize, ByteRecovery)>, AttackError> {
+    let mut online = OnlineByteRecovery::new(attack, byte)?;
     let mut out = Vec::with_capacity(checkpoints.len());
     let mut fed = 0;
     for &cp in checkpoints {
@@ -124,7 +131,7 @@ pub fn recovery_curve(
         }
         out.push((target, online.snapshot()));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -166,8 +173,8 @@ mod tests {
     fn streaming_matches_batch_recovery() {
         let (samples, _) = samples(60);
         let attack = Attack::baseline(32);
-        let batch = attack.recover_byte(&samples, 2);
-        let mut online = OnlineByteRecovery::new(&attack, 2);
+        let batch = attack.recover_byte(&samples, 2).unwrap();
+        let mut online = OnlineByteRecovery::new(&attack, 2).unwrap();
         assert!(online.is_empty());
         for s in &samples {
             online.push(s);
@@ -187,7 +194,7 @@ mod tests {
     fn curve_checkpoints_are_monotone_prefixes() {
         let (samples, k10) = samples(80);
         let attack = Attack::baseline(32);
-        let curve = recovery_curve(&attack, &samples, 2, &[10, 40, 80, 500]);
+        let curve = recovery_curve(&attack, &samples, 2, &[10, 40, 80, 500]).unwrap();
         assert_eq!(curve.len(), 4);
         assert_eq!(curve[0].0, 10);
         assert_eq!(curve[3].0, 80, "clamped to stream length");
@@ -197,10 +204,23 @@ mod tests {
     }
 
     #[test]
+    fn byte_index_is_a_typed_error() {
+        let attack = Attack::baseline(32);
+        assert_eq!(
+            OnlineByteRecovery::new(&attack, 16).unwrap_err(),
+            AttackError::ByteIndex { j: 16 }
+        );
+        assert_eq!(
+            recovery_curve(&attack, &[], 99, &[1]).unwrap_err(),
+            AttackError::ByteIndex { j: 99 }
+        );
+    }
+
+    #[test]
     fn degenerate_prefixes_report_zero() {
         let (samples, _) = samples(3);
         let attack = Attack::baseline(32);
-        let mut online = OnlineByteRecovery::new(&attack, 2);
+        let mut online = OnlineByteRecovery::new(&attack, 2).unwrap();
         assert_eq!(online.correlation_of(0), 0.0);
         online.push(&samples[0]);
         assert_eq!(online.correlation_of(0), 0.0, "one sample is degenerate");

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rcoal_rng::StdRng;
+use rcoal_rng::SeedableRng;
 use rcoal_aes::{last_round_index, Block};
 use rcoal_core::{Coalescer, CoalescingPolicy};
 
@@ -137,8 +137,8 @@ mod tests {
         // baseline coalesced counts; sanity-check bounds here.
         let (cts, k10) = ciphertexts(64, b"another-aes-key!");
         let mut p = AccessPredictor::new(CoalescingPolicy::Baseline, 32, 0);
-        for j in 0..16 {
-            let a = p.predict(&cts, j, k10[j]);
+        for (j, &kj) in k10.iter().enumerate() {
+            let a = p.predict(&cts, j, kj);
             assert!((1.0..=32.0).contains(&a));
         }
     }

@@ -1,13 +1,13 @@
+use crate::error::AttackError;
 use crate::predict::AccessPredictor;
 use crate::stats::{argmax, pearson};
 use rcoal_aes::Block;
 use rcoal_core::CoalescingPolicy;
-use serde::{Deserialize, Serialize};
 
 /// One observation the attacker collected from the encryption server:
 /// the ciphertext lines of one plaintext and its (last-round) execution
 /// time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackSample {
     /// Ciphertext lines in line order.
     pub ciphertexts: Vec<Block>,
@@ -17,7 +17,7 @@ pub struct AttackSample {
 }
 
 /// Result of attacking one key byte: the correlation of every guess.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ByteRecovery {
     /// `correlations[m]` is the Pearson correlation of guess `m`.
     pub correlations: Vec<f64>,
@@ -41,7 +41,7 @@ impl ByteRecovery {
 }
 
 /// Result of attacking all 16 last-round key bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KeyRecovery {
     /// Per-byte recovery detail, indexed by byte position `j`.
     pub bytes: Vec<ByteRecovery>,
@@ -88,7 +88,7 @@ impl KeyRecovery {
 }
 
 /// Summary of a key-recovery attempt relative to the true key.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryOutcome {
     /// Key bytes whose argmax-correlation guess was the true byte (16 =
     /// complete break).
@@ -165,8 +165,22 @@ impl Attack {
     }
 
     /// Computes the correlation of every guess for key byte `j`.
-    pub fn correlations_for_byte(&self, samples: &[AttackSample], j: usize) -> Vec<f64> {
-        assert!(j < 16, "AES-128 has 16 key bytes");
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::ByteIndex`] for `j >= 16` and
+    /// [`AttackError::NoSamples`] for an empty sample set.
+    pub fn correlations_for_byte(
+        &self,
+        samples: &[AttackSample],
+        j: usize,
+    ) -> Result<Vec<f64>, AttackError> {
+        if j >= 16 {
+            return Err(AttackError::ByteIndex { j });
+        }
+        if samples.is_empty() {
+            return Err(AttackError::NoSamples);
+        }
         let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
         let mut correlations = Vec::with_capacity(256);
         for m in 0..=255u8 {
@@ -177,24 +191,37 @@ impl Attack {
                 .collect();
             correlations.push(pearson(&predicted, &times));
         }
-        correlations
+        Ok(correlations)
     }
 
     /// Attacks key byte `j`.
-    pub fn recover_byte(&self, samples: &[AttackSample], j: usize) -> ByteRecovery {
-        let correlations = self.correlations_for_byte(samples, j);
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attack::correlations_for_byte`].
+    pub fn recover_byte(
+        &self,
+        samples: &[AttackSample],
+        j: usize,
+    ) -> Result<ByteRecovery, AttackError> {
+        let correlations = self.correlations_for_byte(samples, j)?;
         let best_guess = argmax(&correlations).unwrap_or(0) as u8;
-        ByteRecovery {
+        Ok(ByteRecovery {
             correlations,
             best_guess,
-        }
+        })
     }
 
     /// Attacks all 16 last-round key bytes.
-    pub fn recover_key(&self, samples: &[AttackSample]) -> KeyRecovery {
-        KeyRecovery {
-            bytes: (0..16).map(|j| self.recover_byte(samples, j)).collect(),
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::NoSamples`] for an empty sample set.
+    pub fn recover_key(&self, samples: &[AttackSample]) -> Result<KeyRecovery, AttackError> {
+        let bytes = (0..16)
+            .map(|j| self.recover_byte(samples, j))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(KeyRecovery { bytes })
     }
 }
 
@@ -253,7 +280,7 @@ mod tests {
         // correct guess is near 1 and recovery is immediate.
         let (samples, k10) = synthetic_samples_for(80, b"attack test key!", &[0]);
         let attack = Attack::baseline(32);
-        let rec = attack.recover_byte(&samples, 0);
+        let rec = attack.recover_byte(&samples, 0).unwrap();
         assert_eq!(rec.best_guess, k10[0]);
         assert_eq!(rec.rank_of(k10[0]), 0);
         assert!(rec.correlation_of(k10[0]) > 0.95);
@@ -267,7 +294,7 @@ mod tests {
         // that) — but it must already rank far above the median guess.
         let (samples, k10) = synthetic_samples_for(200, b"attack test key!", &(0..16).collect::<Vec<_>>());
         let attack = Attack::baseline(32);
-        let rec = attack.recover_byte(&samples, 0);
+        let rec = attack.recover_byte(&samples, 0).unwrap();
         assert!(
             rec.rank_of(k10[0]) < 16,
             "correct byte ranked {} of 256",
@@ -281,12 +308,12 @@ mod tests {
         let (samples, k10) = synthetic_samples_for(80, b"attack test key!", &[3, 7]);
         let attack = Attack::baseline(32);
         for j in [3usize, 7] {
-            let rec = attack.recover_byte(&samples, j);
+            let rec = attack.recover_byte(&samples, j).unwrap();
             assert_eq!(rec.best_guess, k10[j], "byte {j}");
         }
         // An untargeted byte's channel is absent: its correct guess holds
         // no special rank.
-        let rec = attack.recover_byte(&samples, 11);
+        let rec = attack.recover_byte(&samples, 11).unwrap();
         assert!(rec.correlation_of(k10[11]).abs() < 0.4);
     }
 
@@ -297,7 +324,7 @@ mod tests {
             s.time = 512.0; // e.g. coalescing disabled: always 32 × 16
         }
         let attack = Attack::baseline(32);
-        let rec = attack.recover_byte(&samples, 0);
+        let rec = attack.recover_byte(&samples, 0).unwrap();
         assert_eq!(rec.correlation_of(k10[0]), 0.0);
         assert!(rec.correlations.iter().all(|&c| c == 0.0));
     }
@@ -317,7 +344,7 @@ mod tests {
     #[test]
     fn outcome_aggregates() {
         let (samples, k10) = synthetic_samples_for(60, b"attack test key!", &[0, 1]);
-        let rec = Attack::baseline(32).recover_key(&samples);
+        let rec = Attack::baseline(32).recover_key(&samples).unwrap();
         let o = rec.outcome(&k10);
         assert!(o.num_correct >= 2, "bytes 0 and 1 carry clean channels");
         assert_eq!(rec.bytes[0].rank_of(k10[0]), 0);
@@ -330,9 +357,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "16 key bytes")]
-    fn byte_index_is_validated() {
+    fn byte_index_and_empty_samples_are_typed_errors() {
         let attack = Attack::baseline(32);
-        let _ = attack.correlations_for_byte(&[], 16);
+        assert_eq!(
+            attack.correlations_for_byte(&[], 16).unwrap_err(),
+            crate::AttackError::ByteIndex { j: 16 }
+        );
+        assert_eq!(
+            attack.recover_byte(&[], 0).unwrap_err(),
+            crate::AttackError::NoSamples
+        );
+        assert_eq!(
+            attack.recover_key(&[]).unwrap_err(),
+            crate::AttackError::NoSamples
+        );
     }
 }

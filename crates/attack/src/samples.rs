@@ -1,20 +1,26 @@
 //! Sample-count estimation for a successful correlation attack
 //! (paper Eq. 4, following Mangard's and Tiri et al.'s derivations).
 
+use crate::error::AttackError;
+
 /// Quantile function (inverse CDF) of the standard normal distribution,
 /// using the Beasley-Springer-Moro / Acklam rational approximation
 /// (absolute error below 1.2e-9 over (0, 1)).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 < p < 1`.
-pub fn z_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+/// [`AttackError::Domain`] unless `0 < p < 1`.
+pub fn z_quantile(p: f64) -> Result<f64, AttackError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(AttackError::Domain(format!(
+            "quantile requires 0 < p < 1, got {p}"
+        )));
+    }
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -40,7 +46,7 @@ pub fn z_quantile(p: f64) -> f64 {
         3.754408661907416e+00,
     ];
     let p_low = 0.02425;
-    if p < p_low {
+    let z = if p < p_low {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
             / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
@@ -50,8 +56,9 @@ pub fn z_quantile(p: f64) -> f64 {
         (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
             / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
     } else {
-        -z_quantile(1.0 - p)
-    }
+        -z_quantile(1.0 - p)?
+    };
+    Ok(z)
 }
 
 /// Expected number of timing samples for a successful correlation attack
@@ -63,48 +70,64 @@ pub fn z_quantile(p: f64) -> f64 {
 /// Returns `f64::INFINITY` when `rho` is (numerically) zero and the
 /// channel leaks nothing.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 < alpha < 1` and `|rho| < 1`.
-pub fn samples_needed(rho: f64, alpha: f64) -> f64 {
-    assert!(rho.abs() < 1.0, "correlation must satisfy |rho| < 1");
-    if rho.abs() < 1e-12 {
-        return f64::INFINITY;
+/// [`AttackError::Domain`] unless `0 < alpha < 1` and `|rho| < 1`.
+pub fn samples_needed(rho: f64, alpha: f64) -> Result<f64, AttackError> {
+    if !(rho.is_finite() && rho.abs() < 1.0) {
+        return Err(AttackError::Domain(format!(
+            "correlation must satisfy |rho| < 1, got {rho}"
+        )));
     }
-    let z = z_quantile(alpha);
+    if rho.abs() < 1e-12 {
+        return Ok(f64::INFINITY);
+    }
+    let z = z_quantile(alpha)?;
     let fisher = ((1.0 + rho) / (1.0 - rho)).ln();
-    3.0 + 8.0 * (z / fisher).powi(2)
+    Ok(3.0 + 8.0 * (z / fisher).powi(2))
 }
 
 /// The paper's small-`rho` approximation of Eq. 4: `S ≈ 2·Z_α² / ρ²`
 /// (≈ 11/ρ² at α = 0.99).
-pub fn samples_needed_approx(rho: f64, alpha: f64) -> f64 {
-    assert!(rho.abs() < 1.0, "correlation must satisfy |rho| < 1");
-    if rho.abs() < 1e-12 {
-        return f64::INFINITY;
+///
+/// # Errors
+///
+/// [`AttackError::Domain`] unless `0 < alpha < 1` and `|rho| < 1`.
+pub fn samples_needed_approx(rho: f64, alpha: f64) -> Result<f64, AttackError> {
+    if !(rho.is_finite() && rho.abs() < 1.0) {
+        return Err(AttackError::Domain(format!(
+            "correlation must satisfy |rho| < 1, got {rho}"
+        )));
     }
-    let z = z_quantile(alpha);
-    2.0 * z * z / (rho * rho)
+    if rho.abs() < 1e-12 {
+        return Ok(f64::INFINITY);
+    }
+    let z = z_quantile(alpha)?;
+    Ok(2.0 * z * z / (rho * rho))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn zq(p: f64) -> f64 {
+        z_quantile(p).unwrap()
+    }
+
     #[test]
     fn quantile_known_values() {
-        assert!(z_quantile(0.5).abs() < 1e-9);
-        assert!((z_quantile(0.975) - 1.959964).abs() < 1e-4);
-        assert!((z_quantile(0.99) - 2.326348).abs() < 1e-4);
-        assert!((z_quantile(0.01) + 2.326348).abs() < 1e-4);
-        assert!((z_quantile(0.0001) + 3.719016).abs() < 1e-3);
+        assert!(zq(0.5).abs() < 1e-9);
+        assert!((zq(0.975) - 1.959964).abs() < 1e-4);
+        assert!((zq(0.99) - 2.326348).abs() < 1e-4);
+        assert!((zq(0.01) + 2.326348).abs() < 1e-4);
+        assert!((zq(0.0001) + 3.719016).abs() < 1e-3);
     }
 
     #[test]
     fn quantile_is_monotone() {
         let mut prev = f64::NEG_INFINITY;
         for i in 1..100 {
-            let z = z_quantile(f64::from(i) / 100.0);
+            let z = zq(f64::from(i) / 100.0);
             assert!(z > prev);
             prev = z;
         }
@@ -113,24 +136,24 @@ mod tests {
     #[test]
     fn paper_constant_two_z_squared_is_about_11() {
         // "With α = 0.99, 2 × Z_α² is approximately 11."
-        let z = z_quantile(0.99);
+        let z = zq(0.99);
         assert!((2.0 * z * z - 10.82).abs() < 0.05);
     }
 
     #[test]
     fn more_correlation_needs_fewer_samples() {
-        let s_strong = samples_needed(0.9, 0.99);
-        let s_weak = samples_needed(0.05, 0.99);
+        let s_strong = samples_needed(0.9, 0.99).unwrap();
+        let s_weak = samples_needed(0.05, 0.99).unwrap();
         assert!(s_strong < s_weak);
         assert!(s_weak > 1000.0);
-        assert_eq!(samples_needed(0.0, 0.99), f64::INFINITY);
+        assert_eq!(samples_needed(0.0, 0.99).unwrap(), f64::INFINITY);
     }
 
     #[test]
     fn approximation_matches_exact_for_small_rho() {
         for rho in [0.01, 0.03, 0.05] {
-            let exact = samples_needed(rho, 0.99);
-            let approx = samples_needed_approx(rho, 0.99);
+            let exact = samples_needed(rho, 0.99).unwrap();
+            let approx = samples_needed_approx(rho, 0.99).unwrap();
             let rel = (exact - approx).abs() / exact;
             assert!(rel < 0.05, "rho={rho}: exact={exact}, approx={approx}");
         }
@@ -141,19 +164,23 @@ mod tests {
         // Table II: FSS+RTS at M=16 has ρ = 0.03 vs ρ = 1-ish baseline;
         // S scales as 1/ρ², so 0.03 → ~1000× more samples than ρ = 1 — the
         // paper's "961×" figure comes from this scaling.
-        let s = samples_needed_approx(0.03, 0.99) / samples_needed_approx(0.93, 0.99);
+        let s =
+            samples_needed_approx(0.03, 0.99).unwrap() / samples_needed_approx(0.93, 0.99).unwrap();
         assert!((500.0..1500.0).contains(&s));
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn quantile_rejects_out_of_range() {
-        let _ = z_quantile(1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "correlation")]
-    fn samples_rejects_perfect_correlation() {
-        let _ = samples_needed(1.0, 0.99);
+    fn domain_violations_are_typed_errors() {
+        assert!(matches!(z_quantile(1.0), Err(AttackError::Domain(_))));
+        assert!(matches!(z_quantile(0.0), Err(AttackError::Domain(_))));
+        assert!(matches!(z_quantile(f64::NAN), Err(AttackError::Domain(_))));
+        assert!(matches!(
+            samples_needed(1.0, 0.99),
+            Err(AttackError::Domain(_))
+        ));
+        assert!(matches!(
+            samples_needed_approx(-1.0, 0.99),
+            Err(AttackError::Domain(_))
+        ));
     }
 }

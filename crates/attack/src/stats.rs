@@ -1,16 +1,16 @@
 /// Pearson correlation coefficient of two equal-length samples.
 ///
-/// Returns 0.0 when either sample is constant (zero variance) or shorter
-/// than two elements — the attacker learns nothing from a flat series,
-/// which is exactly the situation a perfect defense produces.
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths.
+/// Returns 0.0 for every degenerate input — mismatched lengths, fewer
+/// than two elements, a constant (zero-variance) series, or non-finite
+/// values anywhere in either series. The attacker learns nothing from a
+/// flat or corrupt series, which is exactly the situation a perfect
+/// defense (or an injected fault) produces, so degeneracy never needs to
+/// abort a sweep. Finite results are clamped to `[-1, 1]` against
+/// floating-point drift.
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "pearson requires equal-length samples");
+    debug_assert_eq!(x.len(), y.len(), "pearson requires equal-length samples");
     let n = x.len();
-    if n < 2 {
+    if n != y.len() || n < 2 {
         return 0.0;
     }
     let nf = n as f64;
@@ -26,10 +26,15 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         vx += dx * dx;
         vy += dy * dy;
     }
-    if vx <= 0.0 || vy <= 0.0 {
+    if !(vx > 0.0 && vy > 0.0 && vx.is_finite() && vy.is_finite()) {
         return 0.0;
     }
-    cov / (vx.sqrt() * vy.sqrt())
+    let r = cov / (vx.sqrt() * vy.sqrt());
+    if r.is_finite() {
+        r.clamp(-1.0, 1.0)
+    } else {
+        0.0
+    }
 }
 
 /// Index of the maximum element (first in case of ties); `None` for an
@@ -87,9 +92,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal-length")]
-    fn mismatched_lengths_panic() {
-        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    fn non_finite_inputs_yield_zero_not_nan() {
+        let x = [1.0, f64::NAN, 3.0, 4.0];
+        let y = [2.0, 1.0, 5.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+        let inf = [1.0, f64::INFINITY, 3.0, 4.0];
+        assert_eq!(pearson(&inf, &y), 0.0);
+    }
+
+    #[test]
+    fn result_is_clamped_to_unit_interval() {
+        let x: Vec<f64> = (0..50).map(|i| f64::from(i) * 1e-9 + 1e9).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        let r = pearson(&x, &y);
+        assert!((-1.0..=1.0).contains(&r), "r = {r}");
     }
 
     #[test]

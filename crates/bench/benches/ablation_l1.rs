@@ -6,7 +6,7 @@
 //! |corr| attacker would not — randomization is needed at every level of
 //! the hierarchy, exactly the paper's §VII conclusion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;

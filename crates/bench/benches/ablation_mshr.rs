@@ -3,7 +3,7 @@
 //! timing channel — making "just disable coalescing" unsafe on a machine
 //! with miss-status holding registers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;

@@ -3,7 +3,7 @@
 //! paper's clean-simulator sample counts (~10^2) and real-hardware
 //! attacks (~10^6, Jiang et al.).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::GaussianNoise;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
@@ -32,10 +32,11 @@ fn bench(c: &mut Criterion) {
         .functional_only()
         .run()
         .expect("run")
-        .attack_samples(TimingSource::ByteAccesses(0));
+        .attack_samples(TimingSource::ByteAccesses(0))
+        .expect("timing source");
     let mut g = c.benchmark_group("ablation_noise");
     g.bench_function("apply_noise_200_samples", |b| {
-        let mut noise = GaussianNoise::new(2.0, BENCH_SEED);
+        let mut noise = GaussianNoise::new(2.0, BENCH_SEED).expect("valid sigma");
         b.iter(|| black_box(noise.applied(black_box(&samples))))
     });
     g.finish();

@@ -1,7 +1,7 @@
 //! Extension ablation: empirical samples-to-recovery per mechanism —
 //! the measured counterpart of Table II's normalized S and Eq. 4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::{samples_needed, Attack};
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
                 } else if rho <= 0.0 {
                     "inf".to_string()
                 } else {
-                    format!("{:.0}", samples_needed(rho, 0.99))
+                    format!("{:.0}", samples_needed(rho, 0.99).expect("valid rho"))
                 }
             })
             .expect("analytic rho known");
@@ -62,12 +62,13 @@ fn bench(c: &mut Criterion) {
         .functional_only()
         .run()
         .expect("run")
-        .attack_samples(TimingSource::ByteAccesses(0));
+        .attack_samples(TimingSource::ByteAccesses(0))
+        .expect("timing source");
     let attack = Attack::against(CoalescingPolicy::fss_rts(4).expect("valid"), 32);
     let mut g = c.benchmark_group("ablation_samples");
     g.sample_size(10);
     g.bench_function("recover_byte_200_samples_fss_rts", |b| {
-        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0)))
+        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0).expect("samples")))
     });
     g.finish();
 }

@@ -2,7 +2,7 @@
 //! The timing channel and the defense mechanisms are scheduler-agnostic;
 //! this quantifies how much the absolute timing shifts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
@@ -20,7 +20,10 @@ fn run(scheduler: SchedulerPolicy, policy: CoalescingPolicy, lines: usize) -> (f
         .with_gpu(gpu)
         .run()
         .expect("simulation");
-    (data.mean_total_cycles(), data.mean_total_accesses())
+    (
+        data.mean_total_cycles().expect("timing run"),
+        data.mean_total_accesses(),
+    )
 }
 
 fn bench(c: &mut Criterion) {

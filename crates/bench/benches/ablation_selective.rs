@@ -2,7 +2,7 @@
 //! protects only the vulnerable last-round loads. Security of the last
 //! round matches the uniform defense; the performance cost collapses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_selective;

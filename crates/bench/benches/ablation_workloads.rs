@@ -2,7 +2,7 @@
 //! with different locality profiles (streaming, strided, random gather,
 //! broadcast) — the first question a deployment would ask.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
 use rcoal_gpu_sim::{AccessPattern, GpuConfig, GpuSimulator, SyntheticKernel};

@@ -1,6 +1,6 @@
 //! Figure 6: key-byte recovery with coalescing enabled vs disabled.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::Attack;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
@@ -33,12 +33,13 @@ fn bench(c: &mut Criterion) {
         .with_seed(BENCH_SEED)
         .run()
         .expect("simulation")
-        .attack_samples(TimingSource::LastRoundCycles);
+        .attack_samples(TimingSource::LastRoundCycles)
+        .expect("timing source");
     let attack = Attack::baseline(32);
     let mut g = c.benchmark_group("fig06");
     g.sample_size(10);
     g.bench_function("recover_byte_100_samples", |b| {
-        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0)))
+        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0).expect("samples")))
     });
     g.finish();
 }

@@ -1,7 +1,7 @@
 //! Figure 7: FSS performance and naive-attack correlation vs the number
 //! of subwarps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;

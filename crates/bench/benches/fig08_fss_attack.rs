@@ -1,7 +1,7 @@
 //! Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
 //! attack re-establishes the correlation, so FSS alone is not enough.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::AccessPredictor;
 use rcoal_bench::{describe_scatter, BENCH_SEED};
 use rcoal_core::CoalescingPolicy;
@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
         .with_seed(BENCH_SEED)
         .run()
         .expect("simulation")
-        .attack_samples(TimingSource::LastRoundCycles);
+        .attack_samples(TimingSource::LastRoundCycles)
+        .expect("timing source");
     let mut g = c.benchmark_group("fig08");
     g.bench_function("fss_attack_predict_50_samples", |b| {
         b.iter(|| {

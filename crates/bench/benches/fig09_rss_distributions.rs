@@ -1,16 +1,16 @@
 //! Figure 9: subwarp-size distribution of RSS (normal vs skewed),
 //! num-subwarp = 4, 1000 draws.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig09_rss_distributions;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rcoal_rng::StdRng;
+use rcoal_rng::SeedableRng;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let d = fig09_rss_distributions(1000, 4, BENCH_SEED);
+    let d = fig09_rss_distributions(1000, 4, BENCH_SEED).expect("valid M");
     println!("\nFigure 9: RSS subwarp-size histograms (M = 4, 1000 draws)");
     println!("{:>4} | {:>8} {:>8}", "size", "normal", "skewed");
     for s in 1..=29 {

@@ -1,6 +1,6 @@
 //! Figure 12 (FSS+RTS vs FSS+RTS attack): the randomized defense under its corresponding attack.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::AccessPredictor;
 use rcoal_bench::{describe_scatter, BENCH_SEED};
 use rcoal_core::CoalescingPolicy;
@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
         .with_seed(BENCH_SEED)
         .run()
         .expect("simulation")
-        .attack_samples(TimingSource::LastRoundCycles);
+        .attack_samples(TimingSource::LastRoundCycles)
+        .expect("timing source");
     let mut g = c.benchmark_group("fig12_fss_rts");
     g.bench_function("corresponding_attack_predict_50_samples", |b| {
         b.iter(|| {

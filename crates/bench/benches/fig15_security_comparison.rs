@@ -2,7 +2,7 @@
 //! average correlation of the correct guesses under each mechanism's
 //! corresponding attack.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::Attack;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;

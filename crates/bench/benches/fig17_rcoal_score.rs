@@ -1,7 +1,7 @@
 //! Figure 17: RCoal_Score trade-off for security-oriented (a = b = 1)
 //! and performance-oriented (a = 1, b = 20) systems.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
 use rcoal_theory::RCoalScore;
@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let comparison = fig15_16_comparison(150, BENCH_SEED).expect("simulation");
-    let scores = fig17_rcoal_score(&comparison);
+    let scores = fig17_rcoal_score(&comparison).expect("aligned rows");
     println!("\nFigure 17: RCoal_Score (150 plaintexts)");
     println!(
         "{:>9} {:>3} | {:>16} {:>18}",

@@ -2,7 +2,7 @@
 //! access estimates with the observed accesses, cancelling scheduler
 //! noise) and normalized execution time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig18_scalability;

@@ -1,12 +1,12 @@
 //! Microbenchmarks of the core components: the coalescer under each
 //! policy, AES tracing, DRAM service, and the attack predictor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::Aes128;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::{Coalescer, CoalescingPolicy};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcoal_rng::StdRng;
+use rcoal_rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! §III motivation: the cost of disabling coalescing outright
 //! (paper: up to 178% slowdown and 2.7x data movement at 1024 lines).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
 use rcoal_core::CoalescingPolicy;

@@ -1,7 +1,7 @@
 //! Table II: analytical correlation and normalized sample counts for
 //! FSS, FSS+RTS and RSS+RTS across subwarp counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_theory::{table2, Mechanism, SecurityModel};
 use std::hint::black_box;
 

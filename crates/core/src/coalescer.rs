@@ -1,8 +1,7 @@
 use crate::{PolicyError, SubwarpAssignment};
-use serde::{Deserialize, Serialize};
 
 /// One coalesced memory access produced by the coalescing unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAccess {
     /// Block-aligned byte address of the access.
     pub block_addr: u64,
@@ -20,7 +19,7 @@ impl MemAccess {
 }
 
 /// The result of coalescing one warp-wide memory instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CoalesceResult {
     accesses: Vec<MemAccess>,
 }
@@ -76,7 +75,7 @@ impl IntoIterator for CoalesceResult {
 /// assert_eq!(r.accesses()[0].num_lanes(), 4);
 /// # Ok::<(), rcoal_core::PolicyError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Coalescer {
     block_size: u64,
 }
@@ -183,8 +182,8 @@ impl Coalescer {
 mod tests {
     use super::*;
     use crate::CoalescingPolicy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rcoal_rng::StdRng;
+    use rcoal_rng::SeedableRng;
 
     fn addrs_fig2() -> [Option<u64>; 4] {
         // Figure 2: threads 1 and 2 share a block; threads 0 and 3 have
@@ -290,7 +289,7 @@ mod tests {
     fn count_matches_full_coalesce() {
         let c = Coalescer::new();
         let mut rng = StdRng::seed_from_u64(21);
-        use rand::Rng;
+        use rcoal_rng::Rng;
         for _ in 0..100 {
             let policy = CoalescingPolicy::rss_rts(4).unwrap();
             let a = policy.assignment(32, &mut rng).unwrap();

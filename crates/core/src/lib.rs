@@ -30,12 +30,12 @@
 //!
 //! ```
 //! use rcoal_core::{Coalescer, CoalescingPolicy, SubwarpAssignment};
-//! use rand::SeedableRng;
+//! use rcoal_rng::SeedableRng;
 //!
 //! let coalescer = Coalescer::with_block_size(64)?;
 //! let addrs = [Some(0u64), Some(64), Some(96), Some(128)];
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = rcoal_rng::StdRng::seed_from_u64(7);
 //! let one = CoalescingPolicy::Baseline.assignment(4, &mut rng)?;
 //! assert_eq!(coalescer.coalesce(&one, &addrs).num_accesses(), 3);
 //!

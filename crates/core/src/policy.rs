@@ -1,15 +1,14 @@
 use crate::{NumSubwarps, PolicyError, SubwarpAssignment};
-use rand::distributions::Distribution;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+
+use rcoal_rng::seq::SliceRandom;
+use rcoal_rng::Rng;
 
 /// Divisor applied to the mean subwarp size to obtain the standard
 /// deviation of the [`SizeDistribution::Normal`] sampler (σ = mean / 4).
 pub const NORMAL_SIGMA_DIVISOR: f64 = 4.0;
 
 /// Distribution from which RSS draws subwarp sizes (paper §IV-B, Figure 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SizeDistribution {
     /// Sizes clustered around the FSS mean `warp_size / num_subwarps`.
     /// The paper finds this empirically equivalent to FSS and discards it.
@@ -43,17 +42,17 @@ impl std::fmt::Display for SizeDistribution {
 ///
 /// ```
 /// use rcoal_core::{CoalescingPolicy, NumSubwarps, SizeDistribution};
-/// use rand::SeedableRng;
+/// use rcoal_rng::SeedableRng;
 ///
 /// let m = NumSubwarps::new(4, 32)?;
 /// let policy = CoalescingPolicy::RssRts { num_subwarps: m, dist: SizeDistribution::Skewed };
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut rng = rcoal_rng::StdRng::seed_from_u64(42);
 /// let a = policy.assignment(32, &mut rng)?;
 /// assert_eq!(a.num_subwarps(), 4);
 /// assert_eq!(a.sizes().iter().sum::<usize>(), 32);
 /// # Ok::<(), rcoal_core::PolicyError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoalescingPolicy {
     /// One subwarp per warp — the vulnerable stock configuration
     /// (equivalent to FSS with `num_subwarps = 1`).
@@ -236,7 +235,7 @@ fn fixed_sizes(warp_size: usize, m: usize) -> Result<Vec<usize>, PolicyError> {
             warp_size,
         });
     }
-    if warp_size % m != 0 {
+    if !warp_size.is_multiple_of(m) {
         return Err(PolicyError::NotADivisor {
             num_subwarps: m,
             warp_size,
@@ -295,13 +294,12 @@ fn normal_sizes<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> 
     }
     let mean = n as f64 / m as f64;
     let sigma = (mean / NORMAL_SIGMA_DIVISOR).max(0.25);
-    let normal = rand::distributions::Uniform::new(0.0f64, 1.0);
     let mut sizes: Vec<usize> = (0..m)
         .map(|_| {
-            // Box–Muller from two uniforms keeps us on the sanctioned
-            // `rand` crate without the `rand_distr` extension.
-            let u1: f64 = normal.sample(rng).max(f64::MIN_POSITIVE);
-            let u2: f64 = normal.sample(rng);
+            // Box–Muller from two uniforms keeps the draw on the
+            // workspace's own `rcoal-rng` generator.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0f64..1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             ((mean + sigma * z).round() as i64).max(1) as usize
         })
@@ -336,8 +334,8 @@ fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rcoal_rng::StdRng;
+    use rcoal_rng::SeedableRng;
     use std::collections::HashMap;
 
     fn rng(seed: u64) -> StdRng {
@@ -405,7 +403,7 @@ mod tests {
             *counts.entry(sizes).or_default() += 1;
         }
         assert_eq!(counts.len(), 3);
-        for (_, &c) in &counts {
+        for &c in counts.values() {
             assert!((800..1200).contains(&c), "non-uniform composition count {c}");
         }
     }

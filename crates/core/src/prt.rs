@@ -1,10 +1,9 @@
 use crate::SubwarpAssignment;
-use serde::{Deserialize, Serialize};
 
 /// One entry of the pending request table (PRT) inside the memory
 /// coalescing unit, following Leng et al. (GPUWattch) as extended by RCoal
 /// §IV-D with a subwarp-id field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PrtEntry {
     /// Requesting thread (lane) index within the warp.
     pub tid: u8,
@@ -25,7 +24,7 @@ pub struct PrtEntry {
 /// [`SubwarpAssignment`]; the hardware then merges entries that share
 /// `(sid, base_addr)`. The model exists to make the hardware cost of the
 /// defense concrete — see [`PendingRequestTable::sid_overhead_bits`].
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PendingRequestTable {
     entries: Vec<PrtEntry>,
 }

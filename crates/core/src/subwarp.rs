@@ -1,5 +1,4 @@
 use crate::PolicyError;
-use serde::{Deserialize, Serialize};
 
 /// A validated number of subwarps for fixed-sized subwarping.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(NumSubwarps::new(3, 32).is_err());
 /// # Ok::<(), rcoal_core::PolicyError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NumSubwarps(usize);
 
 impl NumSubwarps {
@@ -32,7 +31,7 @@ impl NumSubwarps {
                 warp_size,
             });
         }
-        if warp_size % num_subwarps != 0 {
+        if !warp_size.is_multiple_of(num_subwarps) {
             return Err(PolicyError::NotADivisor {
                 num_subwarps,
                 warp_size,
@@ -79,7 +78,7 @@ impl std::fmt::Display for NumSubwarps {
 /// * every lane has a subwarp id `< num_subwarps()`;
 /// * every subwarp owns at least one lane (no subwarp is empty, as required
 ///   by the paper's skewed RSS distribution, §IV-B).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SubwarpAssignment {
     /// `sid[lane]` is the subwarp id of `lane`.
     sid: Vec<u8>,
@@ -104,7 +103,7 @@ impl SubwarpAssignment {
         let total: usize = sizes.iter().sum();
         let mut sid = Vec::with_capacity(total);
         for (s, &size) in sizes.iter().enumerate() {
-            sid.extend(std::iter::repeat(s as u8).take(size));
+            sid.extend(std::iter::repeat_n(s as u8, size));
         }
         Ok(SubwarpAssignment {
             sid,

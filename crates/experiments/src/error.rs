@@ -1,0 +1,120 @@
+//! Typed errors for the experiment pipeline.
+//!
+//! Every failure an experiment can hit — a bad configuration, a
+//! simulator fault, a policy/warp-size mismatch, an attack-driver
+//! domain violation, or asking a functional-only run for cycle data —
+//! surfaces here as one [`ExperimentError`], with the underlying error
+//! preserved through [`std::error::Error::source`].
+
+use rcoal_attack::AttackError;
+use rcoal_core::PolicyError;
+use rcoal_gpu_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the experiment pipeline and figure generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// The [`crate::ExperimentConfig`] failed validation before any
+    /// simulation started.
+    Config(String),
+    /// The GPU simulator failed (cycle limit, watchdog stall, bad GPU
+    /// configuration, injected-fault livelock, ...).
+    Sim(SimError),
+    /// A coalescing policy could not be constructed or applied.
+    Policy(PolicyError),
+    /// An attack driver rejected its input (empty samples, byte index,
+    /// numeric domain).
+    Attack(AttackError),
+    /// A cycle-based quantity was requested from a functional-only run.
+    TimingUnavailable {
+        /// The quantity that was asked for.
+        what: &'static str,
+    },
+    /// A figure generator needed data that the preceding sweeps did not
+    /// produce (e.g. an empty grid cell).
+    MissingData(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Config(msg) => {
+                write!(f, "invalid experiment configuration: {msg}")
+            }
+            ExperimentError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ExperimentError::Policy(e) => write!(f, "coalescing policy failed: {e}"),
+            ExperimentError::Attack(e) => write!(f, "attack driver failed: {e}"),
+            ExperimentError::TimingUnavailable { what } => write!(
+                f,
+                "{what} requires cycle timing, but the experiment ran functional-only"
+            ),
+            ExperimentError::MissingData(msg) => {
+                write!(f, "experiment produced no data: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Sim(e) => Some(e),
+            ExperimentError::Policy(e) => Some(e),
+            ExperimentError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        // Keep the policy chain flat: a policy failure inside the
+        // simulator is still a policy failure to the experimenter.
+        match e {
+            SimError::Policy(p) => ExperimentError::Policy(p),
+            other => ExperimentError::Sim(other),
+        }
+    }
+}
+
+impl From<PolicyError> for ExperimentError {
+    fn from(e: PolicyError) -> Self {
+        ExperimentError::Policy(e)
+    }
+}
+
+impl From<AttackError> for ExperimentError {
+    fn from(e: AttackError) -> Self {
+        ExperimentError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = ExperimentError::from(SimError::CycleLimit { limit: 10 });
+        assert!(e.to_string().contains("cycle limit"));
+        assert!(e.source().is_some());
+
+        let e = ExperimentError::TimingUnavailable {
+            what: "mean_total_cycles",
+        };
+        assert!(e.to_string().contains("functional-only"));
+        assert!(e.source().is_none());
+
+        let e = ExperimentError::from(AttackError::NoSamples);
+        assert!(e.to_string().contains("no attack samples"));
+    }
+
+    #[test]
+    fn sim_policy_errors_flatten_to_policy() {
+        let p = rcoal_core::CoalescingPolicy::fss(7).unwrap_err();
+        let via_sim = ExperimentError::from(SimError::Policy(p.clone()));
+        assert_eq!(via_sim, ExperimentError::Policy(p));
+    }
+}

@@ -2,32 +2,36 @@
 //! function returns typed rows; the bench targets in `rcoal-bench` print
 //! them and EXPERIMENTS.md records paper-vs-measured.
 
+use crate::error::ExperimentError;
 use crate::run::{ExperimentConfig, ExperimentData, TimingSource};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rcoal_rng::StdRng;
+use rcoal_rng::SeedableRng;
 use rcoal_attack::{pearson, Attack};
-use rcoal_core::{CoalescingPolicy, SizeDistribution};
-use rcoal_gpu_sim::SimError;
+use rcoal_core::{CoalescingPolicy, PolicyError, SizeDistribution};
 use rcoal_theory::RCoalScore;
-use serde::{Deserialize, Serialize};
 
 /// Subwarp counts the paper sweeps in its defense evaluations.
 pub const SUBWARP_SWEEP: [usize; 4] = [2, 4, 8, 16];
 
 /// The four defense mechanisms of §VI, constructed for `m` subwarps.
-pub fn mechanisms(m: usize) -> Vec<(&'static str, CoalescingPolicy)> {
-    vec![
-        ("FSS", CoalescingPolicy::fss(m).expect("m divides 32")),
-        ("FSS+RTS", CoalescingPolicy::fss_rts(m).expect("m divides 32")),
-        ("RSS", CoalescingPolicy::rss(m).expect("m <= 32")),
-        ("RSS+RTS", CoalescingPolicy::rss_rts(m).expect("m <= 32")),
-    ]
+///
+/// # Errors
+///
+/// Propagates the policy constructors' validation ([`PolicyError`]) when
+/// `m` does not divide the warp size (FSS) or exceeds it (RSS).
+pub fn mechanisms(m: usize) -> Result<Vec<(&'static str, CoalescingPolicy)>, PolicyError> {
+    Ok(vec![
+        ("FSS", CoalescingPolicy::fss(m)?),
+        ("FSS+RTS", CoalescingPolicy::fss_rts(m)?),
+        ("RSS", CoalescingPolicy::rss(m)?),
+        ("RSS+RTS", CoalescingPolicy::rss_rts(m)?),
+    ])
 }
 
 // ---------------------------------------------------------------- Fig. 5
 
 /// Figure 5: one point per plaintext relating last-round and total time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Data {
     /// `(last_round_cycles, total_cycles)` per plaintext.
     pub points: Vec<(u64, u64)>,
@@ -38,12 +42,22 @@ pub struct Fig5Data {
 /// Figure 5: the total execution time is proportional to the last-round
 /// time (both are driven by coalesced accesses), which is why an attacker
 /// observing only total time still sees the last-round channel.
-pub fn fig05_last_vs_total(num_plaintexts: usize, seed: u64) -> Result<Fig5Data, SimError> {
+pub fn fig05_last_vs_total(num_plaintexts: usize, seed: u64) -> Result<Fig5Data, ExperimentError> {
     let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
         .with_seed(seed)
         .run()?;
-    let last = data.last_round_cycles.as_ref().expect("timing run");
-    let total = data.total_cycles.as_ref().expect("timing run");
+    let last = data
+        .last_round_cycles
+        .as_ref()
+        .ok_or(ExperimentError::TimingUnavailable {
+            what: "fig05_last_vs_total",
+        })?;
+    let total = data
+        .total_cycles
+        .as_ref()
+        .ok_or(ExperimentError::TimingUnavailable {
+            what: "fig05_last_vs_total",
+        })?;
     let points: Vec<(u64, u64)> = last.iter().copied().zip(total.iter().copied()).collect();
     let xf: Vec<f64> = last.iter().map(|&v| v as f64).collect();
     let yf: Vec<f64> = total.iter().map(|&v| v as f64).collect();
@@ -56,7 +70,7 @@ pub fn fig05_last_vs_total(num_plaintexts: usize, seed: u64) -> Result<Fig5Data,
 // ---------------------------------------------------------------- Fig. 6
 
 /// Figure 6: per-guess correlations for key byte 0, coalescing on vs off.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Data {
     /// Correlations of all 256 guesses with coalescing enabled.
     pub enabled: Vec<f64>,
@@ -72,19 +86,19 @@ pub struct Fig6Data {
 
 /// Figure 6: the baseline attack succeeds against stock coalescing and
 /// collapses when coalescing is disabled (every count is the constant 32).
-pub fn fig06_coalescing_onoff(num_plaintexts: usize, seed: u64) -> Result<Fig6Data, SimError> {
+pub fn fig06_coalescing_onoff(num_plaintexts: usize, seed: u64) -> Result<Fig6Data, ExperimentError> {
     let attack = Attack::baseline(32);
 
     let on = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
         .with_seed(seed)
         .run()?;
     let k10 = on.true_last_round_key();
-    let rec_on = attack.recover_byte(&on.attack_samples(TimingSource::LastRoundCycles), 0);
+    let rec_on = attack.recover_byte(&on.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
 
     let off = ExperimentConfig::new(CoalescingPolicy::Disabled, num_plaintexts, 32)
         .with_seed(seed)
         .run()?;
-    let rec_off = attack.recover_byte(&off.attack_samples(TimingSource::LastRoundCycles), 0);
+    let rec_off = attack.recover_byte(&off.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
 
     Ok(Fig6Data {
         rank_enabled: rec_on.rank_of(k10[0]),
@@ -98,7 +112,7 @@ pub fn fig06_coalescing_onoff(num_plaintexts: usize, seed: u64) -> Result<Fig6Da
 // ------------------------------------------------------------ Motivation
 
 /// §III motivation numbers: the cost of disabling coalescing outright.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MotivationData {
     /// Execution-time increase of no-coalescing over baseline, percent.
     pub slowdown_pct: f64,
@@ -112,7 +126,7 @@ pub fn motivation_disable_coalescing(
     num_plaintexts: usize,
     lines: usize,
     seed: u64,
-) -> Result<MotivationData, SimError> {
+) -> Result<MotivationData, ExperimentError> {
     let base = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, lines)
         .with_seed(seed)
         .run()?;
@@ -120,7 +134,7 @@ pub fn motivation_disable_coalescing(
         .with_seed(seed)
         .run()?;
     Ok(MotivationData {
-        slowdown_pct: 100.0 * (off.mean_total_cycles() / base.mean_total_cycles() - 1.0),
+        slowdown_pct: 100.0 * (off.mean_total_cycles()? / base.mean_total_cycles()? - 1.0),
         access_factor: off.mean_total_accesses() / base.mean_total_accesses(),
     })
 }
@@ -129,7 +143,7 @@ pub fn motivation_disable_coalescing(
 
 /// One Figure 7 row: FSS at a given subwarp count under the *naive*
 /// baseline attack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig7Row {
     /// Number of subwarps.
     pub m: usize,
@@ -144,17 +158,18 @@ pub struct Fig7Row {
 
 /// Figure 7: FSS costs performance as `M` grows (a) and degrades the
 /// naive attack's correlation (b).
-pub fn fig07_fss_performance(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig7Row>, SimError> {
+pub fn fig07_fss_performance(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig7Row>, ExperimentError> {
     let mut rows = Vec::new();
     for m in [1usize, 2, 4, 8, 16, 32] {
-        let policy = CoalescingPolicy::fss(m).expect("m divides 32");
+        let policy = CoalescingPolicy::fss(m)?;
         let data = ExperimentConfig::new(policy, num_plaintexts, 32)
             .with_seed(seed)
             .run()?;
-        let avg = avg_correct_correlation(&data, Attack::baseline(32), TimingSource::LastRoundCycles);
+        let avg =
+            avg_correct_correlation(&data, Attack::baseline(32), TimingSource::LastRoundCycles)?;
         rows.push(Fig7Row {
             m,
-            mean_total_cycles: data.mean_total_cycles(),
+            mean_total_cycles: data.mean_total_cycles()?,
             mean_total_accesses: data.mean_total_accesses(),
             avg_corr_naive_attack: avg,
         });
@@ -166,7 +181,7 @@ pub fn fig07_fss_performance(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig
 
 /// One correlation scatter (a panel of Figures 8, 12, 13, 14): all 256
 /// guess correlations for key byte 0 at a given subwarp count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScatterData {
     /// Number of subwarps.
     pub m: usize,
@@ -179,20 +194,20 @@ pub struct ScatterData {
 }
 
 fn defense_scatter(
-    defense: impl Fn(usize) -> CoalescingPolicy,
+    defense: impl Fn(usize) -> Result<CoalescingPolicy, PolicyError>,
     num_plaintexts: usize,
     seed: u64,
-) -> Result<Vec<ScatterData>, SimError> {
+) -> Result<Vec<ScatterData>, ExperimentError> {
     let mut out = Vec::new();
     for m in SUBWARP_SWEEP {
-        let policy = defense(m);
+        let policy = defense(m)?;
         let data = ExperimentConfig::new(policy, num_plaintexts, 32)
             .with_seed(seed)
             .run()?;
         let k10 = data.true_last_round_key();
         // Corresponding attack (§IV-E): the attacker mirrors the defense.
         let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles), 0);
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
         out.push(ScatterData {
             m,
             rank_of_correct: rec.rank_of(k10[0]),
@@ -205,45 +220,29 @@ fn defense_scatter(
 
 /// Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
 /// attack re-establishes the correlation, FSS alone is insufficient.
-pub fn fig08_fss_attack(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, SimError> {
-    defense_scatter(
-        |m| CoalescingPolicy::fss(m).expect("m divides 32"),
-        num_plaintexts,
-        seed,
-    )
+pub fn fig08_fss_attack(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(CoalescingPolicy::fss, num_plaintexts, seed)
 }
 
 /// Figure 12: FSS+RTS under the FSS+RTS attack.
-pub fn fig12_fss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, SimError> {
-    defense_scatter(
-        |m| CoalescingPolicy::fss_rts(m).expect("m divides 32"),
-        num_plaintexts,
-        seed,
-    )
+pub fn fig12_fss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(CoalescingPolicy::fss_rts, num_plaintexts, seed)
 }
 
 /// Figure 13: RSS under the RSS attack.
-pub fn fig13_rss(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, SimError> {
-    defense_scatter(
-        |m| CoalescingPolicy::rss(m).expect("m <= 32"),
-        num_plaintexts,
-        seed,
-    )
+pub fn fig13_rss(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(CoalescingPolicy::rss, num_plaintexts, seed)
 }
 
 /// Figure 14: RSS+RTS under the RSS+RTS attack.
-pub fn fig14_rss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, SimError> {
-    defense_scatter(
-        |m| CoalescingPolicy::rss_rts(m).expect("m <= 32"),
-        num_plaintexts,
-        seed,
-    )
+pub fn fig14_rss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(CoalescingPolicy::rss_rts, num_plaintexts, seed)
 }
 
 // ---------------------------------------------------------------- Fig. 9
 
 /// Figure 9: subwarp-size histograms for the two RSS distributions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Data {
     /// `normal[s]` = how often size `s` was drawn under the normal
     /// distribution.
@@ -254,7 +253,15 @@ pub struct Fig9Data {
 
 /// Figure 9: the skewed distribution spreads subwarp sizes over the whole
 /// 1..=29 range while the normal distribution stays near 32/M.
-pub fn fig09_rss_distributions(draws: usize, m: usize, seed: u64) -> Fig9Data {
+///
+/// # Errors
+///
+/// [`ExperimentError::Policy`] when `m` exceeds the warp size.
+pub fn fig09_rss_distributions(
+    draws: usize,
+    m: usize,
+    seed: u64,
+) -> Result<Fig9Data, ExperimentError> {
     let mut normal = vec![0u64; 33];
     let mut skewed = vec![0u64; 33];
     let mut rng = StdRng::seed_from_u64(seed);
@@ -263,24 +270,24 @@ pub fn fig09_rss_distributions(draws: usize, m: usize, seed: u64) -> Fig9Data {
         (SizeDistribution::Skewed, &mut skewed),
     ] {
         let policy = CoalescingPolicy::Rss {
-            num_subwarps: rcoal_core::NumSubwarps::new_unaligned(m, 32).expect("m <= 32"),
+            num_subwarps: rcoal_core::NumSubwarps::new_unaligned(m, 32)?,
             dist,
         };
         for _ in 0..draws {
-            let a = policy.assignment(32, &mut rng).expect("valid policy");
+            let a = policy.assignment(32, &mut rng)?;
             for s in a.sizes() {
                 hist[s] += 1;
             }
         }
     }
-    Fig9Data { normal, skewed }
+    Ok(Fig9Data { normal, skewed })
 }
 
 // ----------------------------------------------------- Figs. 15, 16, 17
 
 /// One security row (Figure 15): the average correct-guess correlation
 /// under the corresponding attack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecurityRow {
     /// Mechanism name ("FSS", "FSS+RTS", "RSS", "RSS+RTS").
     pub mechanism: String,
@@ -291,7 +298,7 @@ pub struct SecurityRow {
 }
 
 /// One performance row (Figure 16): execution time and data movement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfRow {
     /// Mechanism name.
     pub mechanism: String,
@@ -306,7 +313,7 @@ pub struct PerfRow {
 }
 
 /// One RCoal_Score row (Figure 17).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreRow {
     /// Mechanism name.
     pub mechanism: String,
@@ -319,28 +326,33 @@ pub struct ScoreRow {
 }
 
 /// Average over the 16 key bytes of the correct guess's correlation.
+///
+/// # Errors
+///
+/// [`ExperimentError::TimingUnavailable`] when `source` needs cycle data
+/// the experiment did not record.
 pub fn avg_correct_correlation(
     data: &ExperimentData,
     attack: Attack,
     source: TimingSource,
-) -> f64 {
-    let samples = data.attack_samples(source);
+) -> Result<f64, ExperimentError> {
+    let samples = data.attack_samples(source)?;
     let k10 = data.true_last_round_key();
     let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
     let mut sum = 0.0;
-    for j in 0..16 {
+    for (j, &kj) in k10.iter().enumerate() {
         let mut predictor = rcoal_attack::AccessPredictor::new(attack.policy(), 32, 0xc0ffee + j as u64);
         let predicted: Vec<f64> = samples
             .iter()
-            .map(|s| predictor.predict(&s.ciphertexts, j, k10[j]))
+            .map(|s| predictor.predict(&s.ciphertexts, j, kj))
             .collect();
         sum += pearson(&predicted, &times);
     }
-    sum / 16.0
+    Ok(sum / 16.0)
 }
 
 /// Figures 15 and 16 share their simulations; this bundle carries both.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonData {
     /// Security rows (Figure 15).
     pub security: Vec<SecurityRow>,
@@ -351,11 +363,11 @@ pub struct ComparisonData {
 /// Figures 15 + 16: sweep the four mechanisms over `M ∈ {2,4,8,16}`,
 /// collecting the corresponding-attack correlation and the performance
 /// cost from the same runs.
-pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<ComparisonData, SimError> {
+pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<ComparisonData, ExperimentError> {
     let base = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
         .with_seed(seed)
         .run()?;
-    let base_cycles = base.mean_total_cycles();
+    let base_cycles = base.mean_total_cycles()?;
     let mut security = Vec::new();
     let mut performance = vec![PerfRow {
         mechanism: "baseline".into(),
@@ -365,7 +377,7 @@ pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<Compariso
         normalized_time: 1.0,
     }];
     for m in SUBWARP_SWEEP {
-        for (name, policy) in mechanisms(m) {
+        for (name, policy) in mechanisms(m)? {
             let data = ExperimentConfig::new(policy, num_plaintexts, 32)
                 .with_seed(seed)
                 .run()?;
@@ -377,14 +389,15 @@ pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<Compariso
                     &data,
                     attack,
                     TimingSource::LastRoundCycles,
-                ),
+                )?,
             });
+            let cycles = data.mean_total_cycles()?;
             performance.push(PerfRow {
                 mechanism: name.into(),
                 m,
                 mean_total_accesses: data.mean_total_accesses(),
-                mean_total_cycles: data.mean_total_cycles(),
-                normalized_time: data.mean_total_cycles() / base_cycles,
+                mean_total_cycles: cycles,
+                normalized_time: cycles / base_cycles,
             });
         }
     }
@@ -400,15 +413,25 @@ pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<Compariso
 /// (≈ `1/√(16·N)` for N plaintexts × 16 bytes) carries no information
 /// about the true correlation, so the score computation floors |ρ̄| there;
 /// otherwise a lucky near-zero estimate produces an unbounded score.
-pub fn fig17_rcoal_score(comparison: &ComparisonData) -> Vec<ScoreRow> {
+///
+/// # Errors
+///
+/// [`ExperimentError::MissingData`] when a security row has no matching
+/// performance row.
+pub fn fig17_rcoal_score(comparison: &ComparisonData) -> Result<Vec<ScoreRow>, ExperimentError> {
     fig17_rcoal_score_with_floor(comparison, 0.02)
 }
 
 /// [`fig17_rcoal_score`] with an explicit correlation floor.
+///
+/// # Errors
+///
+/// [`ExperimentError::MissingData`] when a security row has no matching
+/// performance row.
 pub fn fig17_rcoal_score_with_floor(
     comparison: &ComparisonData,
     corr_floor: f64,
-) -> Vec<ScoreRow> {
+) -> Result<Vec<ScoreRow>, ExperimentError> {
     let sec_cfg = RCoalScore::security_oriented();
     let perf_cfg = RCoalScore::performance_oriented();
     comparison
@@ -419,14 +442,19 @@ pub fn fig17_rcoal_score_with_floor(
                 .performance
                 .iter()
                 .find(|p| p.mechanism == s.mechanism && p.m == s.m)
-                .expect("performance row for every security row");
+                .ok_or_else(|| {
+                    ExperimentError::MissingData(format!(
+                        "no performance row for {} at M={}",
+                        s.mechanism, s.m
+                    ))
+                })?;
             let corr = s.avg_correct_corr.abs().max(corr_floor);
-            ScoreRow {
+            Ok(ScoreRow {
                 mechanism: s.mechanism.clone(),
                 m: s.m,
                 security_oriented: sec_cfg.score(corr, perf.normalized_time),
                 performance_oriented: perf_cfg.score(corr, perf.normalized_time),
-            }
+            })
         })
         .collect()
 }
@@ -434,7 +462,7 @@ pub fn fig17_rcoal_score_with_floor(
 // --------------------------------------------------------------- Fig. 18
 
 /// One Figure 18 row: the 1024-line case study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig18Row {
     /// Mechanism name.
     pub mechanism: String,
@@ -454,24 +482,24 @@ pub fn fig18_scalability(
     num_plaintexts: usize,
     timing_plaintexts: usize,
     seed: u64,
-) -> Result<Vec<Fig18Row>, SimError> {
+) -> Result<Vec<Fig18Row>, ExperimentError> {
     let base_time = ExperimentConfig::new(CoalescingPolicy::Baseline, timing_plaintexts, 1024)
         .with_seed(seed)
         .run()?
-        .mean_total_cycles();
+        .mean_total_cycles()?;
     let mut rows = Vec::new();
     for m in [2usize, 4, 8] {
-        for (name, policy) in mechanisms(m) {
+        for (name, policy) in mechanisms(m)? {
             let sec = ExperimentConfig::new(policy, num_plaintexts, 1024)
                 .with_seed(seed)
                 .functional_only()
                 .run()?;
             let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-            let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses);
+            let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
             let time = ExperimentConfig::new(policy, timing_plaintexts, 1024)
                 .with_seed(seed)
                 .run()?
-                .mean_total_cycles();
+                .mean_total_cycles()?;
             rows.push(Fig18Row {
                 mechanism: name.into(),
                 m,
@@ -493,7 +521,7 @@ mod tests {
 
     #[test]
     fn mechanisms_cover_the_paper_set() {
-        let ms = mechanisms(4);
+        let ms = mechanisms(4).unwrap();
         let names: Vec<&str> = ms.iter().map(|(n, _)| *n).collect();
         assert_eq!(names, vec!["FSS", "FSS+RTS", "RSS", "RSS+RTS"]);
         for (_, p) in ms {
@@ -503,7 +531,7 @@ mod tests {
 
     #[test]
     fn fig09_histograms_have_expected_mass() {
-        let d = fig09_rss_distributions(500, 4, 3);
+        let d = fig09_rss_distributions(500, 4, 3).unwrap();
         assert_eq!(d.normal.iter().sum::<u64>(), 500 * 4);
         assert_eq!(d.skewed.iter().sum::<u64>(), 500 * 4);
         // Normal concentrates near 8; skewed reaches far beyond.
@@ -528,7 +556,7 @@ mod tests {
                 normalized_time: 1.1,
             }],
         };
-        let scores = fig17_rcoal_score(&comparison);
+        let scores = fig17_rcoal_score(&comparison).unwrap();
         assert_eq!(scores.len(), 1);
         // S = 1/0.25 = 4; security-oriented = 4 / 1.1.
         assert!((scores[0].security_oriented - 4.0 / 1.1).abs() < 1e-9);
@@ -540,7 +568,7 @@ mod tests {
 
 /// One row of the selective-randomization ablation (the paper's §VII
 /// future-work design, implemented here).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectiveRow {
     /// Configuration label.
     pub config: String,
@@ -562,12 +590,12 @@ pub fn ablation_selective(
     timing_plaintexts: usize,
     m: usize,
     seed: u64,
-) -> Result<Vec<SelectiveRow>, SimError> {
-    let vulnerable = CoalescingPolicy::rss_rts(m).expect("m <= 32");
+) -> Result<Vec<SelectiveRow>, ExperimentError> {
+    let vulnerable = CoalescingPolicy::rss_rts(m)?;
     let base_time = ExperimentConfig::new(CoalescingPolicy::Baseline, timing_plaintexts, 32)
         .with_seed(seed)
         .run()?
-        .mean_total_cycles();
+        .mean_total_cycles()?;
 
     let mut rows = Vec::new();
     let configs: Vec<(String, ExperimentConfig, ExperimentConfig)> = vec![
@@ -592,8 +620,8 @@ pub fn ablation_selective(
         // The attacker knows the deployed (possibly selective) policy;
         // for the last round the effective policy is `sec.policy`.
         let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
-        let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses);
-        let time = time_cfg.with_seed(seed).run()?.mean_total_cycles();
+        let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
+        let time = time_cfg.with_seed(seed).run()?.mean_total_cycles()?;
         rows.push(SelectiveRow {
             config: label,
             avg_correct_corr: avg,
@@ -607,7 +635,7 @@ pub fn ablation_selective(
 // ----------------------------------------- Extension: noise sensitivity
 
 /// One row of the measurement-noise sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NoiseRow {
     /// Injected noise standard deviation, in units of the clean signal's
     /// standard deviation.
@@ -629,7 +657,7 @@ pub fn ablation_noise(
     num_plaintexts: usize,
     sigmas_rel: &[f64],
     seed: u64,
-) -> Result<Vec<NoiseRow>, SimError> {
+) -> Result<Vec<NoiseRow>, ExperimentError> {
     use rcoal_attack::{attenuated_correlation, samples_needed, GaussianNoise};
 
     let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
@@ -637,21 +665,19 @@ pub fn ablation_noise(
         .functional_only()
         .run()?;
     let k10 = data.true_last_round_key();
-    let clean = data.attack_samples(TimingSource::ByteAccesses(0));
+    let clean = data.attack_samples(TimingSource::ByteAccesses(0))?;
     let times: Vec<f64> = clean.iter().map(|s| s.time).collect();
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
     let attack = Attack::baseline(32);
-    let clean_corr = attack
-        .recover_byte(&clean, 0)
-        .correlation_of(k10[0]);
+    let clean_corr = attack.recover_byte(&clean, 0)?.correlation_of(k10[0]);
 
     let mut rows = Vec::new();
     for &rel in sigmas_rel {
         let sigma = rel * var.sqrt();
-        let noisy = GaussianNoise::new(sigma, seed ^ 0x401_5e).applied(&clean);
-        let measured = attack.recover_byte(&noisy, 0).correlation_of(k10[0]);
-        let predicted = attenuated_correlation(clean_corr, var, sigma);
+        let noisy = GaussianNoise::new(sigma, seed ^ 0x4015e)?.applied(&clean);
+        let measured = attack.recover_byte(&noisy, 0)?.correlation_of(k10[0]);
+        let predicted = attenuated_correlation(clean_corr, var, sigma)?;
         rows.push(NoiseRow {
             sigma_over_signal: rel,
             measured_corr: measured,
@@ -661,7 +687,7 @@ pub fn ablation_noise(
             } else if measured.abs() >= 1.0 {
                 3.0 // Eq. 4's floor: a perfect correlation needs ~no samples
             } else {
-                samples_needed(measured.abs(), 0.99)
+                samples_needed(measured.abs(), 0.99)?
             },
         });
     }
@@ -675,8 +701,17 @@ pub fn ablation_noise(
 /// quantity Table II tabulates analytically for FSS+RTS and RSS+RTS. The
 /// paper skips standalone RSS because its cross-moment needs the full
 /// mapping enumeration; this estimator fills that column empirically.
-pub fn rho_monte_carlo(policy: CoalescingPolicy, trials: usize, seed: u64) -> f64 {
-    use rand::Rng;
+///
+/// # Errors
+///
+/// [`ExperimentError::Policy`] when the policy cannot produce a
+/// 32-thread assignment.
+pub fn rho_monte_carlo(
+    policy: CoalescingPolicy,
+    trials: usize,
+    seed: u64,
+) -> Result<f64, ExperimentError> {
+    use rcoal_rng::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
     let coalescer = rcoal_core::Coalescer::new();
     let mut u = Vec::with_capacity(trials);
@@ -685,19 +720,19 @@ pub fn rho_monte_carlo(policy: CoalescingPolicy, trials: usize, seed: u64) -> f6
         let addrs: Vec<Option<u64>> = (0..32)
             .map(|_| Some(rng.gen_range(0u64..16) * 64))
             .collect();
-        let defense = policy.assignment(32, &mut rng).expect("32-thread warp");
-        let attacker = policy.assignment(32, &mut rng).expect("32-thread warp");
+        let defense = policy.assignment(32, &mut rng)?;
+        let attacker = policy.assignment(32, &mut rng)?;
         u.push(coalescer.count_accesses(&defense, &addrs) as f64);
         u_hat.push(coalescer.count_accesses(&attacker, &addrs) as f64);
     }
-    pearson(&u, &u_hat)
+    Ok(pearson(&u, &u_hat))
 }
 
 // ------------------------------------- Extension: empirical sample cost
 
 /// One row of the empirical samples-to-recovery sweep, the measured
 /// counterpart of Table II's normalized `S`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplesNeededRow {
     /// Mechanism name.
     pub mechanism: String,
@@ -719,7 +754,7 @@ pub fn ablation_samples_needed(
     policies: &[(String, CoalescingPolicy)],
     max_samples: usize,
     seed: u64,
-) -> Result<Vec<SamplesNeededRow>, SimError> {
+) -> Result<Vec<SamplesNeededRow>, ExperimentError> {
     let mut rows = Vec::new();
     for (name, policy) in policies {
         let data = ExperimentConfig::new(*policy, max_samples, 32)
@@ -727,7 +762,7 @@ pub fn ablation_samples_needed(
             .functional_only()
             .run()?;
         let k10 = data.true_last_round_key();
-        let samples = data.attack_samples(TimingSource::ByteAccesses(0));
+        let samples = data.attack_samples(TimingSource::ByteAccesses(0))?;
         let attack = Attack::against(*policy, 32).with_seed(seed ^ 0x5eed);
 
         // Probe a geometric grid of prefix sizes with the streaming
@@ -741,7 +776,7 @@ pub fn ablation_samples_needed(
             n = n * 3 / 2;
         }
         grid.push(max_samples);
-        let curve = rcoal_attack::recovery_curve(&attack, &samples, 0, &grid);
+        let curve = rcoal_attack::recovery_curve(&attack, &samples, 0, &grid)?;
         let wins: Vec<bool> = curve
             .iter()
             .map(|(_, rec)| rec.rank_of(k10[0]) == 0)
@@ -751,7 +786,9 @@ pub fn ablation_samples_needed(
             .map(|i| grid[i]);
         let corr_at_budget = curve
             .last()
-            .expect("non-empty grid")
+            .ok_or_else(|| {
+                ExperimentError::MissingData(format!("empty recovery grid for {name}"))
+            })?
             .1
             .correlation_of(k10[0]);
         rows.push(SamplesNeededRow {
@@ -767,7 +804,7 @@ pub fn ablation_samples_needed(
 // ---------------------------------------------- Extension: MSHR hazard
 
 /// One row of the MSHR-interaction ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MshrRow {
     /// Configuration label.
     pub config: String,
@@ -783,7 +820,7 @@ pub struct MshrRow {
 /// MSHR merging collapses a warp's duplicate same-block requests back
 /// into one memory transaction per distinct block — quietly rebuilding
 /// the very channel that disabling coalescing was meant to close.
-pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, SimError> {
+pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, ExperimentError> {
     use rcoal_gpu_sim::GpuConfig;
     let attack = Attack::baseline(32);
     let mut rows = Vec::new();
@@ -802,12 +839,12 @@ pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, S
             .with_gpu(gpu)
             .run()?;
         let k10 = data.true_last_round_key();
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles), 0);
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
         rows.push(MshrRow {
             config: label.into(),
             corr_correct: rec.correlation_of(k10[0]),
             rank: rec.rank_of(k10[0]),
-            mean_total_cycles: data.mean_total_cycles(),
+            mean_total_cycles: data.mean_total_cycles()?,
         });
     }
     Ok(rows)
@@ -816,7 +853,7 @@ pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, S
 // ------------------------------------------------ Extension: L1 hazard
 
 /// One row of the L1-cache ablation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct L1Row {
     /// Configuration label.
     pub config: String,
@@ -837,7 +874,7 @@ pub struct L1Row {
 /// misses each pay full latency). The stock argmax attacker fails, but
 /// the leak has moved, not vanished: randomization is needed at every
 /// level of the hierarchy (§VII).
-pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, SimError> {
+pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, ExperimentError> {
     use rcoal_gpu_sim::GpuConfig;
     let attack = Attack::baseline(32);
     let mut rows = Vec::new();
@@ -851,7 +888,7 @@ pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, SimEr
             .with_gpu(gpu.clone())
             .run()?;
         let k10 = data.true_last_round_key();
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles), 0);
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
         // Count hits via one representative launch.
         let kernel = rcoal_aes::AesGpuKernel::new(
             &data.key,
@@ -865,7 +902,7 @@ pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, SimEr
             corr_correct: rec.correlation_of(k10[0]),
             rank: rec.rank_of(k10[0]),
             l1_hits_per_plaintext: stats.l1_hits as f64,
-            mean_total_cycles: data.mean_total_cycles(),
+            mean_total_cycles: data.mean_total_cycles()?,
         });
     }
     Ok(rows)

@@ -14,15 +14,27 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let data = ExperimentConfig::new(CoalescingPolicy::Baseline, 100, 32).run()?;
 //! let attack = Attack::baseline(32);
-//! let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles));
+//! let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles)?)?;
 //! println!("{:?}", recovery.outcome(&data.true_last_round_key()));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every fallible step reports a typed [`ExperimentError`] whose
+//! [`std::error::Error::source`] chain preserves the underlying
+//! simulator, policy, or attack failure; experiments can also inject
+//! hardware faults ([`ExperimentConfig::with_faults`]) to measure how
+//! DRAM jitter and dropped replies degrade the attacker's channel.
 
+// Library code must propagate failures as typed errors, never panic;
+// test modules are exempt (the harness is the panic handler there).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod error;
 pub mod figures;
 mod run;
 mod workload;
 
+pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
 pub use workload::{random_plaintexts, DEMO_KEY};

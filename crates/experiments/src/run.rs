@@ -1,14 +1,14 @@
+use crate::error::ExperimentError;
 use crate::workload::{random_plaintexts, DEMO_KEY};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rcoal_rng::StdRng;
+use rcoal_rng::SeedableRng;
 use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
 use rcoal_attack::AttackSample;
 use rcoal_core::{Coalescer, CoalescingPolicy};
-use rcoal_gpu_sim::{GpuConfig, GpuSimulator, Kernel, LaunchPolicy, SimError, TraceInstr};
-use serde::{Deserialize, Serialize};
+use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, TraceInstr};
 
 /// Which measurement plays the role of the attacker's timing observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimingSource {
     /// Cycles spent after round 9 — the paper's strong attacker (§II-C).
     LastRoundCycles,
@@ -26,7 +26,7 @@ pub enum TimingSource {
 /// Configuration of one end-to-end encryption experiment: `num_plaintexts`
 /// plaintexts of `lines` lines are encrypted on the simulated GPU under
 /// `policy`, recording per-plaintext timing and access counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Coalescing policy the victim GPU deploys.
     pub policy: CoalescingPolicy,
@@ -47,6 +47,11 @@ pub struct ExperimentConfig {
     /// Optional launch-policy override; when set, `policy` is ignored and
     /// this (possibly selective) launch policy is used instead.
     pub launch: Option<LaunchPolicy>,
+    /// Hardware faults to inject into every launch (DRAM reply jitter,
+    /// dropped replies, interconnect backpressure). Defaults to
+    /// [`FaultPlan::none`]. Only timing runs feel faults — they perturb
+    /// cycles, never access counts.
+    pub faults: FaultPlan,
 }
 
 impl ExperimentConfig {
@@ -62,6 +67,7 @@ impl ExperimentConfig {
             gpu: GpuConfig::paper(),
             timing: true,
             launch: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -113,13 +119,45 @@ impl ExperimentConfig {
         self
     }
 
+    /// Injects hardware faults into every launch of the experiment.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validates the configuration without running anything.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if self.num_plaintexts == 0 {
+            return Err(ExperimentError::Config(
+                "num_plaintexts must be positive".into(),
+            ));
+        }
+        if self.lines == 0 {
+            return Err(ExperimentError::Config("lines must be positive".into()));
+        }
+        self.gpu
+            .validate()
+            .map_err(|msg| ExperimentError::Config(format!("gpu: {msg}")))?;
+        self.faults
+            .validate()
+            .map_err(|msg| ExperimentError::Config(format!("faults: {msg}")))?;
+        Ok(())
+    }
+
     /// Runs the experiment.
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors ([`SimError`]); functional-only runs
-    /// can still fail on a policy/warp-size mismatch.
-    pub fn run(&self) -> Result<ExperimentData, SimError> {
+    /// [`ExperimentError::Config`] for an invalid configuration;
+    /// otherwise propagates simulator errors (cycle limit, watchdog
+    /// stall, injected-fault livelock) and policy errors. Functional-only
+    /// runs can still fail on a policy/warp-size mismatch.
+    pub fn run(&self) -> Result<ExperimentData, ExperimentError> {
+        self.validate()?;
         let plaintexts = random_plaintexts(self.num_plaintexts, self.lines, self.seed);
         let sim = GpuSimulator::new(self.gpu.clone());
         let coalescer = Coalescer::with_block_size(self.gpu.block_size)?;
@@ -143,7 +181,7 @@ impl ExperimentConfig {
             // policy randomness from its own seed.
             let launch_seed = self.seed.wrapping_add(1 + i as u64);
             if self.timing {
-                let stats = sim.run_launch(&kernel, launch, launch_seed)?;
+                let stats = sim.run_launch_faulted(&kernel, launch, launch_seed, &self.faults)?;
                 let mut by_byte = [0u64; 16];
                 for (j, slot) in by_byte.iter_mut().enumerate() {
                     *slot = stats.accesses_for_tag(LAST_ROUND_TAG_BASE + j as u16);
@@ -152,14 +190,12 @@ impl ExperimentConfig {
                 data.last_round_accesses_by_byte.push(by_byte);
                 data.total_accesses.push(stats.total_accesses);
                 data.total_requests.push(stats.total_requests);
-                data.last_round_cycles
-                    .as_mut()
-                    .expect("timing enabled")
-                    .push(stats.cycles_after_round(9));
-                data.total_cycles
-                    .as_mut()
-                    .expect("timing enabled")
-                    .push(stats.total_cycles);
+                if let Some(lr) = data.last_round_cycles.as_mut() {
+                    lr.push(stats.cycles_after_round(9));
+                }
+                if let Some(tc) = data.total_cycles.as_mut() {
+                    tc.push(stats.total_cycles);
+                }
             } else {
                 let counts =
                     functional_counts(&kernel, launch, launch_seed, &coalescer, &self.gpu)?;
@@ -189,7 +225,7 @@ fn functional_counts(
     launch_seed: u64,
     coalescer: &Coalescer,
     gpu: &GpuConfig,
-) -> Result<FunctionalCounts, SimError> {
+) -> Result<FunctionalCounts, ExperimentError> {
     let mut rng = StdRng::seed_from_u64(launch_seed);
     let mut counts = FunctionalCounts {
         total: 0,
@@ -227,7 +263,7 @@ fn functional_counts(
 }
 
 /// Results of one experiment: per-plaintext observations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentData {
     /// The deployed policy.
     pub policy: CoalescingPolicy,
@@ -260,23 +296,31 @@ impl ExperimentData {
     /// Packages the observations as attack samples with the chosen
     /// timing source.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a cycle-based source is requested from a
-    /// functional-only run.
-    pub fn attack_samples(&self, source: TimingSource) -> Vec<AttackSample> {
+    /// [`ExperimentError::TimingUnavailable`] if a cycle-based source is
+    /// requested from a functional-only run, and
+    /// [`ExperimentError::Config`] for an out-of-range byte index.
+    pub fn attack_samples(
+        &self,
+        source: TimingSource,
+    ) -> Result<Vec<AttackSample>, ExperimentError> {
         let times: Vec<f64> = match source {
             TimingSource::LastRoundCycles => self
                 .last_round_cycles
                 .as_ref()
-                .expect("timing was not recorded; run without functional_only()")
+                .ok_or(ExperimentError::TimingUnavailable {
+                    what: "TimingSource::LastRoundCycles",
+                })?
                 .iter()
                 .map(|&c| c as f64)
                 .collect(),
             TimingSource::TotalCycles => self
                 .total_cycles
                 .as_ref()
-                .expect("timing was not recorded; run without functional_only()")
+                .ok_or(ExperimentError::TimingUnavailable {
+                    what: "TimingSource::TotalCycles",
+                })?
                 .iter()
                 .map(|&c| c as f64)
                 .collect(),
@@ -285,46 +329,53 @@ impl ExperimentData {
                 .iter()
                 .map(|&c| c as f64)
                 .collect(),
-            TimingSource::ByteAccesses(j) => self
-                .last_round_accesses_by_byte
-                .iter()
-                .map(|b| b[usize::from(j)] as f64)
-                .collect(),
+            TimingSource::ByteAccesses(j) => {
+                if usize::from(j) >= 16 {
+                    return Err(ExperimentError::Config(format!(
+                        "ByteAccesses index {j} out of range (AES-128 has 16 key bytes)"
+                    )));
+                }
+                self.last_round_accesses_by_byte
+                    .iter()
+                    .map(|b| b[usize::from(j)] as f64)
+                    .collect()
+            }
         };
-        self.ciphertexts
+        Ok(self
+            .ciphertexts
             .iter()
             .zip(times)
             .map(|(cts, time)| AttackSample {
                 ciphertexts: cts.clone(),
                 time,
             })
-            .collect()
+            .collect())
     }
 
     /// Mean total cycles per plaintext.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a functional-only run.
-    pub fn mean_total_cycles(&self) -> f64 {
-        mean_u64(
-            self.total_cycles
-                .as_ref()
-                .expect("timing was not recorded; run without functional_only()"),
-        )
+    /// [`ExperimentError::TimingUnavailable`] on a functional-only run.
+    pub fn mean_total_cycles(&self) -> Result<f64, ExperimentError> {
+        Ok(mean_u64(self.total_cycles.as_ref().ok_or(
+            ExperimentError::TimingUnavailable {
+                what: "mean_total_cycles",
+            },
+        )?))
     }
 
     /// Mean last-round cycles per plaintext.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a functional-only run.
-    pub fn mean_last_round_cycles(&self) -> f64 {
-        mean_u64(
-            self.last_round_cycles
-                .as_ref()
-                .expect("timing was not recorded; run without functional_only()"),
-        )
+    /// [`ExperimentError::TimingUnavailable`] on a functional-only run.
+    pub fn mean_last_round_cycles(&self) -> Result<f64, ExperimentError> {
+        Ok(mean_u64(self.last_round_cycles.as_ref().ok_or(
+            ExperimentError::TimingUnavailable {
+                what: "mean_last_round_cycles",
+            },
+        )?))
     }
 
     /// Mean total coalesced accesses per plaintext.
@@ -416,19 +467,42 @@ mod tests {
     #[test]
     fn attack_samples_carry_requested_source() {
         let data = quick(CoalescingPolicy::Baseline, true);
-        let s = data.attack_samples(TimingSource::LastRoundAccesses);
+        let s = data.attack_samples(TimingSource::LastRoundAccesses).unwrap();
         assert_eq!(s.len(), 4);
         assert_eq!(s[0].time, data.last_round_accesses[0] as f64);
-        let s = data.attack_samples(TimingSource::TotalCycles);
+        let s = data.attack_samples(TimingSource::TotalCycles).unwrap();
         assert_eq!(s[0].time, data.total_cycles.as_ref().unwrap()[0] as f64);
         assert_eq!(s[0].ciphertexts.len(), 32);
     }
 
     #[test]
-    #[should_panic(expected = "timing was not recorded")]
     fn cycle_source_requires_timing_run() {
         let data = quick(CoalescingPolicy::Baseline, false);
-        let _ = data.attack_samples(TimingSource::LastRoundCycles);
+        assert_eq!(
+            data.attack_samples(TimingSource::LastRoundCycles).unwrap_err(),
+            ExperimentError::TimingUnavailable {
+                what: "TimingSource::LastRoundCycles"
+            }
+        );
+        assert!(matches!(
+            data.mean_total_cycles(),
+            Err(ExperimentError::TimingUnavailable { .. })
+        ));
+        assert!(matches!(
+            data.mean_last_round_cycles(),
+            Err(ExperimentError::TimingUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_fail_validation() {
+        let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 0, 32);
+        assert!(matches!(cfg.run(), Err(ExperimentError::Config(_))));
+        let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 4, 0);
+        assert!(matches!(cfg.run(), Err(ExperimentError::Config(_))));
+        let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 4, 32)
+            .with_faults(rcoal_gpu_sim::FaultPlan::seeded(1).with_drop(2.0, 1));
+        assert!(matches!(cfg.validate(), Err(ExperimentError::Config(_))));
     }
 
     #[test]
@@ -449,7 +523,7 @@ mod tests {
         let base = quick(CoalescingPolicy::Baseline, true);
         let fss16 = quick(CoalescingPolicy::fss(16).unwrap(), true);
         assert!(fss16.mean_total_accesses() > base.mean_total_accesses());
-        assert!(fss16.mean_total_cycles() > base.mean_total_cycles());
+        assert!(fss16.mean_total_cycles().unwrap() > base.mean_total_cycles().unwrap());
         assert!(fss16.mean_last_round_accesses() > base.mean_last_round_accesses());
         assert!(!base.is_empty());
         assert_eq!(base.len(), 4);

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcoal_rng::StdRng;
+use rcoal_rng::{Rng, SeedableRng};
 use rcoal_aes::Block;
 
 /// Generates `num_plaintexts` random plaintexts of `lines` 16-byte lines

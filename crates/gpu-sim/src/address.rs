@@ -1,8 +1,7 @@
 use crate::GpuConfig;
-use serde::{Deserialize, Serialize};
 
 /// The DRAM location a physical address decodes to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PhysLoc {
     /// Memory controller (partition) index.
     pub mc: usize,
@@ -24,7 +23,7 @@ pub struct PhysLoc {
 /// chunks of 256 bytes; within a partition, consecutive chunks walk the
 /// banks so that streaming accesses spread across banks, and higher bits
 /// select the row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AddressMapper {
     num_mcs: usize,
     banks: usize,

@@ -13,8 +13,6 @@ pub(crate) struct L1Cache {
     sets: Vec<Vec<(u64, u64)>>,
     ways: usize,
     use_counter: u64,
-    hits: u64,
-    misses: u64,
 }
 
 impl L1Cache {
@@ -24,8 +22,6 @@ impl L1Cache {
             sets: vec![Vec::new(); sets.max(1)],
             ways: ways.max(1),
             use_counter: 0,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -33,7 +29,8 @@ impl L1Cache {
         ((block_addr >> 6) % self.sets.len() as u64) as usize
     }
 
-    /// Looks up a block, updating LRU and hit/miss counters.
+    /// Looks up a block, updating LRU on a hit (the simulator's `SimStats`
+    /// carries the hit/miss accounting).
     pub fn probe(&mut self, block_addr: u64) -> bool {
         self.use_counter += 1;
         let counter = self.use_counter;
@@ -41,13 +38,9 @@ impl L1Cache {
         match self.sets[set].iter_mut().find(|(b, _)| *b == block_addr) {
             Some(entry) => {
                 entry.1 = counter;
-                self.hits += 1;
                 true
             }
-            None => {
-                self.misses += 1;
-                false
-            }
+            None => false,
         }
     }
 
@@ -63,25 +56,16 @@ impl L1Cache {
             return;
         }
         if lines.len() >= ways {
-            let lru = lines
+            if let Some(lru) = lines
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
-                .expect("non-empty set");
-            lines.swap_remove(lru);
+            {
+                lines.swap_remove(lru);
+            }
         }
         lines.push((block_addr, counter));
-    }
-
-    /// Hits so far.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Misses so far.
-    pub fn misses(&self) -> u64 {
-        self.misses
     }
 }
 
@@ -95,8 +79,6 @@ mod tests {
         assert!(!c.probe(0x1000));
         c.fill(0x1000);
         assert!(c.probe(0x1000));
-        assert_eq!(c.hits(), 1);
-        assert_eq!(c.misses(), 1);
     }
 
     #[test]
@@ -115,7 +97,7 @@ mod tests {
     fn lru_evicts_the_oldest_way() {
         let mut c = L1Cache::new(1, 2);
         c.fill(0); // set 0
-        c.fill(64 * 1); // same set? sets=1 -> everything set 0
+        c.fill(64); // same set: sets=1 -> everything set 0
         assert!(c.probe(0)); // touch 0 so 64 is LRU
         c.fill(64 * 2); // evicts 64
         assert!(c.probe(0));

@@ -1,7 +1,6 @@
-use serde::{Deserialize, Serialize};
 
 /// Warp scheduling policy of each SM's schedulers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerPolicy {
     /// Greedy-then-oldest: keep issuing from the warp issued last; fall
     /// back to the oldest ready warp (GPGPU-Sim's default, and ours).
@@ -14,7 +13,7 @@ pub enum SchedulerPolicy {
 
 /// GDDR5 bank timing parameters in memory-clock cycles, following the
 /// Hynix GDDR5 datasheet values listed in the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
     /// CAS latency: read command to first data beat.
     pub t_cl: u32,
@@ -53,7 +52,7 @@ impl Default for DramTiming {
 /// `GpuConfig::default()` is the paper's configuration; tests shrink it
 /// (fewer SMs, smaller warps) for speed where the full machine is not the
 /// point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors (15).
     pub num_sms: usize,
@@ -111,6 +110,13 @@ pub struct GpuConfig {
     /// Upper bound on simulated core cycles before [`crate::SimError::CycleLimit`]
     /// aborts a runaway simulation.
     pub max_cycles: u64,
+    /// Forward-progress watchdog window in core cycles: if this many
+    /// cycles elapse with no instruction issued, no reply drained, no
+    /// warp executing and no reply awaiting release, the run aborts with
+    /// [`crate::SimError::Stalled`] instead of burning to `max_cycles`.
+    /// `0` disables the windowed backstop (the exact livelock detector —
+    /// quiescent machine with unfinished warps — stays on regardless).
+    pub watchdog_window: u64,
 }
 
 impl Default for GpuConfig {
@@ -139,6 +145,7 @@ impl Default for GpuConfig {
             mshr_entries: 0,
             issue_cycles: 1,
             max_cycles: 500_000_000,
+            watchdog_window: 100_000,
         }
     }
 }
@@ -193,7 +200,7 @@ impl GpuConfig {
         if self.banks_per_mc == 0 || self.bank_groups_per_mc == 0 {
             return Err("banks and bank groups must be positive".into());
         }
-        if self.banks_per_mc % self.bank_groups_per_mc != 0 {
+        if !self.banks_per_mc.is_multiple_of(self.bank_groups_per_mc) {
             return Err("bank_groups_per_mc must divide banks_per_mc".into());
         }
         if !self.interleave_bytes.is_power_of_two()
@@ -242,25 +249,17 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = GpuConfig::default();
-        c.num_sms = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = GpuConfig::default();
-        c.block_size = 48;
-        assert!(c.validate().is_err());
-
-        let mut c = GpuConfig::default();
-        c.block_size = 512; // larger than interleave chunk
-        assert!(c.validate().is_err());
-
-        let mut c = GpuConfig::default();
-        c.bank_groups_per_mc = 5;
-        assert!(c.validate().is_err());
-
-        let mut c = GpuConfig::default();
-        c.warp_size = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            GpuConfig { num_sms: 0, ..GpuConfig::default() },
+            GpuConfig { block_size: 48, ..GpuConfig::default() },
+            // block larger than the interleave chunk:
+            GpuConfig { block_size: 512, ..GpuConfig::default() },
+            GpuConfig { bank_groups_per_mc: 5, ..GpuConfig::default() },
+            GpuConfig { warp_size: 0, ..GpuConfig::default() },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Seeded fault injection for the memory subsystem.
+//!
+//! A [`FaultPlan`] describes *deterministic* hardware misbehaviour for a
+//! launch: per-memory-controller reply jitter, dropped replies with a
+//! bounded retransmit budget, and transient interconnect backpressure.
+//! Faults perturb **timing only** — coalesced-access accounting is taken
+//! at issue, before any fault fires, so security statistics remain
+//! policy-deterministic under an arbitrary plan (a property the test
+//! suite pins down).
+//!
+//! The plan is seeded independently of the launch seed, so one can sweep
+//! fault severity while holding the policy's subwarp draws fixed, or
+//! vice versa.
+
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+use std::collections::HashMap;
+
+/// Extra delay applied to a DRAM reply before it re-enters the reply
+/// network, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReplyJitter {
+    /// No added delay.
+    #[default]
+    None,
+    /// Uniform delay in `[min, max]` core cycles.
+    Uniform {
+        /// Smallest added delay.
+        min: u64,
+        /// Largest added delay (inclusive).
+        max: u64,
+    },
+    /// Half-normal delay: `|N(0, sigma²)|` core cycles, rounded. Models
+    /// thermally-throttled or contended DRAM with occasional long tails.
+    Gaussian {
+        /// Standard deviation of the underlying normal, in core cycles.
+        sigma: f64,
+    },
+}
+
+/// Fault profile of one memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct McFault {
+    /// Jitter added to every reply from this controller.
+    pub jitter: ReplyJitter,
+    /// Probability in `[0, 1]` that a reply is dropped at release time.
+    pub drop_rate: f64,
+    /// How many times a dropped request is retransmitted to the
+    /// controller before the reply is lost for good. With `0`, a single
+    /// drop permanently wedges the requesting warp — the livelock the
+    /// simulator's watchdog exists to catch.
+    pub max_retries: u32,
+}
+
+/// Transient interconnect backpressure: bursts during which neither
+/// crossbar moves packets.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IcntBackpressure {
+    /// Per-cycle probability that a stall burst begins.
+    pub stall_rate: f64,
+    /// Length of each burst in core cycles.
+    pub stall_cycles: u64,
+}
+
+/// A complete, seeded description of injected faults for one launch.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing and costs the
+/// simulator no work on the hot path.
+///
+/// ```
+/// use rcoal_gpu_sim::{FaultPlan, ReplyJitter};
+///
+/// let plan = FaultPlan::seeded(7)
+///     .with_jitter(ReplyJitter::Uniform { min: 0, max: 40 })
+///     .with_mc_drop(0, 0.05, 3)
+///     .with_backpressure(0.001, 16);
+/// assert!(plan.is_active());
+/// assert_eq!(FaultPlan::none().is_active(), false);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the launch seed).
+    pub seed: u64,
+    /// Profile applied to controllers without a dedicated entry.
+    pub default_mc: McFault,
+    /// Per-controller overrides as `(mc index, profile)` pairs.
+    pub per_mc: Vec<(usize, McFault)>,
+    /// Interconnect stall bursts.
+    pub backpressure: IcntBackpressure,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            default_mc: McFault::default(),
+            per_mc: Vec::new(),
+            backpressure: IcntBackpressure::default(),
+        }
+    }
+
+    /// An empty plan whose fault stream is driven by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::none() }
+    }
+
+    /// Applies `jitter` to every controller without a dedicated profile.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: ReplyJitter) -> Self {
+        self.default_mc.jitter = jitter;
+        self
+    }
+
+    /// Applies a drop rate and retransmit budget to every controller
+    /// without a dedicated profile.
+    #[must_use]
+    pub fn with_drop(mut self, drop_rate: f64, max_retries: u32) -> Self {
+        self.default_mc.drop_rate = drop_rate;
+        self.default_mc.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the full fault profile of controller `mc`.
+    #[must_use]
+    pub fn with_mc_profile(mut self, mc: usize, profile: McFault) -> Self {
+        self.per_mc.retain(|(m, _)| *m != mc);
+        self.per_mc.push((mc, profile));
+        self
+    }
+
+    /// Overrides only the drop behaviour of controller `mc`.
+    #[must_use]
+    pub fn with_mc_drop(self, mc: usize, drop_rate: f64, max_retries: u32) -> Self {
+        let mut profile = self.profile_for(mc);
+        profile.drop_rate = drop_rate;
+        profile.max_retries = max_retries;
+        self.with_mc_profile(mc, profile)
+    }
+
+    /// Overrides only the jitter of controller `mc`.
+    #[must_use]
+    pub fn with_mc_jitter(self, mc: usize, jitter: ReplyJitter) -> Self {
+        let mut profile = self.profile_for(mc);
+        profile.jitter = jitter;
+        self.with_mc_profile(mc, profile)
+    }
+
+    /// Enables interconnect stall bursts.
+    #[must_use]
+    pub fn with_backpressure(mut self, stall_rate: f64, stall_cycles: u64) -> Self {
+        self.backpressure = IcntBackpressure {
+            stall_rate,
+            stall_cycles,
+        };
+        self
+    }
+
+    /// The effective profile of controller `mc`.
+    pub fn profile_for(&self, mc: usize) -> McFault {
+        self.per_mc
+            .iter()
+            .find(|(m, _)| *m == mc)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.default_mc)
+    }
+
+    /// Whether this plan can perturb the simulation at all.
+    pub fn is_active(&self) -> bool {
+        let mc_active = |p: &McFault| p.drop_rate > 0.0 || p.jitter != ReplyJitter::None;
+        mc_active(&self.default_mc)
+            || self.per_mc.iter().any(|(_, p)| mc_active(p))
+            || (self.backpressure.stall_rate > 0.0 && self.backpressure.stall_cycles > 0)
+    }
+
+    /// Validates probabilities and jitter parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range knob.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_mc = |mc: &McFault, which: &str| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&mc.drop_rate) {
+                return Err(format!("{which} drop_rate {} outside [0, 1]", mc.drop_rate));
+            }
+            match mc.jitter {
+                ReplyJitter::Uniform { min, max } if min > max => {
+                    Err(format!("{which} uniform jitter has min {min} > max {max}"))
+                }
+                ReplyJitter::Gaussian { sigma } if !(sigma >= 0.0 && sigma.is_finite()) => {
+                    Err(format!("{which} gaussian jitter sigma {sigma} invalid"))
+                }
+                _ => Ok(()),
+            }
+        };
+        check_mc(&self.default_mc, "default")?;
+        for (mc, profile) in &self.per_mc {
+            check_mc(profile, &format!("mc {mc}"))?;
+        }
+        if !(0.0..=1.0).contains(&self.backpressure.stall_rate) {
+            return Err(format!(
+                "backpressure stall_rate {} outside [0, 1]",
+                self.backpressure.stall_rate
+            ));
+        }
+        Ok(())
+    }
+
+    /// Instantiates the runtime fault state for one launch.
+    pub(crate) fn state(&self) -> FaultState {
+        FaultState {
+            plan: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed ^ 0xfa_17),
+            active: self.is_active(),
+            stall_until: 0,
+            retries: HashMap::new(),
+        }
+    }
+}
+
+/// Per-launch mutable fault machinery consumed by the simulator loop.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    active: bool,
+    stall_until: u64,
+    retries: HashMap<u64, u32>,
+}
+
+/// Outcome of releasing one DRAM reply under the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplyFate {
+    /// The reply proceeds into the reply network.
+    Deliver,
+    /// The reply was dropped; the request retransmits to its controller.
+    Retransmit,
+    /// The reply was dropped and the retry budget is exhausted; the
+    /// requesting warp will never be unblocked by this request.
+    Lost,
+}
+
+impl FaultState {
+    /// Extra core cycles of delay for a reply from controller `mc`.
+    pub(crate) fn reply_delay(&mut self, mc: usize) -> u64 {
+        if !self.active {
+            return 0;
+        }
+        match self.plan.profile_for(mc).jitter {
+            ReplyJitter::None => 0,
+            ReplyJitter::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    self.rng.gen_range(min..max + 1)
+                }
+            }
+            ReplyJitter::Gaussian { sigma } => {
+                if sigma <= 0.0 {
+                    return 0;
+                }
+                let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.gen_range(0.0f64..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (sigma * z).abs().round() as u64
+            }
+        }
+    }
+
+    /// Decides the fate of a reply from controller `mc` for request `id`.
+    pub(crate) fn reply_fate(&mut self, mc: usize, id: u64) -> ReplyFate {
+        if !self.active {
+            return ReplyFate::Deliver;
+        }
+        let profile = self.plan.profile_for(mc);
+        if profile.drop_rate <= 0.0 || !self.rng.gen_bool(profile.drop_rate) {
+            return ReplyFate::Deliver;
+        }
+        let used = self.retries.entry(id).or_insert(0);
+        if *used < profile.max_retries {
+            *used += 1;
+            ReplyFate::Retransmit
+        } else {
+            ReplyFate::Lost
+        }
+    }
+
+    /// Whether the interconnect is stalled at `now`, advancing the burst
+    /// process one cycle.
+    pub(crate) fn icnt_stalled(&mut self, now: u64) -> bool {
+        if !self.active {
+            return false;
+        }
+        if now < self.stall_until {
+            return true;
+        }
+        let bp = self.plan.backpressure;
+        if bp.stall_rate > 0.0 && bp.stall_cycles > 0 && self.rng.gen_bool(bp.stall_rate) {
+            self.stall_until = now + bp.stall_cycles;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_free() {
+        let mut state = FaultPlan::none().state();
+        assert!(!FaultPlan::none().is_active());
+        assert_eq!(state.reply_delay(0), 0);
+        assert_eq!(state.reply_fate(0, 9), ReplyFate::Deliver);
+        assert!(!state.icnt_stalled(0));
+        FaultPlan::none().validate().expect("valid");
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_range() {
+        let plan = FaultPlan::seeded(3).with_jitter(ReplyJitter::Uniform { min: 5, max: 9 });
+        let mut state = plan.state();
+        for _ in 0..1000 {
+            let d = state.reply_delay(0);
+            assert!((5..=9).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn gaussian_jitter_is_nonnegative_and_scales_with_sigma() {
+        let small: u64 = {
+            let mut s = FaultPlan::seeded(4)
+                .with_jitter(ReplyJitter::Gaussian { sigma: 2.0 })
+                .state();
+            (0..2000).map(|_| s.reply_delay(0)).sum()
+        };
+        let large: u64 = {
+            let mut s = FaultPlan::seeded(4)
+                .with_jitter(ReplyJitter::Gaussian { sigma: 50.0 })
+                .state();
+            (0..2000).map(|_| s.reply_delay(0)).sum()
+        };
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn per_mc_profiles_override_the_default() {
+        let plan = FaultPlan::seeded(5)
+            .with_drop(0.0, 0)
+            .with_mc_drop(2, 1.0, 0);
+        assert_eq!(plan.profile_for(0).drop_rate, 0.0);
+        assert_eq!(plan.profile_for(2).drop_rate, 1.0);
+        let mut state = plan.state();
+        assert_eq!(state.reply_fate(0, 1), ReplyFate::Deliver);
+        assert_eq!(state.reply_fate(2, 1), ReplyFate::Lost, "0 retries");
+    }
+
+    #[test]
+    fn retry_budget_is_per_request() {
+        let plan = FaultPlan::seeded(6).with_drop(1.0, 2);
+        let mut state = plan.state();
+        assert_eq!(state.reply_fate(0, 7), ReplyFate::Retransmit);
+        assert_eq!(state.reply_fate(0, 7), ReplyFate::Retransmit);
+        assert_eq!(state.reply_fate(0, 7), ReplyFate::Lost);
+        // A different request has its own budget.
+        assert_eq!(state.reply_fate(0, 8), ReplyFate::Retransmit);
+    }
+
+    #[test]
+    fn backpressure_bursts_have_the_configured_length() {
+        let plan = FaultPlan::seeded(7).with_backpressure(1.0, 4);
+        let mut state = plan.state();
+        assert!(state.icnt_stalled(0), "rate 1.0 stalls immediately");
+        for now in 1..4 {
+            assert!(state.icnt_stalled(now), "burst covers cycle {now}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(FaultPlan::seeded(0).with_drop(1.5, 0).validate().is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_jitter(ReplyJitter::Uniform { min: 9, max: 5 })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_jitter(ReplyJitter::Gaussian { sigma: f64::NAN })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::seeded(0).with_backpressure(-0.1, 4).validate().is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_mc_drop(1, 2.0, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn seeded_fault_streams_are_reproducible() {
+        let plan = FaultPlan::seeded(11)
+            .with_jitter(ReplyJitter::Uniform { min: 0, max: 100 })
+            .with_drop(0.5, 1);
+        let run = || {
+            let mut s = plan.state();
+            let delays: Vec<u64> = (0..64).map(|_| s.reply_delay(0)).collect();
+            let fates: Vec<ReplyFate> = (0..64).map(|i| s.reply_fate(0, i)).collect();
+            (delays, fates)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn with_mc_profile_replaces_existing_entries() {
+        let plan = FaultPlan::seeded(1)
+            .with_mc_drop(3, 0.5, 1)
+            .with_mc_jitter(3, ReplyJitter::Uniform { min: 1, max: 2 });
+        assert_eq!(plan.per_mc.len(), 1);
+        let p = plan.profile_for(3);
+        assert_eq!(p.drop_rate, 0.5);
+        assert_eq!(p.jitter, ReplyJitter::Uniform { min: 1, max: 2 });
+    }
+}

@@ -1,7 +1,6 @@
-use serde::{Deserialize, Serialize};
 
 /// One instruction of a warp's dynamic trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceInstr {
     /// `cycles` of ALU work with no memory traffic.
     Compute {
@@ -44,7 +43,7 @@ impl TraceInstr {
 }
 
 /// The dynamic instruction trace of a single warp.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WarpTrace {
     instrs: Vec<TraceInstr>,
 }
@@ -111,7 +110,7 @@ pub trait Kernel {
 
 /// A trivial [`Kernel`] built directly from traces; used by tests and
 /// microbenchmarks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceKernel {
     traces: Vec<WarpTrace>,
     warp_width: usize,

@@ -1,5 +1,4 @@
 use rcoal_core::CoalescingPolicy;
-use serde::{Deserialize, Serialize};
 
 /// How a kernel launch maps coalescing policies onto its loads.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// e.g. the AES last-round T4 lookups), while every other load keeps a
 /// cheaper default policy. This recovers most of the performance of the
 /// baseline while keeping the secret-dependent loads randomized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LaunchPolicy {
     /// One policy for every load of the kernel.
     Uniform(CoalescingPolicy),

@@ -12,11 +12,19 @@
 //! the simulator reports cycle counts and coalesced-access statistics. The
 //! AES workload in `rcoal-aes` is one such kernel.
 //!
-//! Fidelity notes relative to GPGPU-Sim: caches and MSHRs are omitted
-//! because the paper itself disables them (§VII); what remains — issue,
-//! coalescing, interconnect serialization, DRAM bank timing and row
-//! locality — is exactly the path that carries the coalescing timing
-//! channel.
+//! Fidelity notes relative to GPGPU-Sim: the paper disables caches and
+//! MSHRs (§VII) and so does the default configuration here, though both
+//! exist as ablation levers (`l1_sets`, `mshr_entries`); what is always
+//! on — issue, coalescing, interconnect serialization, DRAM bank timing
+//! and row locality — is exactly the path that carries the coalescing
+//! timing channel.
+//!
+//! For robustness experiments the simulator can also inject seeded
+//! hardware faults ([`FaultPlan`]): per-controller DRAM reply jitter,
+//! dropped replies with a bounded retransmit budget, and transient
+//! interconnect backpressure. A forward-progress watchdog turns the
+//! resulting livelocks into [`SimError::Stalled`] with a diagnostic
+//! naming the stuck components.
 //!
 //! # Example
 //!
@@ -38,10 +46,15 @@
 //! # }
 //! ```
 
+// Library code must propagate failures as typed errors, never panic;
+// test modules are exempt (the harness is the panic handler there).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod address;
 mod cache;
 mod config;
 mod dram;
+mod fault;
 mod icnt;
 mod kernel;
 mod launch;
@@ -53,6 +66,7 @@ mod synthetic;
 pub use address::{AddressMapper, PhysLoc};
 pub use config::{DramTiming, GpuConfig, SchedulerPolicy};
 pub use dram::MemoryController;
+pub use fault::{FaultPlan, IcntBackpressure, McFault, ReplyJitter};
 pub use icnt::Crossbar;
 pub use kernel::{Kernel, TraceInstr, TraceKernel, WarpTrace};
 pub use launch::LaunchPolicy;

@@ -1,13 +1,14 @@
 use crate::cache::L1Cache;
 use crate::dram::MemRequest;
+use crate::fault::{FaultPlan, ReplyFate};
 use crate::sm::{Sm, WarpCtx};
 use crate::{
     AddressMapper, Crossbar, GpuConfig, Kernel, LaunchPolicy, MemoryController, PhysLoc, SimStats,
     TraceInstr,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rcoal_core::{Coalescer, CoalescingPolicy, PolicyError};
+use rcoal_rng::SeedableRng;
+use rcoal_rng::StdRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
@@ -26,6 +27,18 @@ pub enum SimError {
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// The forward-progress watchdog found the machine wedged: unfinished
+    /// warps exist but no instruction can ever issue and no reply will
+    /// ever arrive (for example after a faulted memory controller
+    /// permanently lost a reply).
+    Stalled {
+        /// Core cycle at which the stall was diagnosed.
+        cycle: u64,
+        /// Memory replies warps are still waiting for.
+        outstanding: u64,
+        /// Human-readable description naming the stuck components.
+        diagnostic: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +49,14 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
+            SimError::Stalled {
+                cycle,
+                outstanding,
+                diagnostic,
+            } => write!(
+                f,
+                "simulation stalled at cycle {cycle} with {outstanding} replies outstanding: {diagnostic}"
+            ),
         }
     }
 }
@@ -120,7 +141,48 @@ impl GpuSimulator {
         launch: LaunchPolicy,
         seed: u64,
     ) -> Result<SimStats, SimError> {
+        self.run_launch_faulted(kernel, launch, seed, &FaultPlan::none())
+    }
+
+    /// Executes `kernel` under `policy` with hardware faults injected
+    /// from `plan`: per-controller reply jitter, dropped replies with a
+    /// bounded retransmit budget, and interconnect stall bursts.
+    ///
+    /// Faults perturb timing only; coalesced-access statistics stay
+    /// identical to the fault-free run with the same `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSimulator::run`], plus [`SimError::Stalled`] when a
+    /// lost reply (or any other forward-progress failure) permanently
+    /// wedges a warp.
+    pub fn run_faulted(
+        &self,
+        kernel: &dyn Kernel,
+        policy: CoalescingPolicy,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Result<SimStats, SimError> {
+        self.run_launch_faulted(kernel, LaunchPolicy::Uniform(policy), seed, plan)
+    }
+
+    /// Executes `kernel` under a [`LaunchPolicy`] with faults injected
+    /// from `plan`. See [`GpuSimulator::run_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSimulator::run_faulted`].
+    pub fn run_launch_faulted(
+        &self,
+        kernel: &dyn Kernel,
+        launch: LaunchPolicy,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Result<SimStats, SimError> {
         self.config.validate().map_err(SimError::Config)?;
+        plan.validate()
+            .map_err(|msg| SimError::Config(format!("invalid fault plan: {msg}")))?;
+        let mut fault = plan.state();
         let cfg = &self.config;
         let mapper = AddressMapper::new(cfg);
         let coalescer =
@@ -182,9 +244,14 @@ impl GpuSimulator {
         let mut pending_replies: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         let mut mem_ticks: u64 = 0;
         let mut dram_done: Vec<(u64, u64)> = Vec::new();
+        // Forward-progress watchdog: last cycle at which the machine
+        // demonstrably moved (an instruction issued, a reply drained, a
+        // warp was executing, or a reply was waiting for release).
+        let mut progress_at: u64 = 0;
 
         let mut now: u64 = 0;
         loop {
+            let mut progressed = false;
             // --- Issue stage: each SM issues up to `warp_schedulers`
             // instructions from distinct ready warps.
             for s in 0..sms.len() {
@@ -196,17 +263,20 @@ impl GpuSimulator {
                             None => break,
                             Some(TraceInstr::RoundMark { round }) => {
                                 warp.pc += 1;
+                                progressed = true;
                                 stats.record_round_mark(round, now);
                                 // Marks are free: keep consuming.
                             }
                             Some(TraceInstr::Compute { cycles }) => {
                                 warp.pc += 1;
+                                progressed = true;
                                 warp.busy_until =
                                     now + u64::from(cycles) + u64::from(cfg.issue_cycles);
                                 break;
                             }
                             Some(TraceInstr::Load { ref addrs, tag }) => {
                                 warp.pc += 1;
+                                progressed = true;
                                 let assignment = if launch.is_vulnerable_tag(tag) {
                                     &warp.vulnerable_assignment
                                 } else {
@@ -268,15 +338,21 @@ impl GpuSimulator {
                 }
             }
 
+            // --- Interconnect: transient backpressure bursts freeze both
+            // crossbars for this cycle; packets keep their places.
+            let icnt_frozen = fault.icnt_stalled(now);
+
             // --- Request network (icnt clock == core clock in Table I).
             let mem_now = now * u64::from(cfg.mem_clock_mhz) / u64::from(cfg.core_clock_mhz);
-            for (mc, id) in req_net.tick(now) {
-                let loc = req_meta[id as usize].loc;
-                mcs[mc].enqueue(MemRequest {
-                    id,
-                    loc,
-                    arrival: mem_now,
-                });
+            if !icnt_frozen {
+                for (mc, id) in req_net.tick(now) {
+                    let loc = req_meta[id as usize].loc;
+                    mcs[mc].enqueue(MemRequest {
+                        id,
+                        loc,
+                        arrival: mem_now,
+                    });
+                }
             }
 
             // --- DRAM: advance memory clock to keep pace with core clock.
@@ -287,46 +363,70 @@ impl GpuSimulator {
                     dram_done.clear();
                     mc.tick(mem_ticks, &mut dram_done);
                     for &(id, done_mem) in &dram_done {
-                        let done_core = self.config.mem_to_core_cycles(done_mem).max(now + 1);
+                        let done_core = self.config.mem_to_core_cycles(done_mem).max(now + 1)
+                            + fault.reply_delay(mc_idx);
                         pending_replies.push(Reverse((done_core, mc_idx, id)));
                     }
                 }
                 mem_ticks += 1;
             }
 
-            // --- Release replies whose DRAM data is ready.
+            // --- Release replies whose DRAM data is ready. A faulted
+            // controller may drop the reply here: the request either
+            // retransmits (rejoining the controller queue) or, with the
+            // retry budget spent, is lost for good and the warp wedges.
             while let Some(&Reverse((t, mc, id))) = pending_replies.peek() {
                 if t > now {
                     break;
                 }
                 pending_replies.pop();
-                let sm = req_meta[id as usize].sm;
-                reply_net.inject(mc, sm, id);
+                match fault.reply_fate(mc, id) {
+                    ReplyFate::Deliver => {
+                        let sm = req_meta[id as usize].sm;
+                        reply_net.inject(mc, sm, id);
+                    }
+                    ReplyFate::Retransmit => {
+                        stats.dropped_replies += 1;
+                        stats.fault_retries += 1;
+                        mcs[mc].enqueue(MemRequest {
+                            id,
+                            loc: req_meta[id as usize].loc,
+                            arrival: mem_ticks,
+                        });
+                    }
+                    ReplyFate::Lost => {
+                        stats.dropped_replies += 1;
+                        stats.replies_lost += 1;
+                    }
+                }
             }
 
             // --- Reply network: returning data unblocks warps.
-            for (_sm, id) in reply_net.tick(now) {
-                let meta = req_meta[id as usize];
-                stats.mem_latency_sum += now - meta.issued_at;
-                if let Some(l1) = l1s[meta.sm].as_mut() {
-                    l1.fill(meta.block_addr);
-                }
-                let warp = &mut sms[meta.sm].warps[meta.warp];
-                debug_assert!(warp.outstanding > 0);
-                warp.outstanding -= 1;
-                // Release MSHR waiters piggybacked on this request.
-                if cfg.mshr_entries > 0 {
-                    let block = mshrs[meta.sm]
-                        .iter()
-                        .find(|(_, (pid, _))| *pid == id)
-                        .map(|(&b, _)| b);
-                    if let Some(block) = block {
-                        let (_, waiters) =
-                            mshrs[meta.sm].remove(&block).expect("entry exists");
-                        for w in waiters {
-                            let waiter = &mut sms[meta.sm].warps[w];
-                            debug_assert!(waiter.outstanding > 0);
-                            waiter.outstanding -= 1;
+            if !icnt_frozen {
+                for (_sm, id) in reply_net.tick(now) {
+                    progressed = true;
+                    let meta = req_meta[id as usize];
+                    stats.mem_latency_sum += now - meta.issued_at;
+                    if let Some(l1) = l1s[meta.sm].as_mut() {
+                        l1.fill(meta.block_addr);
+                    }
+                    let warp = &mut sms[meta.sm].warps[meta.warp];
+                    debug_assert!(warp.outstanding > 0);
+                    warp.outstanding -= 1;
+                    // Release MSHR waiters piggybacked on this request.
+                    if cfg.mshr_entries > 0 {
+                        let block = mshrs[meta.sm]
+                            .iter()
+                            .find(|(_, (pid, _))| *pid == id)
+                            .map(|(&b, _)| b);
+                        if let Some(block) = block {
+                            if let Some((_, waiters)) = mshrs[meta.sm].remove(&block) {
+                                for w in waiters {
+                                    let waiter = &mut sms[meta.sm].warps[w];
+                                    debug_assert!(waiter.outstanding > 0);
+                                    waiter.outstanding -= 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -337,18 +437,48 @@ impl GpuSimulator {
                 && reply_net.pending() == 0
                 && pending_replies.is_empty()
                 && mcs.iter().all(|m| m.pending() == 0);
-            // Record per-warp completion as warps drain (0 = not yet).
+            // Record per-warp completion as warps drain (0 = not yet),
+            // noting executing warps for the watchdog on the same pass.
+            let mut any_busy = false;
             for (s, sm) in sms.iter().enumerate() {
                 for (l, warp) in sm.warps.iter().enumerate() {
                     let gid = l * cfg.num_sms + s;
                     if stats.warp_finish_cycle[gid] == 0 && warp.done(now) {
                         stats.warp_finish_cycle[gid] = now + 1;
                     }
+                    any_busy |= warp.busy_until > now;
                 }
             }
-            if quiescent && sms.iter().all(|sm| sm.all_done(now)) {
+            let all_done = sms.iter().all(|sm| sm.all_done(now));
+            if quiescent && all_done {
                 stats.total_cycles = now + 1;
                 break;
+            }
+
+            // --- Forward-progress watchdog. Fast path: the machine is
+            // quiescent, nothing issued, no warp is executing, yet warps
+            // remain unfinished — no event can ever wake them, so report
+            // the stall immediately instead of burning to `max_cycles`.
+            // Windowed backstop: `watchdog_window` cycles without any
+            // progress event (catches e.g. a permanently frozen icnt,
+            // where packets stay pending but never move).
+            let wedged = quiescent && !progressed && !any_busy;
+            let window = cfg.watchdog_window;
+            let starved =
+                window > 0 && !progressed && !any_busy && now.saturating_sub(progress_at) >= window;
+            if wedged || starved {
+                return Err(self.stall_report(
+                    now,
+                    &sms,
+                    &stats,
+                    &req_net,
+                    &reply_net,
+                    &mcs,
+                    pending_replies.len(),
+                ));
+            }
+            if progressed || any_busy || !pending_replies.is_empty() {
+                progress_at = now;
             }
 
             now += 1;
@@ -372,9 +502,59 @@ impl GpuSimulator {
         };
         debug_assert_eq!(
             serviced,
-            stats.total_accesses - stats.mshr_merged - stats.l1_hits
+            stats.total_accesses - stats.mshr_merged - stats.l1_hits + stats.fault_retries
         );
         Ok(stats)
+    }
+
+    /// Builds the [`SimError::Stalled`] diagnostic naming the stuck
+    /// components at the moment the watchdog fired.
+    #[allow(clippy::too_many_arguments)]
+    fn stall_report(
+        &self,
+        cycle: u64,
+        sms: &[Sm],
+        stats: &SimStats,
+        req_net: &Crossbar,
+        reply_net: &Crossbar,
+        mcs: &[MemoryController],
+        pending_replies: usize,
+    ) -> SimError {
+        let mut outstanding: u64 = 0;
+        let mut stuck: Option<(usize, usize, u32, usize)> = None;
+        for (s, sm) in sms.iter().enumerate() {
+            for (w, warp) in sm.warps.iter().enumerate() {
+                outstanding += u64::from(warp.outstanding);
+                if stuck.is_none() && !warp.done(cycle) {
+                    stuck = Some((s, w, warp.outstanding, warp.pc));
+                }
+            }
+        }
+        let mut diagnostic = match stuck {
+            Some((s, w, out, pc)) => format!(
+                "sm {s} warp {w} is stuck at pc {pc} waiting on {out} replies"
+            ),
+            None => "no warp is runnable".to_string(),
+        };
+        if stats.replies_lost > 0 {
+            diagnostic.push_str(&format!(
+                "; {} replies were lost to fault injection",
+                stats.replies_lost
+            ));
+        }
+        let mc_pending: usize = mcs.iter().map(MemoryController::pending).sum();
+        diagnostic.push_str(&format!(
+            "; in flight: req_net {} reply_net {} dram {} pending replies {}",
+            req_net.pending(),
+            reply_net.pending(),
+            mc_pending,
+            pending_replies
+        ));
+        SimError::Stalled {
+            cycle,
+            outstanding,
+            diagnostic,
+        }
     }
 }
 
@@ -530,7 +710,7 @@ mod tests {
         assert!(stats.warp_finish_cycle[0] <= stats.total_cycles);
         // Two accesses, each with a full round trip through icnt + DRAM.
         assert!(stats.avg_mem_latency() > 2.0 * 8.0, "at least the crossbar latency");
-        assert_eq!(stats.mem_latency_sum % 1, 0);
+        assert!(stats.mem_latency_sum > 0);
     }
 
     #[test]
@@ -688,5 +868,157 @@ mod tests {
             sim().run(&k, p, 0),
             Err(SimError::Policy(_))
         ));
+    }
+
+    fn memory_kernel() -> TraceKernel {
+        let trace = WarpTrace::from_instrs(vec![
+            TraceInstr::load((0..4).map(|i| Some(i * 4096)).collect()),
+            TraceInstr::compute(5),
+            TraceInstr::load((0..4).map(|i| Some(i * 256)).collect()),
+        ]);
+        TraceKernel::new(vec![trace; 3], 4)
+    }
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        let k = memory_kernel();
+        let clean = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
+        let faulted = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &crate::FaultPlan::none())
+            .unwrap();
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_config_error() {
+        let k = memory_kernel();
+        let plan = crate::FaultPlan::seeded(0).with_drop(2.0, 0);
+        let err = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap_err();
+        match err {
+            SimError::Config(msg) => assert!(msg.contains("fault plan"), "{msg}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_replies_stall_in_bounded_time_with_a_diagnostic() {
+        // Drop 100% of the only controller's replies with no retries:
+        // every memory warp wedges. The exact livelock detector must fire
+        // long before the 500M-cycle limit.
+        let k = memory_kernel();
+        let plan = crate::FaultPlan::seeded(5).with_mc_drop(0, 1.0, 0);
+        let err = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap_err();
+        match err {
+            SimError::Stalled {
+                cycle,
+                outstanding,
+                diagnostic,
+            } => {
+                assert!(cycle < 100_000, "detected at cycle {cycle}");
+                assert!(outstanding > 0);
+                assert!(diagnostic.contains("sm 0 warp"), "{diagnostic}");
+                assert!(diagnostic.contains("replies were lost"), "{diagnostic}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retransmits_recover_dropped_replies() {
+        // Every reply is dropped once, then retransmitted successfully:
+        // the run completes, slower, with identical access accounting.
+        let k = memory_kernel();
+        let clean = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
+        let plan = crate::FaultPlan::seeded(6).with_drop(0.5, 8);
+        let faulted = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap();
+        assert!(faulted.fault_retries > 0, "a drop must have fired");
+        assert_eq!(faulted.replies_lost, 0);
+        assert_eq!(faulted.dropped_replies, faulted.fault_retries);
+        assert_eq!(faulted.total_accesses, clean.total_accesses);
+        assert_eq!(faulted.total_requests, clean.total_requests);
+        assert!(faulted.total_cycles > clean.total_cycles);
+    }
+
+    #[test]
+    fn reply_jitter_slows_the_run_but_not_the_access_counts() {
+        let k = memory_kernel();
+        let clean = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
+        let plan = crate::FaultPlan::seeded(7).with_jitter(crate::ReplyJitter::Uniform {
+            min: 200,
+            max: 400,
+        });
+        let faulted = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap();
+        assert!(faulted.total_cycles > clean.total_cycles + 100);
+        assert_eq!(faulted.total_accesses, clean.total_accesses);
+        assert_eq!(faulted.accesses_by_tag, clean.accesses_by_tag);
+    }
+
+    #[test]
+    fn backpressure_bursts_slow_the_run() {
+        let k = memory_kernel();
+        let clean = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
+        let plan = crate::FaultPlan::seeded(8).with_backpressure(0.05, 32);
+        let faulted = sim()
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap();
+        assert!(faulted.total_cycles > clean.total_cycles);
+        assert_eq!(faulted.total_accesses, clean.total_accesses);
+    }
+
+    #[test]
+    fn permanent_backpressure_trips_the_windowed_watchdog() {
+        // The interconnect freezes forever while packets are pending:
+        // the machine is never quiescent, so only the windowed backstop
+        // can catch it.
+        let cfg = GpuConfig {
+            watchdog_window: 2_000,
+            ..GpuConfig::tiny()
+        };
+        let k = memory_kernel();
+        let plan = crate::FaultPlan::seeded(9).with_backpressure(1.0, u64::MAX / 2);
+        let err = GpuSimulator::new(cfg)
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap_err();
+        match err {
+            SimError::Stalled { cycle, diagnostic, .. } => {
+                assert!(cycle < 100_000, "detected at cycle {cycle}");
+                assert!(diagnostic.contains("req_net"), "{diagnostic}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_window_zero_disables_the_backstop() {
+        let cfg = GpuConfig {
+            watchdog_window: 0,
+            max_cycles: 5_000,
+            ..GpuConfig::tiny()
+        };
+        let k = memory_kernel();
+        let plan = crate::FaultPlan::seeded(9).with_backpressure(1.0, u64::MAX / 2);
+        let err = GpuSimulator::new(cfg)
+            .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 5_000 });
+    }
+
+    #[test]
+    fn stalled_display_names_the_details() {
+        let err = SimError::Stalled {
+            cycle: 42,
+            outstanding: 3,
+            diagnostic: "sm 0 warp 1".into(),
+        };
+        let s = err.to_string();
+        assert!(s.contains("42") && s.contains("3 replies") && s.contains("sm 0 warp 1"));
     }
 }

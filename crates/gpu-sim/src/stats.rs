@@ -1,7 +1,6 @@
-use serde::{Deserialize, Serialize};
 
 /// Aggregate results of one simulated kernel launch.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimStats {
     /// Core cycles from launch to the last warp's completion.
     pub total_cycles: u64,
@@ -31,6 +30,13 @@ pub struct SimStats {
     pub l1_hits: u64,
     /// Core cycle at which each warp finished, indexed by global warp id.
     pub warp_finish_cycle: Vec<u64>,
+    /// DRAM replies dropped by fault injection (retransmitted or lost).
+    pub dropped_replies: u64,
+    /// Dropped replies that were retransmitted to their controller.
+    pub fault_retries: u64,
+    /// Dropped replies whose retry budget was exhausted; each one
+    /// permanently wedges its warp.
+    pub replies_lost: u64,
 }
 
 impl SimStats {

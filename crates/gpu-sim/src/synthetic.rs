@@ -4,12 +4,11 @@
 //! single-block broadcasts.
 
 use crate::{Kernel, TraceInstr, WarpTrace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rcoal_rng::StdRng;
+use rcoal_rng::{Rng, SeedableRng};
 
 /// Per-lane address pattern of a synthetic kernel's loads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// Consecutive 4-byte elements: lane `i` of load `k` reads
     /// `base + (k·W + i)·4`. Coalesces to one access per 64-byte block.
@@ -46,7 +45,7 @@ impl std::fmt::Display for AccessPattern {
 /// A synthetic [`Kernel`]: `num_warps` warps, each issuing
 /// `loads_per_warp` warp-wide loads following [`AccessPattern`], with a
 /// little compute between loads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticKernel {
     pattern: AccessPattern,
     num_warps: usize,

@@ -1,0 +1,311 @@
+//! Self-contained seeded pseudo-randomness for the RCoal workspace.
+//!
+//! Every randomized draw in the reproduction — subwarp compositions,
+//! plaintext batches, synthetic address streams, injected faults — flows
+//! through this crate, so a single `(algorithm, seed)` pair pins an
+//! entire experiment. The generator is xoshiro256** seeded through
+//! splitmix64: tiny, fast, and with no external dependencies, which
+//! keeps the workspace building offline.
+//!
+//! The API mirrors the subset of the `rand` crate the workspace uses
+//! (`Rng::gen_range`/`fill`/`gen_bool`, `SeedableRng::seed_from_u64`,
+//! `seq::SliceRandom::shuffle`), so call sites read idiomatically:
+//!
+//! ```
+//! use rcoal_rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let lane = rng.gen_range(0usize..32);
+//! assert!(lane < 32);
+//! let again = StdRng::seed_from_u64(42).gen_range(0usize..32);
+//! assert_eq!(lane, again, "same seed, same stream");
+//! ```
+
+use std::ops::Range;
+
+/// Minimal source of uniform 64-bit words. Object-safe so generic code
+/// can take `R: Rng + ?Sized`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`; equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience draws on top of [`RngCore`]; blanket-implemented.
+pub trait Rng: RngCore {
+    /// A uniform draw from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Maps a random word to the unit interval `[0, 1)` with 53-bit
+/// precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types drawable uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform draw from `range`. Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased integer draw in `[0, span)` via rejection sampling.
+fn next_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Reject draws from the final partial copy of [0, span) so every
+    // residue is equally likely.
+    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + next_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let v = range.start + (range.end - range.start) * unit_f64(rng.next_u64());
+        // Guard the upper bound against rounding when end - start is
+        // large relative to the ulp at `end`.
+        if v >= range.end {
+            range.start.max(range.end - range.end.abs() * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+/// The workspace's standard generator: xoshiro256** with the state
+/// expanded from the seed by splitmix64. Equal seeds give equal streams
+/// across platforms and releases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Re-export module mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Slice helpers mirroring `rand::seq`.
+pub mod seq {
+    use crate::{RngCore, SampleUniform};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_interval_never_reaches_one() {
+        assert!(unit_f64(u64::MAX) < 1.0);
+        assert_eq!(unit_f64(0), 0.0);
+    }
+
+    #[test]
+    fn strictly_positive_lower_bound_is_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn fill_covers_odd_lengths_and_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = [0u8; 13];
+        rng.fill(&mut a);
+        let mut b = [0u8; 13];
+        rng.fill(&mut b);
+        assert_ne!(a, b);
+        // Over many fills every byte position takes many values.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let mut buf = [0u8; 1];
+            rng.fill(&mut buf);
+            seen.insert(buf[0]);
+        }
+        assert!(seen.len() > 16);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.5), "clamped above one always fires");
+    }
+
+    #[test]
+    fn shuffle_permutes_without_loss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        // Shuffling actually moves things (astronomically unlikely to
+        // be identity).
+        assert_ne!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_through_unsized_rng_reference() {
+        // The `R: Rng + ?Sized` bound used across the workspace must
+        // accept `&mut StdRng` transparently.
+        fn draw<R: crate::Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0u64..10)
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = draw(&mut rng);
+        assert!(v < 10);
+    }
+
+    #[test]
+    fn rejection_sampling_handles_non_power_of_two_spans() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+}

@@ -6,12 +6,11 @@
 use crate::occupancy::Occupancy;
 use crate::partitions::{composition_classes, frequency_classes};
 use crate::stirling::binomial;
-use serde::{Deserialize, Serialize};
 
 /// The defense mechanisms covered by the closed-form analysis. (The paper
 /// skips standalone RSS, whose cross-moment needs the full mapping
 /// enumeration; its security is evaluated empirically in §VI.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mechanism {
     /// Fixed-sized subwarps.
     Fss,
@@ -84,7 +83,7 @@ impl SecurityModel {
     /// the same sweep).
     pub fn rho(&self, mechanism: Mechanism, m: usize) -> f64 {
         assert!(
-            m >= 1 && m <= self.n && self.n % m == 0,
+            m >= 1 && m <= self.n && self.n.is_multiple_of(m),
             "number of subwarps must divide the warp size"
         );
         match mechanism {
@@ -185,7 +184,7 @@ impl SecurityModel {
 }
 
 /// One row of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Row {
     /// Number of subwarps `M`.
     pub m: usize,
@@ -214,7 +213,7 @@ pub fn table2_for(model: SecurityModel) -> Vec<Table2Row> {
     (0..)
         .map(|k| 1usize << k)
         .take_while(|&m| m <= model.n)
-        .filter(|&m| model.n % m == 0)
+        .filter(|&m| model.n.is_multiple_of(m))
         .map(|m| Table2Row {
             m,
             rho_fss: model.rho(Mechanism::Fss, m),

@@ -33,8 +33,8 @@ impl Occupancy {
                     continue;
                 }
                 next[i] += p * i as f64 / n as f64;
-                if i + 1 <= m {
-                    next[i + 1] += p * (n - i).max(0) as f64 / n as f64;
+                if i < m {
+                    next[i + 1] += p * (n - i) as f64 / n as f64;
                 }
             }
             pmf = next;

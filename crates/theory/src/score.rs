@@ -1,6 +1,5 @@
 //! The RCoal_Score security/performance trade-off metric (paper Eq. 7).
 
-use serde::{Deserialize, Serialize};
 
 /// Tunable security-vs-performance score:
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// correlation and `execution_time` is normalized to the baseline. The
 /// exponents let a hardware engineer emphasize security (`a = b = 1`,
 /// Figure 17a) or performance (`a = 1, b = 20`, Figure 17b).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RCoalScore {
     /// Security exponent `a`.
     pub a: f64,

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mech", "M", "avg corr", "norm time", "score(a=b=1)", "score(b=20)"
     );
     println!("{}", "-".repeat(64));
-    let scores = fig17_rcoal_score(&comparison);
+    let scores = fig17_rcoal_score(&comparison)?;
     for score in &scores {
         let sec = comparison
             .security

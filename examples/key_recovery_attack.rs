@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("running the correlation attack (256 guesses x 16 bytes) ...\n");
     let attack = Attack::baseline(32);
-    let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles));
+    let recovery = attack.recover_key(&data.attack_samples(TimingSource::LastRoundCycles)?)?;
 
     println!("byte | guessed | actual | corr(guess) | rank of actual");
     println!("-----+---------+--------+-------------+---------------");

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CoalescingPolicy::Disabled,
     ] {
         let data = ExperimentConfig::new(policy, 20, 32).with_seed(42).run()?;
-        let cycles = data.mean_total_cycles();
+        let cycles = data.mean_total_cycles()?;
         let base = *baseline_cycles.get_or_insert(cycles);
         println!(
             "  {:<18} {:>12.0} {:>14.0} {:>11.2}x",

@@ -102,14 +102,15 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
         if selective { " (selective, last round only)" } else { "" }
     );
     println!("plaintexts       : {plaintexts} x {lines} lines");
+    let cycles = data.mean_total_cycles().map_err(|e| e.to_string())?;
+    let base_cycles = base.mean_total_cycles().map_err(|e| e.to_string())?;
     println!("mean cycles      : {:.0} ({:.3}x baseline)",
-        data.mean_total_cycles(),
-        data.mean_total_cycles() / base.mean_total_cycles());
+        cycles, cycles / base_cycles);
     println!("mean accesses    : {:.0} ({:.3}x baseline)",
         data.mean_total_accesses(),
         data.mean_total_accesses() / base.mean_total_accesses());
     println!("last-round mean  : {:.0} cycles / {:.0} accesses",
-        data.mean_last_round_cycles(),
+        data.mean_last_round_cycles().map_err(|e| e.to_string())?,
         data.mean_last_round_accesses());
     Ok(())
 }
@@ -128,10 +129,12 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let k10 = data.true_last_round_key();
     let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-    let samples = data.attack_samples(TimingSource::LastRoundCycles);
+    let samples = data
+        .attack_samples(TimingSource::LastRoundCycles)
+        .map_err(|e| e.to_string())?;
 
     if byte_spec == "all" {
-        let rec = attack.recover_key(&samples);
+        let rec = attack.recover_key(&samples).map_err(|e| e.to_string())?;
         let out = rec.outcome(&k10);
         for (j, b) in rec.bytes.iter().enumerate() {
             let hit = if b.best_guess == k10[j] { "HIT " } else { "miss" };
@@ -158,7 +161,7 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
         if j >= 16 {
             return Err("--byte must be 0..=15 or 'all'".into());
         }
-        let rec = attack.recover_byte(&samples, j);
+        let rec = attack.recover_byte(&samples, j).map_err(|e| e.to_string())?;
         println!(
             "byte {j}: guess 0x{:02x} actual 0x{:02x} corr {:+.3} rank {}",
             rec.best_guess,
@@ -175,7 +178,7 @@ fn cmd_score(args: &ParsedArgs) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 7)?;
     println!("sweeping 4 mechanisms x M in {{2,4,8,16}} with {samples} plaintexts each ...");
     let cmp = fig15_16_comparison(samples, seed).map_err(|e| e.to_string())?;
-    let mut scores = fig17_rcoal_score(&cmp);
+    let mut scores = fig17_rcoal_score(&cmp).map_err(|e| e.to_string())?;
     scores.sort_by(|a, b| b.security_oriented.total_cmp(&a.security_oriented));
     println!("\nby security-oriented score (a = b = 1):");
     for s in scores.iter().take(5) {

@@ -50,11 +50,11 @@ pub use rcoal_theory as theory;
 /// Commonly used items, importable with `use rcoal::prelude::*`.
 pub mod prelude {
     pub use rcoal_aes::{Aes128, AesGpuKernel};
-    pub use rcoal_attack::{Attack, AttackSample, KeyRecovery, RecoveryOutcome};
+    pub use rcoal_attack::{Attack, AttackError, AttackSample, KeyRecovery, RecoveryOutcome};
     pub use rcoal_core::{
         CoalescingPolicy, Coalescer, NumSubwarps, SizeDistribution, SubwarpAssignment,
     };
-    pub use rcoal_experiments::{ExperimentConfig, ExperimentData, TimingSource};
-    pub use rcoal_gpu_sim::{GpuConfig, GpuSimulator, SimStats};
+    pub use rcoal_experiments::{ExperimentConfig, ExperimentData, ExperimentError, TimingSource};
+    pub use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimStats};
     pub use rcoal_theory::{table2, Mechanism, RCoalScore, SecurityModel};
 }

@@ -21,7 +21,9 @@ fn baseline_attack_recovers_key_byte_on_vulnerable_gpu() {
     let data = run(CoalescingPolicy::Baseline, 600, 101);
     let k10 = data.true_last_round_key();
     let attack = Attack::baseline(32);
-    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+    let rec = attack
+        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
+        .unwrap();
     assert_eq!(
         rec.rank_of(k10[0]),
         0,
@@ -37,7 +39,9 @@ fn disabling_coalescing_closes_the_channel() {
     // Every plaintext issues exactly 32 × 16 last-round accesses.
     assert!(data.last_round_accesses.iter().all(|&a| a == 512));
     let attack = Attack::baseline(32);
-    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+    let rec = attack
+        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
+        .unwrap();
     assert_eq!(
         rec.correlation_of(k10[0]),
         0.0,
@@ -53,12 +57,12 @@ fn fss_beats_the_naive_attack_but_falls_to_the_fss_attack() {
     let k10 = data.true_last_round_key();
     // Isolate byte 0's channel (its own T4 load's access count) so the
     // other 15 byte positions do not act as noise.
-    let samples = data.attack_samples(TimingSource::ByteAccesses(0));
+    let samples = data.attack_samples(TimingSource::ByteAccesses(0)).unwrap();
 
     // The FSS attack (Algorithm 1) mirrors the subwarping: the correct
     // guess's prediction equals the true count exactly, so corr = 1.
     let fss_attack = Attack::against(policy, 32);
-    let rec = fss_attack.recover_byte(&samples, 0);
+    let rec = fss_attack.recover_byte(&samples, 0).unwrap();
     assert_eq!(rec.rank_of(k10[0]), 0, "FSS attack recovers the byte");
     assert!(
         rec.correlation_of(k10[0]) > 0.999,
@@ -69,7 +73,7 @@ fn fss_beats_the_naive_attack_but_falls_to_the_fss_attack() {
     // The naive (num-subwarp = 1) attack sees a weaker correlation than
     // the matched attack does.
     let naive = Attack::baseline(32);
-    let naive_rec = naive.recover_byte(&samples, 0);
+    let naive_rec = naive.recover_byte(&samples, 0).unwrap();
     assert!(
         naive_rec.correlation_of(k10[0]) < rec.correlation_of(k10[0]) - 0.2,
         "naive corr {} should be well below matched corr {}",
@@ -90,7 +94,9 @@ fn randomized_mechanisms_break_the_corresponding_attack() {
         let data = run(policy, 300, 104);
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(999);
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 0);
+        let rec = attack
+        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
+        .unwrap();
         let corr = rec.correlation_of(k10[0]);
         assert!(
             corr < max_corr,
@@ -118,7 +124,9 @@ fn defense_strength_orders_like_table_2_at_m8() {
         let data = run(policy, n, seed);
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(7);
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)), 0);
+        let rec = attack
+            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(), 0)
+            .unwrap();
         rec.correlation_of(k10[0])
     };
     let fss = corr_for(CoalescingPolicy::fss(8).expect("valid"));
@@ -139,7 +147,9 @@ fn multi_warp_plaintexts_still_recoverable_at_baseline() {
         .expect("experiment");
     let k10 = data.true_last_round_key();
     let attack = Attack::baseline(32);
-    let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses), 5);
+    let rec = attack
+        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 5)
+        .unwrap();
     assert!(
         rec.rank_of(k10[5]) <= 1,
         "rank {} should be ~0 with 500 clean samples",

@@ -15,20 +15,20 @@ fn noise_attenuates_the_attack_as_predicted() {
         .run()
         .expect("experiment");
     let k10 = data.true_last_round_key();
-    let clean = data.attack_samples(TimingSource::ByteAccesses(0));
+    let clean = data.attack_samples(TimingSource::ByteAccesses(0)).unwrap();
     let times: Vec<f64> = clean.iter().map(|s| s.time).collect();
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
 
     let attack = Attack::baseline(32);
-    let clean_corr = attack.recover_byte(&clean, 0).correlation_of(k10[0]);
+    let clean_corr = attack.recover_byte(&clean, 0).unwrap().correlation_of(k10[0]);
     assert!(clean_corr > 0.99, "clean channel is exact: {clean_corr}");
 
     // 3x-signal noise: prediction says corr drops to ~1/sqrt(10).
     let sigma = 3.0 * var.sqrt();
-    let noisy = GaussianNoise::new(sigma, 77).applied(&clean);
-    let noisy_corr = attack.recover_byte(&noisy, 0).correlation_of(k10[0]);
-    let predicted = attenuated_correlation(clean_corr, var, sigma);
+    let noisy = GaussianNoise::new(sigma, 77).unwrap().applied(&clean);
+    let noisy_corr = attack.recover_byte(&noisy, 0).unwrap().correlation_of(k10[0]);
+    let predicted = attenuated_correlation(clean_corr, var, sigma).unwrap();
     assert!(
         (noisy_corr - predicted).abs() < 0.1,
         "measured {noisy_corr} vs predicted {predicted}"
@@ -44,7 +44,7 @@ fn heavy_noise_defeats_recovery_at_small_n() {
         .run()
         .expect("experiment");
     let k10 = data.true_last_round_key();
-    let clean = data.attack_samples(TimingSource::ByteAccesses(0));
+    let clean = data.attack_samples(TimingSource::ByteAccesses(0)).unwrap();
     let times: Vec<f64> = clean.iter().map(|s| s.time).collect();
     let sd = {
         let mean = times.iter().sum::<f64>() / times.len() as f64;
@@ -52,13 +52,13 @@ fn heavy_noise_defeats_recovery_at_small_n() {
     };
     let attack = Attack::baseline(32);
     assert_eq!(
-        attack.recover_byte(&clean, 0).rank_of(k10[0]),
+        attack.recover_byte(&clean, 0).unwrap().rank_of(k10[0]),
         0,
         "clean channel recovers at 150 samples"
     );
     // 30x-signal noise needs ~30^2 * 11 samples; 150 is hopeless.
-    let noisy = GaussianNoise::new(30.0 * sd, 78).applied(&clean);
-    let rank = attack.recover_byte(&noisy, 0).rank_of(k10[0]);
+    let noisy = GaussianNoise::new(30.0 * sd, 78).unwrap().applied(&clean);
+    let rank = attack.recover_byte(&noisy, 0).unwrap().rank_of(k10[0]);
     assert!(rank > 3, "30x noise should bury the signal, rank {rank}");
 }
 
@@ -69,11 +69,11 @@ fn recovery_curve_matches_batch_at_each_checkpoint() {
         .functional_only()
         .run()
         .expect("experiment");
-    let samples = data.attack_samples(TimingSource::ByteAccesses(0));
+    let samples = data.attack_samples(TimingSource::ByteAccesses(0)).unwrap();
     let attack = Attack::against(data.policy, 32);
-    let curve = recovery_curve(&attack, &samples, 0, &[40, 120]);
+    let curve = recovery_curve(&attack, &samples, 0, &[40, 120]).unwrap();
     for (n, streamed) in curve {
-        let batch = attack.recover_byte(&samples[..n], 0);
+        let batch = attack.recover_byte(&samples[..n], 0).unwrap();
         assert_eq!(streamed.best_guess, batch.best_guess, "n = {n}");
         for m in 0..256 {
             assert!(
@@ -107,8 +107,8 @@ fn scheduler_choice_never_changes_access_counts() {
         assert_eq!(gto.last_round_accesses, lrr.last_round_accesses);
         assert_eq!(gto.ciphertexts, lrr.ciphertexts);
         // Timing may differ, but both must complete and stay positive.
-        assert!(gto.mean_total_cycles() > 0.0);
-        assert!(lrr.mean_total_cycles() > 0.0);
+        assert!(gto.mean_total_cycles().unwrap() > 0.0);
+        assert!(lrr.mean_total_cycles().unwrap() > 0.0);
     }
 }
 
@@ -120,7 +120,7 @@ fn standalone_rss_rho_sits_between_the_analytic_columns() {
     // and far below FSS's 1.0.
     let model = SecurityModel::default();
     for m in [4usize, 8] {
-        let rss = rho_monte_carlo(CoalescingPolicy::rss(m).expect("valid"), 30_000, 405);
+        let rss = rho_monte_carlo(CoalescingPolicy::rss(m).expect("valid"), 30_000, 405).unwrap();
         let rss_rts = model.rho(Mechanism::RssRts, m);
         assert!(
             rss > rss_rts - 0.02,
@@ -133,7 +133,7 @@ fn standalone_rss_rho_sits_between_the_analytic_columns() {
 #[test]
 fn monte_carlo_rho_agrees_with_analytics_for_rts_mechanisms() {
     let model = SecurityModel::default();
-    let mc = rho_monte_carlo(CoalescingPolicy::fss_rts(4).expect("valid"), 40_000, 406);
+    let mc = rho_monte_carlo(CoalescingPolicy::fss_rts(4).expect("valid"), 40_000, 406).unwrap();
     let analytic = model.rho(Mechanism::FssRts, 4);
     assert!(
         (mc - analytic).abs() < 0.03,

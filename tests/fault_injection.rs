@@ -1,0 +1,244 @@
+//! Fault-injection integration: the experiment pipeline under injected
+//! DRAM/interconnect faults.
+//!
+//! Three properties are pinned down end-to-end:
+//!
+//! 1. **Typed termination** — arbitrary seeded [`FaultPlan`]s never
+//!    panic the pipeline; every run ends in `Ok`, `Stalled`, or
+//!    `CycleLimit` (ISSUE: proptest-style fault coverage).
+//! 2. **Policy-determinism of security statistics** — faults perturb
+//!    timing only, so coalesced-access counts are bit-identical with and
+//!    without faults at the same seed.
+//! 3. **Attenuation law** — Gaussian DRAM reply jitter degrades the
+//!    baseline attack's correct-guess correlation consistent with the
+//!    `ρ' = ρ·√(v/(v+σ²))` model from `rcoal_attack::noise` (Eq. 4).
+
+use rcoal::prelude::*;
+use rcoal_attack::attenuated_correlation;
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+
+fn timed(n: usize, seed: u64, faults: FaultPlan) -> Result<ExperimentData, ExperimentError> {
+    ExperimentConfig::new(CoalescingPolicy::Baseline, n, 32)
+        .with_seed(seed)
+        .with_faults(faults)
+        .run()
+}
+
+/// Draws a random-but-valid fault plan: mixed jitter kinds, bounded drop
+/// rates with small retry budgets, occasional backpressure bursts.
+fn arb_plan(rng: &mut StdRng) -> FaultPlan {
+    let seed = rng.gen_range(0u64..u64::MAX);
+    let mut plan = FaultPlan::seeded(seed);
+    plan = match rng.gen_range(0u32..3) {
+        0 => plan,
+        1 => plan.with_jitter(ReplyJitter::Uniform {
+            min: rng.gen_range(0u64..4),
+            max: rng.gen_range(4u64..40),
+        }),
+        _ => plan.with_jitter(ReplyJitter::Gaussian {
+            sigma: rng.gen_range(0.0f64..20.0),
+        }),
+    };
+    if rng.gen_bool(0.5) {
+        // Retry budget >= 1 keeps drops recoverable (rate < 1).
+        plan = plan.with_drop(rng.gen_range(0.0f64..0.3), rng.gen_range(1u32..5));
+    }
+    if rng.gen_bool(0.4) {
+        plan = plan.with_backpressure(rng.gen_range(0.0f64..0.01), rng.gen_range(1u64..16));
+    }
+    if rng.gen_bool(0.3) {
+        plan = plan.with_mc_jitter(
+            rng.gen_range(0usize..6),
+            ReplyJitter::Uniform { min: 0, max: 100 },
+        );
+    }
+    plan
+}
+
+#[test]
+fn random_fault_plans_terminate_with_typed_results() {
+    let mut rng = StdRng::seed_from_u64(0xfa_0171);
+    for case in 0..12 {
+        let plan = arb_plan(&mut rng);
+        plan.validate().expect("arb_plan only draws valid knobs");
+        match timed(3, 900 + case, plan.clone()) {
+            Ok(data) => assert_eq!(data.len(), 3),
+            Err(ExperimentError::Sim(SimError::Stalled { diagnostic, .. })) => {
+                assert!(!diagnostic.is_empty(), "case {case}: empty diagnostic")
+            }
+            Err(ExperimentError::Sim(SimError::CycleLimit { .. })) => {}
+            Err(other) => panic!("case {case} under {plan:?}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn recoverable_drops_still_complete() {
+    // Every reply has a 30% drop chance but a generous retry budget, so
+    // all warps eventually drain and the run succeeds — just slower.
+    let plan = FaultPlan::seeded(21).with_drop(0.3, 16);
+    let faulted = timed(4, 31, plan).expect("retransmits recover every drop");
+    let clean = timed(4, 31, FaultPlan::none()).expect("clean run");
+    assert!(
+        faulted.mean_total_cycles().expect("timing run")
+            > clean.mean_total_cycles().expect("timing run"),
+        "retransmitted requests must cost cycles"
+    );
+}
+
+#[test]
+fn lost_replies_surface_as_a_stalled_diagnostic() {
+    // Zero retry budget + certain drop: the first dropped reply wedges
+    // its warp forever, which the watchdog must convert into a typed
+    // `Stalled` instead of burning cycles to the configured limit.
+    let err = timed(2, 41, FaultPlan::seeded(5).with_drop(1.0, 0))
+        .expect_err("a permanently lost reply cannot complete");
+    match &err {
+        ExperimentError::Sim(SimError::Stalled {
+            outstanding,
+            diagnostic,
+            ..
+        }) => {
+            assert!(*outstanding > 0, "stall must report outstanding replies");
+            assert!(
+                diagnostic.contains("lost"),
+                "diagnostic should name the lost replies: {diagnostic}"
+            );
+        }
+        other => panic!("expected a Stalled sim error, got {other}"),
+    }
+    // The source chain preserves the simulator error for callers that
+    // walk `std::error::Error`.
+    let source = std::error::Error::source(&err).expect("chained source");
+    assert!(source.to_string().contains("simulation stalled"));
+}
+
+#[test]
+fn timing_faults_leave_access_counts_policy_deterministic() {
+    // The coalescer counts accesses at issue, before any fault fires:
+    // the attacker-visible access statistics depend only on (policy,
+    // seed), never on the fault plan. This is what makes fault sweeps
+    // interpretable — faults attack the *measurement*, not the channel.
+    let jitter = FaultPlan::seeded(9)
+        .with_jitter(ReplyJitter::Gaussian { sigma: 25.0 })
+        .with_backpressure(0.002, 8);
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::rss_rts(4).expect("valid"),
+    ] {
+        let run = |faults: FaultPlan| {
+            ExperimentConfig::new(policy, 4, 32)
+                .with_seed(77)
+                .with_faults(faults)
+                .run()
+                .expect("experiment")
+        };
+        let clean = run(FaultPlan::none());
+        let faulted = run(jitter.clone());
+        assert_eq!(clean.total_accesses, faulted.total_accesses, "{policy}");
+        assert_eq!(
+            clean.last_round_accesses, faulted.last_round_accesses,
+            "{policy}"
+        );
+        assert_eq!(
+            clean.last_round_accesses_by_byte,
+            faulted.last_round_accesses_by_byte
+        );
+        assert_eq!(clean.ciphertexts, faulted.ciphertexts);
+        // ... while the timing itself must differ under heavy jitter.
+        assert_ne!(
+            clean.total_cycles, faulted.total_cycles,
+            "{policy}: 25-cycle reply jitter must perturb timing"
+        );
+    }
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn dram_jitter_attenuates_attacker_correlation() {
+    // The ISSUE acceptance test: injected DRAM jitter of (empirical)
+    // variance σ² must scale the baseline attack's correct-guess
+    // correlation by ~√(v/(v+σ²)) — the same law `attenuated_correlation`
+    // models for explicit measurement noise.
+    let n = 300;
+    let seed = 0x0a77e;
+    let clean = timed(n, seed, FaultPlan::none()).expect("clean run");
+
+    let times = |d: &ExperimentData| -> Vec<f64> {
+        d.last_round_cycles
+            .as_ref()
+            .expect("timing run")
+            .iter()
+            .map(|&c| c as f64)
+            .collect()
+    };
+    let v = variance(&times(&clean));
+
+    let correct = clean.true_last_round_key()[0];
+    let attack = Attack::baseline(32);
+    let corr = |d: &ExperimentData| {
+        attack
+            .recover_byte(
+                &d.attack_samples(TimingSource::LastRoundCycles)
+                    .expect("timing run"),
+                0,
+            )
+            .expect("samples present")
+            .correlation_of(correct)
+    };
+    let rho_clean = corr(&clean);
+    // Byte 0's signal rides on the other fifteen bytes' accesses plus
+    // scheduler noise, so the clean attack correlation sits around ~0.2
+    // at this scale (cf. the paper's Figure 6 magnitudes).
+    assert!(
+        rho_clean > 0.15,
+        "the clean channel must leak for attenuation to be measurable: {rho_clean}"
+    );
+
+    // Mid-curve (sigma_eff comparable to the signal sd) and
+    // deep-attenuation points.
+    let mut prev = rho_clean;
+    for sigma in [4.0, 60.0] {
+        let noisy = timed(
+            n,
+            seed,
+            FaultPlan::seeded(13).with_jitter(ReplyJitter::Gaussian { sigma }),
+        )
+        .expect("jitter never wedges a warp");
+        // Per-reply jitter accumulates along each launch's critical
+        // path, so the per-sample noise deviation is measured, not
+        // assumed equal to the per-reply sigma.
+        let sigma_eff = (variance(&times(&noisy)) - v).max(0.0).sqrt();
+        assert!(
+            sigma_eff > 0.5 * v.sqrt(),
+            "sigma {sigma} should widen the timing spread: sigma_eff {sigma_eff}, sd {}",
+            v.sqrt()
+        );
+        let rho_noisy = corr(&noisy);
+        let predicted =
+            attenuated_correlation(rho_clean, v, sigma_eff).expect("positive variance");
+        eprintln!(
+            "attenuation sigma {sigma}: clean rho {rho_clean:.3}, noisy rho {rho_noisy:.3}, \
+             predicted {predicted:.3} (signal sd {:.1}, sigma_eff {sigma_eff:.1})",
+            v.sqrt()
+        );
+        assert!(
+            rho_noisy < rho_clean,
+            "jitter must weaken the attack: {rho_noisy} vs clean {rho_clean}"
+        );
+        assert!(
+            (rho_noisy - predicted).abs() < 0.15,
+            "sigma {sigma}: measured {rho_noisy} vs Eq.4 prediction {predicted} \
+             (clean {rho_clean}, v {v:.1}, sigma_eff {sigma_eff:.1})"
+        );
+        assert!(
+            rho_noisy <= prev + 0.05,
+            "attenuation should be monotone in sigma: {rho_noisy} after {prev}"
+        );
+        prev = rho_noisy;
+    }
+}

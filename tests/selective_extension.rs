@@ -17,7 +17,8 @@ fn selective_matches_uniform_on_the_last_round() {
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(5);
         attack
-            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)), 0)
+            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(), 0)
+            .unwrap()
             .correlation_of(k10[0])
     };
     let uniform = corr_for(ExperimentConfig::new(policy, 250, 32).with_seed(301));
@@ -70,7 +71,8 @@ fn selective_keeps_rounds_1_to_9_at_baseline_cost() {
 #[test]
 fn selective_timing_cost_is_a_fraction_of_uniform() {
     let policy = CoalescingPolicy::rss_rts(8).expect("valid");
-    let cycles = |cfg: ExperimentConfig| cfg.run().expect("experiment").mean_total_cycles();
+    let cycles =
+        |cfg: ExperimentConfig| cfg.run().expect("experiment").mean_total_cycles().unwrap();
     let base = cycles(ExperimentConfig::new(CoalescingPolicy::Baseline, 4, 32).with_seed(303));
     let uniform = cycles(ExperimentConfig::new(policy, 4, 32).with_seed(303));
     let selective = cycles(ExperimentConfig::selective(policy, 4, 32).with_seed(303));

@@ -16,7 +16,7 @@ fn execution_time_rises_with_subwarp_count() {
     let mut prev = 0.0;
     for m in [1usize, 4, 16] {
         let policy = CoalescingPolicy::fss(m).expect("divisor");
-        let cycles = timed(policy, 5, 32, 201).mean_total_cycles();
+        let cycles = timed(policy, 5, 32, 201).mean_total_cycles().unwrap();
         assert!(
             cycles > prev,
             "FSS(M={m}) at {cycles} cycles should be slower than previous {prev}"
@@ -30,7 +30,7 @@ fn disabling_coalescing_is_the_most_expensive_option() {
     let base = timed(CoalescingPolicy::Baseline, 5, 32, 202);
     let off = timed(CoalescingPolicy::Disabled, 5, 32, 202);
     let fss8 = timed(CoalescingPolicy::fss(8).expect("valid"), 5, 32, 202);
-    assert!(off.mean_total_cycles() > fss8.mean_total_cycles());
+    assert!(off.mean_total_cycles().unwrap() > fss8.mean_total_cycles().unwrap());
     assert!(off.mean_total_accesses() > fss8.mean_total_accesses());
     // Paper §III: ~2.7× data movement at the kernel level.
     let factor = off.mean_total_accesses() / base.mean_total_accesses();
@@ -44,8 +44,8 @@ fn disabling_coalescing_is_the_most_expensive_option() {
 fn rts_is_performance_neutral() {
     let fss = timed(CoalescingPolicy::fss(8).expect("valid"), 8, 32, 203);
     let fss_rts = timed(CoalescingPolicy::fss_rts(8).expect("valid"), 8, 32, 203);
-    let rel = (fss_rts.mean_total_cycles() - fss.mean_total_cycles()).abs()
-        / fss.mean_total_cycles();
+    let rel = (fss_rts.mean_total_cycles().unwrap() - fss.mean_total_cycles().unwrap()).abs()
+        / fss.mean_total_cycles().unwrap();
     assert!(
         rel < 0.05,
         "RTS should cost ~nothing; saw {:.1}% difference",
@@ -65,7 +65,7 @@ fn rss_coalesces_better_than_fss() {
         rss.mean_total_accesses(),
         fss.mean_total_accesses()
     );
-    assert!(rss.mean_total_cycles() < fss.mean_total_cycles());
+    assert!(rss.mean_total_cycles().unwrap() < fss.mean_total_cycles().unwrap());
 }
 
 #[test]
@@ -114,7 +114,7 @@ fn larger_plaintexts_take_proportionally_longer() {
     let large = timed(CoalescingPolicy::Baseline, 2, 1024, 207);
     // 32 warps of work over 15 SMs: expect a clear increase, but far less
     // than 32x thanks to parallelism across SMs and schedulers.
-    let ratio = large.mean_total_cycles() / small.mean_total_cycles();
+    let ratio = large.mean_total_cycles().unwrap() / small.mean_total_cycles().unwrap();
     assert!(
         (2.0..32.0).contains(&ratio),
         "1024-line / 32-line cycle ratio = {ratio}"
