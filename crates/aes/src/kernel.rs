@@ -75,6 +75,10 @@ pub struct AesGpuKernel {
     lines: Vec<Block>,
     ciphertexts: Vec<Block>,
     traces: Vec<LookupTrace>,
+    /// Per-warp instruction traces, generated once at construction;
+    /// [`Kernel::trace`] hands out borrows so each of the hundreds of
+    /// launches per experiment copies nothing.
+    warp_traces: Vec<WarpTrace>,
     warp_size: usize,
     layout: TableLayout,
     /// ALU cycles between dependent lookups.
@@ -106,16 +110,21 @@ impl AesGpuKernel {
             ciphertexts.push(ct);
             traces.push(tr);
         }
-        AesGpuKernel {
+        let mut kernel = AesGpuKernel {
             aes,
             lines,
             ciphertexts,
             traces,
+            warp_traces: Vec::new(),
             warp_size: warp_size.max(1),
             layout,
             compute_per_lookup: 2,
             round_overhead: 8,
-        }
+        };
+        kernel.warp_traces = (0..kernel.num_warps())
+            .map(|w| kernel.build_trace(w))
+            .collect();
+        kernel
     }
 
     /// The expanded key schedule in use.
@@ -156,18 +165,8 @@ impl AesGpuKernel {
         let start = warp_id * self.warp_size;
         start..(start + self.warp_size).min(self.lines.len())
     }
-}
 
-impl Kernel for AesGpuKernel {
-    fn num_warps(&self) -> usize {
-        self.lines.len().div_ceil(self.warp_size)
-    }
-
-    fn warp_width(&self, warp_id: usize) -> usize {
-        self.warp_lines(warp_id).len()
-    }
-
-    fn trace(&self, warp_id: usize) -> WarpTrace {
+    fn build_trace(&self, warp_id: usize) -> WarpTrace {
         let lines = self.warp_lines(warp_id);
         let width = lines.len();
         let mut trace = WarpTrace::default();
@@ -210,6 +209,20 @@ impl Kernel for AesGpuKernel {
         trace.push(TraceInstr::load_tagged(output, OUTPUT_TAG));
         debug_assert_eq!(width, trace.instrs().len().min(width).min(width).max(width));
         trace
+    }
+}
+
+impl Kernel for AesGpuKernel {
+    fn num_warps(&self) -> usize {
+        self.lines.len().div_ceil(self.warp_size)
+    }
+
+    fn warp_width(&self, warp_id: usize) -> usize {
+        self.warp_lines(warp_id).len()
+    }
+
+    fn trace(&self, warp_id: usize) -> &WarpTrace {
+        &self.warp_traces[warp_id]
     }
 }
 

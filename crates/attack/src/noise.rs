@@ -108,7 +108,7 @@ mod tests {
     fn zero_sigma_is_identity() {
         let samples = vec![
             AttackSample {
-                ciphertexts: vec![],
+                ciphertexts: std::sync::Arc::new(vec![]),
                 time: 10.0,
             };
             5

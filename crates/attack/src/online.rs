@@ -161,7 +161,7 @@ mod tests {
                 blocks.sort_unstable();
                 blocks.dedup();
                 AttackSample {
-                    ciphertexts: cts,
+                    ciphertexts: std::sync::Arc::new(cts),
                     time: blocks.len() as f64,
                 }
             })

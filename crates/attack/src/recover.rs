@@ -3,14 +3,20 @@ use crate::predict::AccessPredictor;
 use crate::stats::{argmax, pearson};
 use rcoal_aes::Block;
 use rcoal_core::CoalescingPolicy;
+use rcoal_parallel::{parallel_map, resolve_threads};
+use std::sync::Arc;
 
 /// One observation the attacker collected from the encryption server:
 /// the ciphertext lines of one plaintext and its (last-round) execution
 /// time.
+///
+/// The ciphertext lines are shared via [`Arc`]: one launch's ciphertexts
+/// are referenced by the timing sample, the functional sample, and every
+/// noise-perturbed copy, so cloning a sample never deep-copies blocks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackSample {
     /// Ciphertext lines in line order.
-    pub ciphertexts: Vec<Block>,
+    pub ciphertexts: Arc<Vec<Block>>,
     /// The timing measurement the attacker correlates against (the paper
     /// grants the attacker the clean last-round time; see §II-C).
     pub time: f64,
@@ -118,6 +124,7 @@ pub struct Attack {
     warp_size: usize,
     seed: u64,
     mc_samples: usize,
+    threads: Option<usize>,
 }
 
 impl Attack {
@@ -135,6 +142,7 @@ impl Attack {
             warp_size,
             seed: 0x5eed,
             mc_samples: 1,
+            threads: None,
         }
     }
 
@@ -148,6 +156,15 @@ impl Attack {
     /// randomness.
     pub fn with_mc_samples(mut self, n: usize) -> Self {
         self.mc_samples = n.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count for the 256-guess correlation sweep
+    /// (`None` defers to `RCOAL_THREADS` / the machine's parallelism).
+    /// Every guess has an independent predictor seed, so the result is
+    /// bit-identical at any thread count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -182,15 +199,22 @@ impl Attack {
             return Err(AttackError::NoSamples);
         }
         let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
-        let mut correlations = Vec::with_capacity(256);
-        for m in 0..=255u8 {
-            let mut predictor = self.predictor_for_guess(m);
-            let predicted: Vec<f64> = samples
-                .iter()
-                .map(|s| predictor.predict(&s.ciphertexts, j, m))
-                .collect();
-            correlations.push(pearson(&predicted, &times));
-        }
+        // Each guess derives its predictor seed from the guess value, so
+        // the 256 correlation computations are independent and sweep in
+        // parallel with bit-identical results.
+        let guesses: Vec<u8> = (0..=255u8).collect();
+        let correlations = parallel_map(
+            resolve_threads(self.threads),
+            &guesses,
+            |_, &m| {
+                let mut predictor = self.predictor_for_guess(m);
+                let predicted: Vec<f64> = samples
+                    .iter()
+                    .map(|s| predictor.predict(&s.ciphertexts, j, m))
+                    .collect();
+                pearson(&predicted, &times)
+            },
+        );
         Ok(correlations)
     }
 
@@ -266,7 +290,7 @@ mod tests {
                     time += blocks.len() as f64;
                 }
                 AttackSample {
-                    ciphertexts: cts,
+                    ciphertexts: Arc::new(cts),
                     time,
                 }
             })

@@ -1,0 +1,114 @@
+//! Sequential-vs-parallel throughput of the experiment engine.
+//!
+//! Runs the same `reproduce_all`-style workload (timing experiments for
+//! Baseline and RSS+RTS(8) plus a full 16-byte key recovery) once with
+//! `threads = 1` and once with `threads = 8` (override with
+//! `RCOAL_THREADS`), verifies the outputs are bit-identical, and records
+//! the wall-clock numbers to `BENCH_parallel.json` at the repository
+//! root so the perf trajectory is tracked across PRs.
+//!
+//! The speedup this records is bounded by the machine: on a box pinned
+//! to one core the parallel run cannot beat the sequential one, which is
+//! why the artifact also records `available_parallelism`.
+
+use rcoal_attack::Attack;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::{ExperimentConfig, ExperimentData, TimingSource};
+use std::time::Instant;
+
+/// Plaintexts per experiment; enough launches for the fan-out to
+/// amortize thread startup while keeping the bench under a minute.
+const PLAINTEXTS: usize = 48;
+/// Threads for the parallel leg (the acceptance point of the scaling
+/// study); `RCOAL_THREADS` overrides.
+const PARALLEL_THREADS: usize = 8;
+
+struct WorkloadResult {
+    data: Vec<ExperimentData>,
+    key_bytes: Vec<u8>,
+    ranks: Vec<usize>,
+    seconds: f64,
+}
+
+/// One multi-figure-style workload at a fixed thread count: two timing
+/// experiment sweeps plus the 16 x 256-guess correlation attack.
+fn run_workload(threads: usize) -> Result<WorkloadResult, String> {
+    let policies = [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::rss_rts(8).map_err(|e| e.to_string())?,
+    ];
+    let start = Instant::now();
+    let mut data = Vec::new();
+    for policy in policies {
+        data.push(
+            ExperimentConfig::new(policy, PLAINTEXTS, 32)
+                .with_seed(BENCH_SEED)
+                .with_threads(threads)
+                .run()
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let baseline = &data[0];
+    let samples = baseline
+        .attack_samples(TimingSource::LastRoundCycles)
+        .map_err(|e| e.to_string())?;
+    let attack = Attack::baseline(32).with_threads(Some(threads));
+    let recovered = attack.recover_key(&samples).map_err(|e| e.to_string())?;
+    let seconds = start.elapsed().as_secs_f64();
+
+    let k10 = baseline.true_last_round_key();
+    let key_bytes = recovered.bytes.iter().map(|b| b.best_guess).collect();
+    let ranks = (0..16).map(|j| recovered.bytes[j].rank_of(k10[j])).collect();
+    Ok(WorkloadResult {
+        data,
+        key_bytes,
+        ranks,
+        seconds,
+    })
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("parallel_scaling bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let parallel_threads = std::env::var(rcoal_parallel::THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(PARALLEL_THREADS);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "parallel_scaling: {PLAINTEXTS}-plaintext workload, 1 vs {parallel_threads} threads \
+         ({cores} cores available)"
+    );
+
+    let seq = run_workload(1)?;
+    println!("  threads=1 : {:.3} s", seq.seconds);
+    let par = run_workload(parallel_threads)?;
+    println!("  threads={parallel_threads} : {:.3} s", par.seconds);
+
+    // The whole point of the deterministic layer: the thread count must
+    // be unobservable in the numbers.
+    if seq.data != par.data {
+        return Err("experiment data differs between thread counts".into());
+    }
+    if seq.key_bytes != par.key_bytes || seq.ranks != par.ranks {
+        return Err("recovered key or ranks differ between thread counts".into());
+    }
+    let speedup = seq.seconds / par.seconds;
+    println!("  speedup   : {speedup:.2}x (outputs bit-identical)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"outputs_identical\": true\n}}\n",
+        seq.seconds, par.seconds, speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_parallel.json");
+    Ok(())
+}

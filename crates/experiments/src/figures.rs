@@ -2,12 +2,21 @@
 //! function returns typed rows; the bench targets in `rcoal-bench` print
 //! them and EXPERIMENTS.md records paper-vs-measured.
 
+//! Sweeps over several policies/configurations parallelize the *outer*
+//! loop (one worker per configuration) and pin each inner experiment to
+//! one thread, so a figure saturates the machine without nesting thread
+//! pools; two-run generators instead keep a sequential outer loop and
+//! let the per-launch sweep inside [`ExperimentConfig::run`] parallelize.
+//! Either way results are collected in configuration order, so figure
+//! data is bit-identical to a sequential run.
+
 use crate::error::ExperimentError;
 use crate::run::{ExperimentConfig, ExperimentData, TimingSource};
 use rcoal_rng::StdRng;
 use rcoal_rng::SeedableRng;
 use rcoal_attack::{pearson, Attack};
 use rcoal_core::{CoalescingPolicy, PolicyError, SizeDistribution};
+use rcoal_parallel::{resolve_threads, try_parallel_map};
 use rcoal_theory::RCoalScore;
 
 /// Subwarp counts the paper sweeps in its defense evaluations.
@@ -159,22 +168,22 @@ pub struct Fig7Row {
 /// Figure 7: FSS costs performance as `M` grows (a) and degrades the
 /// naive attack's correlation (b).
 pub fn fig07_fss_performance(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig7Row>, ExperimentError> {
-    let mut rows = Vec::new();
-    for m in [1usize, 2, 4, 8, 16, 32] {
+    let ms = [1usize, 2, 4, 8, 16, 32];
+    try_parallel_map(resolve_threads(None), &ms, |_, &m| {
         let policy = CoalescingPolicy::fss(m)?;
         let data = ExperimentConfig::new(policy, num_plaintexts, 32)
             .with_seed(seed)
+            .with_threads(1)
             .run()?;
         let avg =
             avg_correct_correlation(&data, Attack::baseline(32), TimingSource::LastRoundCycles)?;
-        rows.push(Fig7Row {
+        Ok(Fig7Row {
             m,
             mean_total_cycles: data.mean_total_cycles()?,
             mean_total_accesses: data.mean_total_accesses(),
             avg_corr_naive_attack: avg,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 // ---------------------------------------- Figs. 8 and 12–14 (scatters)
@@ -194,28 +203,29 @@ pub struct ScatterData {
 }
 
 fn defense_scatter(
-    defense: impl Fn(usize) -> Result<CoalescingPolicy, PolicyError>,
+    defense: impl Fn(usize) -> Result<CoalescingPolicy, PolicyError> + Sync,
     num_plaintexts: usize,
     seed: u64,
 ) -> Result<Vec<ScatterData>, ExperimentError> {
-    let mut out = Vec::new();
-    for m in SUBWARP_SWEEP {
+    try_parallel_map(resolve_threads(None), &SUBWARP_SWEEP, |_, &m| {
         let policy = defense(m)?;
         let data = ExperimentConfig::new(policy, num_plaintexts, 32)
             .with_seed(seed)
+            .with_threads(1)
             .run()?;
         let k10 = data.true_last_round_key();
         // Corresponding attack (§IV-E): the attacker mirrors the defense.
-        let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
+        let attack = Attack::against(policy, 32)
+            .with_seed(seed ^ 0xa77ac)
+            .with_threads(Some(1));
         let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-        out.push(ScatterData {
+        Ok(ScatterData {
             m,
             rank_of_correct: rec.rank_of(k10[0]),
             correlations: rec.correlations,
             correct_byte: k10[0],
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
@@ -368,6 +378,32 @@ pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<Compariso
         .with_seed(seed)
         .run()?;
     let base_cycles = base.mean_total_cycles()?;
+    let mut configs = Vec::new();
+    for m in SUBWARP_SWEEP {
+        for (name, policy) in mechanisms(m)? {
+            configs.push((name, m, policy));
+        }
+    }
+    let measured = try_parallel_map(
+        resolve_threads(None),
+        &configs,
+        |_, &(name, m, policy)| {
+            let data = ExperimentConfig::new(policy, num_plaintexts, 32)
+                .with_seed(seed)
+                .with_threads(1)
+                .run()?;
+            let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
+            let avg = avg_correct_correlation(&data, attack, TimingSource::LastRoundCycles)?;
+            Ok::<_, ExperimentError>((
+                name,
+                m,
+                avg,
+                data.mean_total_accesses(),
+                data.mean_total_cycles()?,
+            ))
+        },
+    )?;
+
     let mut security = Vec::new();
     let mut performance = vec![PerfRow {
         mechanism: "baseline".into(),
@@ -376,30 +412,19 @@ pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<Compariso
         mean_total_cycles: base_cycles,
         normalized_time: 1.0,
     }];
-    for m in SUBWARP_SWEEP {
-        for (name, policy) in mechanisms(m)? {
-            let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-                .with_seed(seed)
-                .run()?;
-            let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-            security.push(SecurityRow {
-                mechanism: name.into(),
-                m,
-                avg_correct_corr: avg_correct_correlation(
-                    &data,
-                    attack,
-                    TimingSource::LastRoundCycles,
-                )?,
-            });
-            let cycles = data.mean_total_cycles()?;
-            performance.push(PerfRow {
-                mechanism: name.into(),
-                m,
-                mean_total_accesses: data.mean_total_accesses(),
-                mean_total_cycles: cycles,
-                normalized_time: cycles / base_cycles,
-            });
-        }
+    for (name, m, avg, accesses, cycles) in measured {
+        security.push(SecurityRow {
+            mechanism: name.into(),
+            m,
+            avg_correct_corr: avg,
+        });
+        performance.push(PerfRow {
+            mechanism: name.into(),
+            m,
+            mean_total_accesses: accesses,
+            mean_total_cycles: cycles,
+            normalized_time: cycles / base_cycles,
+        });
     }
     Ok(ComparisonData {
         security,
@@ -487,28 +512,32 @@ pub fn fig18_scalability(
         .with_seed(seed)
         .run()?
         .mean_total_cycles()?;
-    let mut rows = Vec::new();
+    let mut configs = Vec::new();
     for m in [2usize, 4, 8] {
         for (name, policy) in mechanisms(m)? {
-            let sec = ExperimentConfig::new(policy, num_plaintexts, 1024)
-                .with_seed(seed)
-                .functional_only()
-                .run()?;
-            let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-            let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
-            let time = ExperimentConfig::new(policy, timing_plaintexts, 1024)
-                .with_seed(seed)
-                .run()?
-                .mean_total_cycles()?;
-            rows.push(Fig18Row {
-                mechanism: name.into(),
-                m,
-                avg_correct_corr: avg,
-                normalized_time: time / base_time,
-            });
+            configs.push((name, m, policy));
         }
     }
-    Ok(rows)
+    try_parallel_map(resolve_threads(None), &configs, |_, &(name, m, policy)| {
+        let sec = ExperimentConfig::new(policy, num_plaintexts, 1024)
+            .with_seed(seed)
+            .functional_only()
+            .with_threads(1)
+            .run()?;
+        let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
+        let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
+        let time = ExperimentConfig::new(policy, timing_plaintexts, 1024)
+            .with_seed(seed)
+            .with_threads(1)
+            .run()?
+            .mean_total_cycles()?;
+        Ok(Fig18Row {
+            mechanism: name.into(),
+            m,
+            avg_correct_corr: avg,
+            normalized_time: time / base_time,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -597,7 +626,6 @@ pub fn ablation_selective(
         .run()?
         .mean_total_cycles()?;
 
-    let mut rows = Vec::new();
     let configs: Vec<(String, ExperimentConfig, ExperimentConfig)> = vec![
         (
             "baseline (no defense)".into(),
@@ -615,21 +643,34 @@ pub fn ablation_selective(
             ExperimentConfig::selective(vulnerable, timing_plaintexts, 32),
         ),
     ];
-    for (label, sec_cfg, time_cfg) in configs {
-        let sec = sec_cfg.with_seed(seed).functional_only().run()?;
-        // The attacker knows the deployed (possibly selective) policy;
-        // for the last round the effective policy is `sec.policy`.
-        let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
-        let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
-        let time = time_cfg.with_seed(seed).run()?.mean_total_cycles()?;
-        rows.push(SelectiveRow {
-            config: label,
-            avg_correct_corr: avg,
-            normalized_time: time / base_time,
-            mean_total_accesses: sec.mean_total_accesses(),
-        });
-    }
-    Ok(rows)
+    try_parallel_map(
+        resolve_threads(None),
+        &configs,
+        |_, (label, sec_cfg, time_cfg)| {
+            let sec = sec_cfg
+                .clone()
+                .with_seed(seed)
+                .functional_only()
+                .with_threads(1)
+                .run()?;
+            // The attacker knows the deployed (possibly selective) policy;
+            // for the last round the effective policy is `sec.policy`.
+            let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
+            let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
+            let time = time_cfg
+                .clone()
+                .with_seed(seed)
+                .with_threads(1)
+                .run()?
+                .mean_total_cycles()?;
+            Ok(SelectiveRow {
+                config: label.clone(),
+                avg_correct_corr: avg,
+                normalized_time: time / base_time,
+                mean_total_accesses: sec.mean_total_accesses(),
+            })
+        },
+    )
 }
 
 // ----------------------------------------- Extension: noise sensitivity
@@ -755,11 +796,11 @@ pub fn ablation_samples_needed(
     max_samples: usize,
     seed: u64,
 ) -> Result<Vec<SamplesNeededRow>, ExperimentError> {
-    let mut rows = Vec::new();
-    for (name, policy) in policies {
+    try_parallel_map(resolve_threads(None), policies, |_, (name, policy)| {
         let data = ExperimentConfig::new(*policy, max_samples, 32)
             .with_seed(seed)
             .functional_only()
+            .with_threads(1)
             .run()?;
         let k10 = data.true_last_round_key();
         let samples = data.attack_samples(TimingSource::ByteAccesses(0))?;
@@ -791,14 +832,13 @@ pub fn ablation_samples_needed(
             })?
             .1
             .correlation_of(k10[0]);
-        rows.push(SamplesNeededRow {
+        Ok(SamplesNeededRow {
             mechanism: name.clone(),
             m: policy.num_subwarps(32),
             samples_to_recover,
             corr_at_budget,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 // ---------------------------------------------- Extension: MSHR hazard
@@ -822,32 +862,36 @@ pub struct MshrRow {
 /// the very channel that disabling coalescing was meant to close.
 pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, ExperimentError> {
     use rcoal_gpu_sim::GpuConfig;
-    let attack = Attack::baseline(32);
-    let mut rows = Vec::new();
     let configs = [
         ("baseline coalescing, no MSHR", CoalescingPolicy::Baseline, 0usize),
         ("coalescing disabled, no MSHR", CoalescingPolicy::Disabled, 0),
         ("coalescing disabled, 64 MSHRs", CoalescingPolicy::Disabled, 64),
     ];
-    for (label, policy, mshr_entries) in configs {
-        let gpu = GpuConfig {
-            mshr_entries,
-            ..GpuConfig::paper()
-        };
-        let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-            .with_seed(seed)
-            .with_gpu(gpu)
-            .run()?;
-        let k10 = data.true_last_round_key();
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-        rows.push(MshrRow {
-            config: label.into(),
-            corr_correct: rec.correlation_of(k10[0]),
-            rank: rec.rank_of(k10[0]),
-            mean_total_cycles: data.mean_total_cycles()?,
-        });
-    }
-    Ok(rows)
+    try_parallel_map(
+        resolve_threads(None),
+        &configs,
+        |_, &(label, policy, mshr_entries)| {
+            let gpu = GpuConfig {
+                mshr_entries,
+                ..GpuConfig::paper()
+            };
+            let data = ExperimentConfig::new(policy, num_plaintexts, 32)
+                .with_seed(seed)
+                .with_gpu(gpu)
+                .with_threads(1)
+                .run()?;
+            let k10 = data.true_last_round_key();
+            let attack = Attack::baseline(32).with_threads(Some(1));
+            let rec =
+                attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
+            Ok(MshrRow {
+                config: label.into(),
+                corr_correct: rec.correlation_of(k10[0]),
+                rank: rec.rank_of(k10[0]),
+                mean_total_cycles: data.mean_total_cycles()?,
+            })
+        },
+    )
 }
 
 // ------------------------------------------------ Extension: L1 hazard
@@ -876,9 +920,8 @@ pub struct L1Row {
 /// level of the hierarchy (§VII).
 pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, ExperimentError> {
     use rcoal_gpu_sim::GpuConfig;
-    let attack = Attack::baseline(32);
-    let mut rows = Vec::new();
-    for (label, l1_sets) in [("no L1 (globals bypass)", 0usize), ("16-set, 4-way L1", 16)] {
+    let configs = [("no L1 (globals bypass)", 0usize), ("16-set, 4-way L1", 16)];
+    try_parallel_map(resolve_threads(None), &configs, |_, &(label, l1_sets)| {
         let gpu = GpuConfig {
             l1_sets,
             ..GpuConfig::paper()
@@ -886,8 +929,10 @@ pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, Exper
         let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
             .with_seed(seed)
             .with_gpu(gpu.clone())
+            .with_threads(1)
             .run()?;
         let k10 = data.true_last_round_key();
+        let attack = Attack::baseline(32).with_threads(Some(1));
         let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
         // Count hits via one representative launch.
         let kernel = rcoal_aes::AesGpuKernel::new(
@@ -897,13 +942,12 @@ pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, Exper
         );
         let stats = rcoal_gpu_sim::GpuSimulator::new(gpu)
             .run(&kernel, CoalescingPolicy::Baseline, seed)?;
-        rows.push(L1Row {
+        Ok(L1Row {
             config: label.into(),
             corr_correct: rec.correlation_of(k10[0]),
             rank: rec.rank_of(k10[0]),
             l1_hits_per_plaintext: stats.l1_hits as f64,
             mean_total_cycles: data.mean_total_cycles()?,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }

@@ -6,6 +6,8 @@ use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
 use rcoal_attack::AttackSample;
 use rcoal_core::{Coalescer, CoalescingPolicy};
 use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, TraceInstr};
+use rcoal_parallel::{resolve_threads, try_parallel_map};
+use std::sync::Arc;
 
 /// Which measurement plays the role of the attacker's timing observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +54,12 @@ pub struct ExperimentConfig {
     /// [`FaultPlan::none`]. Only timing runs feel faults — they perturb
     /// cycles, never access counts.
     pub faults: FaultPlan,
+    /// Worker threads for the per-plaintext launch sweep. `None` defers
+    /// to `RCOAL_THREADS` / the machine's parallelism; `Some(1)` forces
+    /// a true sequential run. Every launch derives its randomness from
+    /// its own seed, so the results are bit-identical at any thread
+    /// count.
+    pub threads: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -68,6 +76,7 @@ impl ExperimentConfig {
             timing: true,
             launch: None,
             faults: FaultPlan::none(),
+            threads: None,
         }
     }
 
@@ -125,6 +134,14 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the worker-thread count for the launch sweep (`1` =
+    /// sequential). Use [`ExperimentConfig::threads`] = `None` (the
+    /// default) to defer to `RCOAL_THREADS` / the machine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Validates the configuration without running anything.
     ///
     /// # Errors
@@ -138,6 +155,11 @@ impl ExperimentConfig {
         }
         if self.lines == 0 {
             return Err(ExperimentError::Config("lines must be positive".into()));
+        }
+        if self.threads == Some(0) {
+            return Err(ExperimentError::Config(
+                "threads must be positive (use 1 for a sequential run)".into(),
+            ));
         }
         self.gpu
             .validate()
@@ -163,6 +185,16 @@ impl ExperimentConfig {
         let coalescer = Coalescer::with_block_size(self.gpu.block_size)?;
         let launch = self.launch.unwrap_or(LaunchPolicy::Uniform(self.policy));
 
+        // Launches are independent by construction — plaintext `i` draws
+        // its policy randomness from its own `launch_seed` — so they fan
+        // out across worker threads; results come back in plaintext
+        // order, making the data bit-identical to a sequential run.
+        let launches = try_parallel_map(
+            resolve_threads(self.threads),
+            &plaintexts,
+            |i, lines| self.run_one_launch(i, lines, &sim, &coalescer, launch),
+        )?;
+
         let mut data = ExperimentData {
             policy: self.policy,
             key: self.key,
@@ -174,40 +206,74 @@ impl ExperimentConfig {
             last_round_cycles: self.timing.then(Vec::new),
             total_cycles: self.timing.then(Vec::new),
         };
-
-        for (i, lines) in plaintexts.iter().enumerate() {
-            let kernel = AesGpuKernel::new(&self.key, lines.clone(), self.gpu.warp_size);
-            // One kernel launch per plaintext; each launch re-draws the
-            // policy randomness from its own seed.
-            let launch_seed = self.seed.wrapping_add(1 + i as u64);
-            if self.timing {
-                let stats = sim.run_launch_faulted(&kernel, launch, launch_seed, &self.faults)?;
-                let mut by_byte = [0u64; 16];
-                for (j, slot) in by_byte.iter_mut().enumerate() {
-                    *slot = stats.accesses_for_tag(LAST_ROUND_TAG_BASE + j as u16);
-                }
-                data.last_round_accesses.push(by_byte.iter().sum());
-                data.last_round_accesses_by_byte.push(by_byte);
-                data.total_accesses.push(stats.total_accesses);
-                data.total_requests.push(stats.total_requests);
-                if let Some(lr) = data.last_round_cycles.as_mut() {
-                    lr.push(stats.cycles_after_round(9));
-                }
-                if let Some(tc) = data.total_cycles.as_mut() {
-                    tc.push(stats.total_cycles);
-                }
-            } else {
-                let counts =
-                    functional_counts(&kernel, launch, launch_seed, &coalescer, &self.gpu)?;
-                data.total_accesses.push(counts.total);
-                data.last_round_accesses.push(counts.by_byte.iter().sum());
-                data.last_round_accesses_by_byte.push(counts.by_byte);
-                data.total_requests.push(counts.requests);
+        for launch_data in launches {
+            data.ciphertexts.push(launch_data.ciphertexts);
+            data.last_round_accesses
+                .push(launch_data.by_byte.iter().sum());
+            data.last_round_accesses_by_byte.push(launch_data.by_byte);
+            data.total_accesses.push(launch_data.total_accesses);
+            data.total_requests.push(launch_data.total_requests);
+            if let Some(lr) = data.last_round_cycles.as_mut() {
+                lr.push(launch_data.last_round_cycles.unwrap_or(0));
             }
-            data.ciphertexts.push(kernel.ciphertexts().to_vec());
+            if let Some(tc) = data.total_cycles.as_mut() {
+                tc.push(launch_data.total_cycles.unwrap_or(0));
+            }
         }
         Ok(data)
     }
+
+    /// One kernel launch (plaintext `i`): encrypts, simulates (or
+    /// functionally counts), and returns everything the experiment
+    /// records about it. Runs on worker threads; must depend only on its
+    /// arguments.
+    fn run_one_launch(
+        &self,
+        i: usize,
+        lines: &[Block],
+        sim: &GpuSimulator,
+        coalescer: &Coalescer,
+        launch: LaunchPolicy,
+    ) -> Result<LaunchData, ExperimentError> {
+        let kernel = AesGpuKernel::new(&self.key, lines.to_vec(), self.gpu.warp_size);
+        // One kernel launch per plaintext; each launch re-draws the
+        // policy randomness from its own seed.
+        let launch_seed = self.seed.wrapping_add(1 + i as u64);
+        let mut out = LaunchData {
+            ciphertexts: Arc::new(kernel.ciphertexts().to_vec()),
+            by_byte: [0; 16],
+            total_accesses: 0,
+            total_requests: 0,
+            last_round_cycles: None,
+            total_cycles: None,
+        };
+        if self.timing {
+            let stats = sim.run_launch_faulted(&kernel, launch, launch_seed, &self.faults)?;
+            for (j, slot) in out.by_byte.iter_mut().enumerate() {
+                *slot = stats.accesses_for_tag(LAST_ROUND_TAG_BASE + j as u16);
+            }
+            out.total_accesses = stats.total_accesses;
+            out.total_requests = stats.total_requests;
+            out.last_round_cycles = Some(stats.cycles_after_round(9));
+            out.total_cycles = Some(stats.total_cycles);
+        } else {
+            let counts = functional_counts(&kernel, launch, launch_seed, coalescer, &self.gpu)?;
+            out.by_byte = counts.by_byte;
+            out.total_accesses = counts.total;
+            out.total_requests = counts.requests;
+        }
+        Ok(out)
+    }
+}
+
+/// Everything one launch contributes to [`ExperimentData`].
+struct LaunchData {
+    ciphertexts: Arc<Vec<Block>>,
+    by_byte: [u64; 16],
+    total_accesses: u64,
+    total_requests: u64,
+    last_round_cycles: Option<u64>,
+    total_cycles: Option<u64>,
 }
 
 struct FunctionalCounts {
@@ -270,8 +336,10 @@ pub struct ExperimentData {
     /// The victim key (available here because we are the experimenter;
     /// the attack itself never reads it).
     pub key: [u8; 16],
-    /// Per-plaintext ciphertext lines.
-    pub ciphertexts: Vec<Vec<Block>>,
+    /// Per-plaintext ciphertext lines, shared via [`Arc`] so packaging
+    /// the data as attack samples (possibly several times, for different
+    /// timing sources) never deep-copies the blocks.
+    pub ciphertexts: Vec<Arc<Vec<Block>>>,
     /// Per-plaintext last-round coalesced accesses.
     pub last_round_accesses: Vec<u64>,
     /// Per-plaintext last-round accesses split by ciphertext byte
@@ -346,7 +414,8 @@ impl ExperimentData {
             .iter()
             .zip(times)
             .map(|(cts, time)| AttackSample {
-                ciphertexts: cts.clone(),
+                // Arc clone: the sample shares the experiment's blocks.
+                ciphertexts: Arc::clone(cts),
                 time,
             })
             .collect())
@@ -403,7 +472,9 @@ fn mean_u64(v: &[u64]) -> f64 {
     if v.is_empty() {
         0.0
     } else {
-        v.iter().sum::<u64>() as f64 / v.len() as f64
+        // Accumulate in f64: a u64 sum overflows at ~2^64 total cycles,
+        // which long timing sweeps can reach.
+        v.iter().fold(0.0, |acc, &x| acc + x as f64) / v.len() as f64
     }
 }
 
@@ -424,7 +495,7 @@ mod tests {
         let plaintexts = random_plaintexts(4, 32, 7);
         let aes = Aes128::new(&DEMO_KEY);
         for (p, c) in plaintexts.iter().zip(&data.ciphertexts) {
-            for (line, ct) in p.iter().zip(c) {
+            for (line, ct) in p.iter().zip(c.iter()) {
                 assert_eq!(aes.encrypt_block(*line), *ct);
             }
         }

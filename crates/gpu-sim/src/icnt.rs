@@ -25,6 +25,11 @@ pub struct Crossbar {
     /// arrival order per destination port.
     in_flight: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
     seq: u64,
+    /// Per-tick scratch: packets delivered per destination port this
+    /// cycle. Kept on the struct so ticking allocates nothing.
+    port_count: Vec<(usize, usize)>,
+    /// Per-tick scratch: packets deferred by port contention.
+    deferred: Vec<Reverse<(u64, u64, usize, u64)>>,
 }
 
 impl Crossbar {
@@ -37,6 +42,8 @@ impl Crossbar {
             src_queues: vec![VecDeque::new(); num_src],
             in_flight: BinaryHeap::new(),
             seq: 0,
+            port_count: Vec::new(),
+            deferred: Vec::new(),
         }
     }
 
@@ -54,9 +61,14 @@ impl Crossbar {
         self.src_queues.iter().map(VecDeque::len).sum::<usize>() + self.in_flight.len()
     }
 
-    /// Advances one interconnect cycle, returning packets that complete
-    /// delivery this cycle as `(dst, id)` pairs.
-    pub fn tick(&mut self, now: u64) -> Vec<(usize, u64)> {
+    /// Advances one interconnect cycle, appending packets that complete
+    /// delivery this cycle to `delivered` as `(dst, id)` pairs.
+    ///
+    /// The output buffer comes from the caller (cleared here) so the
+    /// per-cycle network stage reuses one scratch vector for the whole
+    /// run instead of allocating a fresh `Vec` every tick.
+    pub fn tick_into(&mut self, now: u64, delivered: &mut Vec<(usize, u64)>) {
+        delivered.clear();
         // Injection stage: each source port moves up to `injection_rate`
         // packets into the pipeline.
         for q in &mut self.src_queues {
@@ -73,21 +85,20 @@ impl Crossbar {
         }
         // Ejection stage: each destination port drains up to
         // `ejection_rate` arrived packets; the rest wait at the port.
-        let mut delivered = Vec::new();
-        let mut port_count: Vec<(usize, usize)> = Vec::new();
-        let mut deferred = Vec::new();
+        self.port_count.clear();
+        self.deferred.clear();
         while let Some(&Reverse((arrive, seq, dst, id))) = self.in_flight.peek() {
             if arrive > now {
                 break;
             }
             self.in_flight.pop();
-            let count = match port_count.iter_mut().find(|(p, _)| *p == dst) {
+            let count = match self.port_count.iter_mut().find(|(p, _)| *p == dst) {
                 Some((_, c)) => {
                     *c += 1;
                     *c
                 }
                 None => {
-                    port_count.push((dst, 1));
+                    self.port_count.push((dst, 1));
                     1
                 }
             };
@@ -95,10 +106,17 @@ impl Crossbar {
                 delivered.push((dst, id));
             } else {
                 // Port contention: retry next cycle.
-                deferred.push(Reverse((arrive + 1, seq, dst, id)));
+                self.deferred.push(Reverse((arrive + 1, seq, dst, id)));
             }
         }
-        self.in_flight.extend(deferred);
+        self.in_flight.extend(self.deferred.drain(..));
+    }
+
+    /// Allocating wrapper around [`Crossbar::tick_into`], kept for
+    /// tests and one-off callers.
+    pub fn tick(&mut self, now: u64) -> Vec<(usize, u64)> {
+        let mut delivered = Vec::new();
+        self.tick_into(now, &mut delivered);
         delivered
     }
 }

@@ -104,8 +104,14 @@ pub trait Kernel {
     /// 32 lines).
     fn warp_width(&self, warp_id: usize) -> usize;
 
-    /// The dynamic trace of warp `warp_id`.
-    fn trace(&self, warp_id: usize) -> WarpTrace;
+    /// The dynamic trace of warp `warp_id`, borrowed from the kernel.
+    ///
+    /// Implementations build every trace once (at construction) and
+    /// hand out references, so the simulator's launch and issue stages
+    /// never copy instruction streams — with 32-lane loads every 2–3
+    /// instructions, per-launch trace cloning used to dominate small
+    /// kernels' simulation time.
+    fn trace(&self, warp_id: usize) -> &WarpTrace;
 }
 
 /// A trivial [`Kernel`] built directly from traces; used by tests and
@@ -133,8 +139,8 @@ impl Kernel for TraceKernel {
         self.warp_width
     }
 
-    fn trace(&self, warp_id: usize) -> WarpTrace {
-        self.traces[warp_id].clone()
+    fn trace(&self, warp_id: usize) -> &WarpTrace {
+        &self.traces[warp_id]
     }
 }
 
@@ -158,7 +164,7 @@ mod tests {
         let k = TraceKernel::new(vec![t.clone(), t.clone()], 1);
         assert_eq!(k.num_warps(), 2);
         assert_eq!(k.warp_width(0), 1);
-        assert_eq!(k.trace(1), t);
+        assert_eq!(*k.trace(1), t);
     }
 
     #[test]

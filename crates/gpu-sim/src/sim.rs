@@ -190,8 +190,9 @@ impl GpuSimulator {
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Launch: distribute warps round-robin over SMs, each drawing its
-        // subwarp assignment for this run.
-        let mut sms: Vec<Sm> = (0..cfg.num_sms)
+        // subwarp assignment for this run. Warp contexts borrow their
+        // traces from the kernel, so launching copies no instructions.
+        let mut sms: Vec<Sm<'_>> = (0..cfg.num_sms)
             .map(|_| Sm::with_policy(cfg.warp_schedulers, cfg.scheduler))
             .collect();
         let (default_policy, vulnerable_policy) = launch.policies();
@@ -244,6 +245,10 @@ impl GpuSimulator {
         let mut pending_replies: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
         let mut mem_ticks: u64 = 0;
         let mut dram_done: Vec<(u64, u64)> = Vec::new();
+        // Per-cycle scratch, hoisted out of the simulation loop so the
+        // steady state allocates nothing.
+        let mut ready_scratch: Vec<usize> = Vec::with_capacity(cfg.warp_schedulers);
+        let mut net_scratch: Vec<(usize, u64)> = Vec::new();
         // Forward-progress watchdog: last cycle at which the machine
         // demonstrably moved (an instruction issued, a reply drained, a
         // warp was executing, or a reply was waiting for release).
@@ -255,26 +260,30 @@ impl GpuSimulator {
             // --- Issue stage: each SM issues up to `warp_schedulers`
             // instructions from distinct ready warps.
             for s in 0..sms.len() {
-                let ready = sms[s].select_ready(now);
-                for widx in ready {
+                sms[s].select_ready_into(now, &mut ready_scratch);
+                for &widx in &ready_scratch {
                     loop {
                         let warp = &mut sms[s].warps[widx];
-                        match warp.current_instr().cloned() {
+                        // `current_instr` borrows the *kernel's* trace, so
+                        // the instruction (and its 32-lane address vector)
+                        // is read in place while warp state mutates — no
+                        // per-issue clone.
+                        match warp.current_instr() {
                             None => break,
-                            Some(TraceInstr::RoundMark { round }) => {
+                            Some(&TraceInstr::RoundMark { round }) => {
                                 warp.pc += 1;
                                 progressed = true;
                                 stats.record_round_mark(round, now);
                                 // Marks are free: keep consuming.
                             }
-                            Some(TraceInstr::Compute { cycles }) => {
+                            Some(&TraceInstr::Compute { cycles }) => {
                                 warp.pc += 1;
                                 progressed = true;
                                 warp.busy_until =
                                     now + u64::from(cycles) + u64::from(cfg.issue_cycles);
                                 break;
                             }
-                            Some(TraceInstr::Load { ref addrs, tag }) => {
+                            Some(&TraceInstr::Load { ref addrs, tag }) => {
                                 warp.pc += 1;
                                 progressed = true;
                                 let assignment = if launch.is_vulnerable_tag(tag) {
@@ -345,7 +354,8 @@ impl GpuSimulator {
             // --- Request network (icnt clock == core clock in Table I).
             let mem_now = now * u64::from(cfg.mem_clock_mhz) / u64::from(cfg.core_clock_mhz);
             if !icnt_frozen {
-                for (mc, id) in req_net.tick(now) {
+                req_net.tick_into(now, &mut net_scratch);
+                for &(mc, id) in &net_scratch {
                     let loc = req_meta[id as usize].loc;
                     mcs[mc].enqueue(MemRequest {
                         id,
@@ -403,7 +413,8 @@ impl GpuSimulator {
 
             // --- Reply network: returning data unblocks warps.
             if !icnt_frozen {
-                for (_sm, id) in reply_net.tick(now) {
+                reply_net.tick_into(now, &mut net_scratch);
+                for &(_sm, id) in &net_scratch {
                     progressed = true;
                     let meta = req_meta[id as usize];
                     stats.mem_latency_sum += now - meta.issued_at;
@@ -414,18 +425,20 @@ impl GpuSimulator {
                     debug_assert!(warp.outstanding > 0);
                     warp.outstanding -= 1;
                     // Release MSHR waiters piggybacked on this request.
-                    if cfg.mshr_entries > 0 {
-                        let block = mshrs[meta.sm]
-                            .iter()
-                            .find(|(_, (pid, _))| *pid == id)
-                            .map(|(&b, _)| b);
-                        if let Some(block) = block {
-                            if let Some((_, waiters)) = mshrs[meta.sm].remove(&block) {
-                                for w in waiters {
-                                    let waiter = &mut sms[meta.sm].warps[w];
-                                    debug_assert!(waiter.outstanding > 0);
-                                    waiter.outstanding -= 1;
-                                }
+                    // The MSHR is keyed by block address, and this
+                    // request's block is in its metadata, so the release
+                    // is one hash lookup — not a scan over every
+                    // in-flight entry on the SM.
+                    if cfg.mshr_entries > 0
+                        && mshrs[meta.sm]
+                            .get(&meta.block_addr)
+                            .is_some_and(|(pid, _)| *pid == id)
+                    {
+                        if let Some((_, waiters)) = mshrs[meta.sm].remove(&meta.block_addr) {
+                            for w in waiters {
+                                let waiter = &mut sms[meta.sm].warps[w];
+                                debug_assert!(waiter.outstanding > 0);
+                                waiter.outstanding -= 1;
                             }
                         }
                     }
@@ -513,7 +526,7 @@ impl GpuSimulator {
     fn stall_report(
         &self,
         cycle: u64,
-        sms: &[Sm],
+        sms: &[Sm<'_>],
         stats: &SimStats,
         req_net: &Crossbar,
         reply_net: &Crossbar,

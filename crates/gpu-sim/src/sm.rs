@@ -1,10 +1,12 @@
 use crate::{SchedulerPolicy, TraceInstr, WarpTrace};
 use rcoal_core::SubwarpAssignment;
 
-/// Execution state of one warp resident on an SM.
+/// Execution state of one warp resident on an SM. Borrows its trace
+/// from the launched [`crate::Kernel`], so warp state is a few machine
+/// words and launching copies no instruction streams.
 #[derive(Debug, Clone)]
-pub(crate) struct WarpCtx {
-    pub trace: WarpTrace,
+pub(crate) struct WarpCtx<'k> {
+    pub trace: &'k WarpTrace,
     pub pc: usize,
     /// Core cycle until which the warp is occupied by compute.
     pub busy_until: u64,
@@ -17,9 +19,9 @@ pub(crate) struct WarpCtx {
     pub vulnerable_assignment: SubwarpAssignment,
 }
 
-impl WarpCtx {
+impl<'k> WarpCtx<'k> {
     pub fn new(
-        trace: WarpTrace,
+        trace: &'k WarpTrace,
         assignment: SubwarpAssignment,
         vulnerable_assignment: SubwarpAssignment,
     ) -> Self {
@@ -41,7 +43,10 @@ impl WarpCtx {
         self.pc < self.trace.len() && self.outstanding == 0 && self.busy_until <= now
     }
 
-    pub fn current_instr(&self) -> Option<&TraceInstr> {
+    /// The instruction at the warp's pc. The returned reference borrows
+    /// the *kernel's* trace (lifetime `'k`), not the warp context, so
+    /// the issue stage can hold it while mutating warp state.
+    pub fn current_instr(&self) -> Option<&'k TraceInstr> {
         self.trace.instrs().get(self.pc)
     }
 }
@@ -50,8 +55,8 @@ impl WarpCtx {
 /// configurable warp scheduler with `warp_schedulers` issue slots per
 /// cycle.
 #[derive(Debug, Clone)]
-pub(crate) struct Sm {
-    pub warps: Vec<WarpCtx>,
+pub(crate) struct Sm<'k> {
+    pub warps: Vec<WarpCtx<'k>>,
     pub schedulers: usize,
     policy: SchedulerPolicy,
     /// GTO: warp granted an issue slot most recently.
@@ -60,7 +65,7 @@ pub(crate) struct Sm {
     rr_next: usize,
 }
 
-impl Sm {
+impl<'k> Sm<'k> {
     #[cfg(test)]
     pub fn new(schedulers: usize) -> Self {
         Self::with_policy(schedulers, SchedulerPolicy::Gto)
@@ -76,15 +81,19 @@ impl Sm {
         }
     }
 
-    /// Indices of up to `schedulers` distinct warps ready to issue at
-    /// `now`, ordered by the scheduling policy. Updates the scheduler
-    /// state (greedy pointer / round-robin cursor).
-    pub fn select_ready(&mut self, now: u64) -> Vec<usize> {
+    /// Fills `picked` with up to `schedulers` distinct warps ready to
+    /// issue at `now`, ordered by the scheduling policy. Updates the
+    /// scheduler state (greedy pointer / round-robin cursor).
+    ///
+    /// Takes the output buffer from the caller so the per-cycle issue
+    /// stage allocates nothing — the simulator reuses one scratch
+    /// vector across every SM and cycle of a run.
+    pub fn select_ready_into(&mut self, now: u64, picked: &mut Vec<usize>) {
+        picked.clear();
         if self.warps.is_empty() {
-            return Vec::new();
+            return;
         }
         let n = self.warps.len();
-        let mut picked = Vec::with_capacity(self.schedulers);
         match self.policy {
             SchedulerPolicy::Gto => {
                 // Greedy slot: stick with the last-issued warp if ready.
@@ -118,6 +127,14 @@ impl Sm {
                 }
             }
         }
+    }
+
+    /// Allocating wrapper around [`Sm::select_ready_into`], kept for
+    /// tests.
+    #[cfg(test)]
+    pub fn select_ready(&mut self, now: u64) -> Vec<usize> {
+        let mut picked = Vec::with_capacity(self.schedulers);
+        self.select_ready_into(now, &mut picked);
         picked
     }
 
@@ -131,22 +148,27 @@ mod tests {
     use super::*;
     use crate::TraceInstr;
 
-    fn warp(n_instr: usize) -> WarpCtx {
-        let trace: WarpTrace = (0..n_instr).map(|_| TraceInstr::compute(1)).collect();
+    fn trace(n_instr: usize) -> WarpTrace {
+        (0..n_instr).map(|_| TraceInstr::compute(1)).collect()
+    }
+
+    fn warp(t: &WarpTrace) -> WarpCtx<'_> {
         let a = SubwarpAssignment::single(4).unwrap();
-        WarpCtx::new(trace, a.clone(), a)
+        WarpCtx::new(t, a.clone(), a)
     }
 
     #[test]
     fn empty_trace_is_done_immediately() {
-        let w = warp(0);
+        let t = trace(0);
+        let w = warp(&t);
         assert!(w.done(0));
         assert!(!w.ready(0));
     }
 
     #[test]
     fn warp_is_not_done_while_compute_is_in_flight() {
-        let mut w = warp(0);
+        let t = trace(0);
+        let mut w = warp(&t);
         w.busy_until = 10;
         assert!(!w.done(5));
         assert!(w.done(10));
@@ -154,7 +176,8 @@ mod tests {
 
     #[test]
     fn warp_readiness_respects_busy_and_outstanding() {
-        let mut w = warp(2);
+        let t = trace(2);
+        let mut w = warp(&t);
         assert!(w.ready(0));
         w.busy_until = 10;
         assert!(!w.ready(5));
@@ -166,8 +189,9 @@ mod tests {
 
     #[test]
     fn gto_scheduler_picks_oldest_first_then_sticks() {
+        let t = trace(1);
         let mut sm = Sm::new(2);
-        sm.warps = vec![warp(1), warp(1), warp(1)];
+        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
         assert_eq!(sm.select_ready(0), vec![0, 1]);
         // Greedy: warp 0 keeps its slot while ready.
         assert_eq!(sm.select_ready(1), vec![0, 1]);
@@ -179,8 +203,9 @@ mod tests {
 
     #[test]
     fn lrr_scheduler_rotates_across_warps() {
+        let t = trace(5);
         let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
-        sm.warps = vec![warp(5), warp(5), warp(5)];
+        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
         assert_eq!(sm.select_ready(0), vec![0]);
         assert_eq!(sm.select_ready(1), vec![1]);
         assert_eq!(sm.select_ready(2), vec![2]);
@@ -189,8 +214,9 @@ mod tests {
 
     #[test]
     fn lrr_skips_unready_warps() {
+        let t = trace(5);
         let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
-        sm.warps = vec![warp(5), warp(5), warp(5)];
+        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
         sm.warps[1].outstanding = 1;
         assert_eq!(sm.select_ready(0), vec![0]);
         assert_eq!(sm.select_ready(1), vec![2]);
@@ -198,10 +224,26 @@ mod tests {
 
     #[test]
     fn all_done_tracks_warps() {
+        let t0 = trace(0);
+        let t1 = trace(1);
         let mut sm = Sm::new(2);
-        sm.warps = vec![warp(0), warp(1)];
+        sm.warps = vec![warp(&t0), warp(&t1)];
         assert!(!sm.all_done(0));
         sm.warps[1].pc = 1;
         assert!(sm.all_done(0));
+    }
+
+    #[test]
+    fn current_instr_borrows_the_kernel_trace() {
+        let t = trace(2);
+        let mut w = warp(&t);
+        let instr = w.current_instr().unwrap();
+        // Mutating the warp does not invalidate the instruction ref.
+        w.pc += 1;
+        w.busy_until = 5;
+        assert_eq!(*instr, TraceInstr::compute(1));
+        assert_eq!(w.current_instr(), Some(&TraceInstr::compute(1)));
+        w.pc += 1;
+        assert_eq!(w.current_instr(), None);
     }
 }

@@ -53,6 +53,9 @@ pub struct SyntheticKernel {
     warp_size: usize,
     compute_per_load: u32,
     seed: u64,
+    /// Traces are generated eagerly at construction: [`Kernel::trace`]
+    /// hands out borrows, so the simulator never copies a trace.
+    traces: Vec<WarpTrace>,
 }
 
 impl SyntheticKernel {
@@ -64,19 +67,23 @@ impl SyntheticKernel {
         loads_per_warp: usize,
         warp_size: usize,
     ) -> Self {
-        SyntheticKernel {
+        let mut kernel = SyntheticKernel {
             pattern,
             num_warps,
             loads_per_warp,
             warp_size: warp_size.max(1),
             compute_per_load: 4,
             seed: 0x1abe1,
-        }
+            traces: Vec::new(),
+        };
+        kernel.rebuild_traces();
+        kernel
     }
 
-    /// Overrides the address-randomness seed.
+    /// Overrides the address-randomness seed (regenerating the traces).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self.rebuild_traces();
         self
     }
 
@@ -84,18 +91,12 @@ impl SyntheticKernel {
     pub fn pattern(&self) -> AccessPattern {
         self.pattern
     }
-}
 
-impl Kernel for SyntheticKernel {
-    fn num_warps(&self) -> usize {
-        self.num_warps
+    fn rebuild_traces(&mut self) {
+        self.traces = (0..self.num_warps).map(|w| self.build_trace(w)).collect();
     }
 
-    fn warp_width(&self, _warp_id: usize) -> usize {
-        self.warp_size
-    }
-
-    fn trace(&self, warp_id: usize) -> WarpTrace {
+    fn build_trace(&self, warp_id: usize) -> WarpTrace {
         let w = self.warp_size as u64;
         let base = warp_id as u64 * 0x10_0000;
         let mut rng = StdRng::seed_from_u64(self.seed ^ (warp_id as u64).wrapping_mul(0x9e37));
@@ -115,6 +116,20 @@ impl Kernel for SyntheticKernel {
             trace.push(TraceInstr::compute(self.compute_per_load));
         }
         trace
+    }
+}
+
+impl Kernel for SyntheticKernel {
+    fn num_warps(&self) -> usize {
+        self.num_warps
+    }
+
+    fn warp_width(&self, _warp_id: usize) -> usize {
+        self.warp_size
+    }
+
+    fn trace(&self, warp_id: usize) -> &WarpTrace {
+        &self.traces[warp_id]
     }
 }
 

@@ -1,0 +1,290 @@
+//! # rcoal-parallel — deterministic parallel execution
+//!
+//! Pure-`std` data parallelism for the workspace's embarrassingly
+//! parallel sweeps (per-plaintext kernel launches, per-policy figure
+//! rows, per-guess correlation scans). The design contract is
+//! *determinism*: [`parallel_map`] returns exactly the vector the
+//! sequential loop would return, for any thread count, because
+//!
+//! * work items are distributed by an atomic index (no per-thread
+//!   pre-partitioning, so there is no load-balance-dependent split), and
+//! * results are collected **by item index**, never by completion order.
+//!
+//! Every item must therefore derive its own randomness from its index
+//! (the workspace's seed-per-launch convention), never from shared
+//! mutable state; under that convention the output is bit-identical at
+//! `threads = 1` and `threads = N`.
+//!
+//! `threads <= 1` takes a true sequential path on the calling thread —
+//! no worker is spawned, and fallible maps short-circuit exactly like a
+//! plain `for` loop.
+//!
+//! ```
+//! use rcoal_parallel::{parallel_map, resolve_threads};
+//!
+//! let squares = parallel_map(resolve_threads(None), &[1u64, 2, 3, 4], |_i, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Environment variable overriding the worker-thread count for every
+/// parallel sweep in the workspace (`0` and unparseable values are
+/// ignored; explicit API arguments win over the environment).
+pub const THREADS_ENV: &str = "RCOAL_THREADS";
+
+/// Resolves the worker-thread count for a parallel sweep.
+///
+/// Precedence: an explicit `requested` count (already validated by the
+/// caller), else a positive [`THREADS_ENV`] value, else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// the results in item order. `f(i, &items[i])` must depend only on its
+/// arguments (derive per-item randomness from `i`); the output is then
+/// identical for every thread count.
+///
+/// With `threads <= 1` (or fewer than two items) no thread is spawned
+/// and the map runs sequentially on the calling thread.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let indexed = run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in indexed {
+        match r {
+            Ok(v) => out.push(v),
+            Err(never) => match never {},
+        }
+    }
+    out
+}
+
+/// Fallible [`parallel_map`]: maps `f` over `items` and collects
+/// `Ok` results in item order, or returns the error of the
+/// *lowest-indexed* failing item — the same error the sequential
+/// short-circuiting loop would return, keeping failure behavior
+/// deterministic across thread counts.
+///
+/// After the first observed error, workers stop claiming new items
+/// (items already claimed still finish); every item below the failing
+/// index is guaranteed to have completed, so the reported error index
+/// cannot drift with scheduling.
+///
+/// # Errors
+///
+/// The error produced by the lowest-indexed item on which `f` failed.
+pub fn try_parallel_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let abort = AtomicBool::new(false);
+    let indexed = run_workers(threads, items, &f, Some(&abort));
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in indexed {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// An uninhabited error type for the infallible path (a local stand-in
+/// for the unstable `!`).
+enum Never {}
+
+/// Shared worker loop: claims indices from an atomic counter, applies
+/// `f`, and returns all results sorted by item index. When `abort` is
+/// provided, an `Err` result raises the flag and stops further claims.
+///
+/// The atomic counter hands indices out in increasing order, so by the
+/// time index `k` fails, every index below `k` has already been claimed
+/// and will run to completion — which is what makes "first error by
+/// index" well defined under any interleaving.
+fn run_workers<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+    abort: Option<&AtomicBool>,
+) -> Vec<(usize, Result<R, E>)>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let f = &f;
+    let next = &next;
+    let mut indexed: Vec<(usize, Result<R, E>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                    loop {
+                        if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        if r.is_err() {
+                            if let Some(a) = abort {
+                                a.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        local.push((i, r));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // A panicking closure propagates to the caller, as it
+                // would in the sequential loop.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn matches_sequential_output_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = parallel_map(1, &items, |i, &x| x * 3 + i as u64);
+        for threads in [2, 3, 8, 64] {
+            let par = parallel_map(threads, &items, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(100, &[1u32, 2, 3], |_, &x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_map_collects_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out: Result<Vec<u32>, String> = try_parallel_map(4, &items, |_, &x| Ok(x * 2));
+        assert_eq!(out.unwrap(), items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_returns_the_lowest_indexed_error() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 4, 16] {
+            let err = try_parallel_map(threads, &items, |i, _| {
+                if i >= 13 {
+                    Err(format!("fail at {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "fail at 13", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_path_short_circuits() {
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<u32> = (0..10).collect();
+        let err: Result<Vec<u32>, &str> = try_parallel_map(1, &items, |i, &x| {
+            seen.lock().unwrap().push(i);
+            if i == 3 {
+                Err("boom")
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_errors_stop_new_claims() {
+        // With an early error, far fewer than all items should run
+        // (best effort — only check that the result is still correct).
+        let items: Vec<u32> = (0..10_000).collect();
+        let err = try_parallel_map(8, &items, |i, _| {
+            if i == 0 {
+                Err("first")
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "first");
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "explicit zero clamps to one");
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(4, &items, |i, &x| {
+                assert!(i != 5, "deliberate panic");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! rcoal-cli table2
-//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true]
-//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7]
-//! rcoal-cli score    [--samples 100] [--seed 7]
+//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true] [--threads N]
+//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7] [--threads N]
+//! rcoal-cli score    [--samples 100] [--seed 7] [--threads N]
 //! ```
 
-use rcoal::cli::{parse_policy, ParsedArgs};
+use rcoal::cli::{parse_policy, parse_threads, ParsedArgs};
 use rcoal::prelude::*;
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
 use std::process::ExitCode;
@@ -19,20 +19,26 @@ USAGE:
   rcoal-cli table2
       Print the analytical security model (paper Table II).
 
-  rcoal-cli simulate --policy <POLICY> [--plaintexts N] [--lines L] [--seed S] [--selective true]
+  rcoal-cli simulate --policy <POLICY> [--plaintexts N] [--lines L] [--seed S] [--selective true] [--threads T]
       Encrypt N plaintexts of L lines on the simulated GPU and report
       cycles and coalesced accesses. With --selective true, only the
       last-round loads use the (randomized) policy.
 
-  rcoal-cli attack --policy <POLICY> [--samples N] [--byte J|all] [--seed S]
+  rcoal-cli attack --policy <POLICY> [--samples N] [--byte J|all] [--seed S] [--threads T]
       Deploy POLICY on the victim, collect N timing samples, run the
       corresponding correlation attack, and grade the key recovery.
 
-  rcoal-cli score [--samples N] [--seed S]
+  rcoal-cli score [--samples N] [--seed S] [--threads T]
       Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
 
 POLICY: baseline | disabled | fss:M | rss:M | fss-rts:M | rss-rts:M
-        (M = number of subwarps, a divisor of 32 for fss variants)";
+        (M = number of subwarps, a divisor of 32 for fss variants)
+
+THREADS: worker threads for launch sweeps and attack guess sweeps.
+        Results are bit-identical for every T. Defaults to the
+        RCOAL_THREADS environment variable, then the machine's
+        available parallelism; --threads T overrides both (1 = run
+        sequentially, 0 is rejected).";
 
 fn main() -> ExitCode {
     match run() {
@@ -85,17 +91,20 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     let lines: usize = args.get_or("lines", 32)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let selective: bool = args.get_or("selective", false)?;
+    let threads = parse_threads(args)?;
 
-    let cfg = if selective {
+    let mut cfg = if selective {
         ExperimentConfig::selective(policy, plaintexts, lines)
     } else {
         ExperimentConfig::new(policy, plaintexts, lines)
     };
+    let mut base = ExperimentConfig::new(CoalescingPolicy::Baseline, plaintexts, lines);
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+        base = base.with_threads(t);
+    }
     let data = cfg.with_seed(seed).run().map_err(|e| e.to_string())?;
-    let base = ExperimentConfig::new(CoalescingPolicy::Baseline, plaintexts, lines)
-        .with_seed(seed)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let base = base.with_seed(seed).run().map_err(|e| e.to_string())?;
 
     println!(
         "policy           : {policy}{}",
@@ -120,15 +129,19 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
     let samples: usize = args.get_or("samples", 400)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let byte_spec = args.get("byte").unwrap_or("all").to_string();
+    let threads = parse_threads(args)?;
 
     println!("victim policy : {policy}");
     println!("samples       : {samples} (32-line plaintexts, last-round timing)");
-    let data = ExperimentConfig::new(policy, samples, 32)
-        .with_seed(seed)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let mut cfg = ExperimentConfig::new(policy, samples, 32).with_seed(seed);
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let data = cfg.run().map_err(|e| e.to_string())?;
     let k10 = data.true_last_round_key();
-    let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
+    let attack = Attack::against(policy, 32)
+        .with_seed(seed ^ 0xa77ac)
+        .with_threads(threads);
     let samples = data
         .attack_samples(TimingSource::LastRoundCycles)
         .map_err(|e| e.to_string())?;
@@ -176,6 +189,12 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
 fn cmd_score(args: &ParsedArgs) -> Result<(), String> {
     let samples: usize = args.get_or("samples", 100)?;
     let seed: u64 = args.get_or("seed", 7)?;
+    if let Some(t) = parse_threads(args)? {
+        // The figure generators size their worker pools from the
+        // environment; exporting here lets --threads govern the whole
+        // sweep without threading a parameter through every generator.
+        std::env::set_var(rcoal_parallel::THREADS_ENV, t.to_string());
+    }
     println!("sweeping 4 mechanisms x M in {{2,4,8,16}} with {samples} plaintexts each ...");
     let cmp = fig15_16_comparison(samples, seed).map_err(|e| e.to_string())?;
     let mut scores = fig17_rcoal_score(&cmp).map_err(|e| e.to_string())?;

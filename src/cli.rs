@@ -41,6 +41,34 @@ pub fn parse_policy(spec: &str) -> Result<CoalescingPolicy, String> {
     }
 }
 
+/// Parses the `--threads` option into an experiment thread count.
+///
+/// Returns `None` when the flag is absent, which defers the decision to
+/// the `RCOAL_THREADS` environment variable and then the machine's
+/// available parallelism (see `rcoal_parallel::resolve_threads`).
+///
+/// # Errors
+///
+/// Returns a message naming `--threads` for a non-numeric value or `0`
+/// (use `--threads 1` for a sequential run).
+pub fn parse_threads(args: &ParsedArgs) -> Result<Option<usize>, String> {
+    match args.get("threads") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("option --threads has invalid value {v:?}"))?;
+            if n == 0 {
+                return Err(
+                    "option --threads must be positive (use --threads 1 for a sequential run)"
+                        .into(),
+                );
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 /// Extracts `--flag value` pairs and positional arguments from raw args.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParsedArgs {
@@ -151,6 +179,24 @@ mod tests {
     fn trailing_flag_without_value_is_an_error() {
         let err = ParsedArgs::parse(["--samples".to_string()]).unwrap_err();
         assert!(err.contains("--samples"));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults_to_none() {
+        let none = ParsedArgs::parse(["simulate".to_string()]).unwrap();
+        assert_eq!(parse_threads(&none), Ok(None));
+        let four = ParsedArgs::parse(["--threads", "4"].map(String::from)).unwrap();
+        assert_eq!(parse_threads(&four), Ok(Some(4)));
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_garbage() {
+        let zero = ParsedArgs::parse(["--threads", "0"].map(String::from)).unwrap();
+        let err = parse_threads(&zero).unwrap_err();
+        assert!(err.contains("--threads"), "error names the flag: {err}");
+        assert!(err.contains("positive"), "error explains the bound: {err}");
+        let junk = ParsedArgs::parse(["--threads", "many"].map(String::from)).unwrap();
+        assert!(parse_threads(&junk).unwrap_err().contains("--threads"));
     }
 
     #[test]
