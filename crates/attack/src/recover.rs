@@ -4,6 +4,7 @@ use crate::stats::{argmax, pearson};
 use rcoal_aes::Block;
 use rcoal_core::CoalescingPolicy;
 use rcoal_parallel::{parallel_map, resolve_threads};
+use rcoal_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
 /// One observation the attacker collected from the encryption server:
@@ -125,6 +126,7 @@ pub struct Attack {
     seed: u64,
     mc_samples: usize,
     threads: Option<usize>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Attack {
@@ -143,6 +145,7 @@ impl Attack {
             seed: 0x5eed,
             mc_samples: 1,
             threads: None,
+            metrics: None,
         }
     }
 
@@ -165,6 +168,18 @@ impl Attack {
     /// bit-identical at any thread count.
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a host-domain metrics sink. Byte sweeps then record
+    /// `span.attack.byte.*` wall-clock spans, an `attack.guesses`
+    /// progress counter (one tick per guess correlated, live from any
+    /// worker thread), `attack.samples_correlated`, and an
+    /// `attack.correlations_per_sec` throughput gauge. Metrics never
+    /// influence the recovery itself — results stay bit-identical with
+    /// and without a sink.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
         self
     }
 
@@ -199,6 +214,10 @@ impl Attack {
             return Err(AttackError::NoSamples);
         }
         let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
+        let span = self.metrics.as_ref().map(|m| m.span("attack.byte"));
+        // Resolve the progress counter once; its clone-free atomic handle
+        // is safe to tick from every worker thread.
+        let guess_counter = self.metrics.as_ref().map(|m| m.counter("attack.guesses"));
         // Each guess derives its predictor seed from the guess value, so
         // the 256 correlation computations are independent and sweep in
         // parallel with bit-identical results.
@@ -212,9 +231,25 @@ impl Attack {
                     .iter()
                     .map(|s| predictor.predict(&s.ciphertexts, j, m))
                     .collect();
-                pearson(&predicted, &times)
+                let r = pearson(&predicted, &times);
+                if let Some(c) = &guess_counter {
+                    c.inc();
+                }
+                r
             },
         );
+        if let (Some(span), Some(metrics)) = (span, &self.metrics) {
+            let elapsed = span.finish();
+            metrics
+                .counter("attack.samples_correlated")
+                .add(guesses.len() as u64 * samples.len() as u64);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                metrics
+                    .gauge("attack.correlations_per_sec")
+                    .set((guesses.len() as f64 / secs) as u64);
+            }
+        }
         Ok(correlations)
     }
 
@@ -242,9 +277,13 @@ impl Attack {
     ///
     /// [`AttackError::NoSamples`] for an empty sample set.
     pub fn recover_key(&self, samples: &[AttackSample]) -> Result<KeyRecovery, AttackError> {
+        let span = self.metrics.as_ref().map(|m| m.span("attack.recover_key"));
         let bytes = (0..16)
             .map(|j| self.recover_byte(samples, j))
             .collect::<Result<Vec<_>, _>>()?;
+        if let Some(span) = span {
+            span.finish();
+        }
         Ok(KeyRecovery { bytes })
     }
 }
@@ -378,6 +417,36 @@ mod tests {
         assert!(o.avg_rank_of_correct < 220.0);
         assert!(!o.complete() || o.num_correct == 16);
         assert_eq!(rec.recovered_key()[0], rec.bytes[0].best_guess);
+    }
+
+    #[test]
+    fn metrics_track_progress_without_changing_results() {
+        let (samples, _) = synthetic_samples_for(20, b"attack test key!", &[0]);
+        let plain = Attack::baseline(32).recover_byte(&samples, 0).unwrap();
+        let registry = MetricsRegistry::new();
+        let metered = Attack::baseline(32)
+            .with_metrics(&registry)
+            .recover_byte(&samples, 0)
+            .unwrap();
+        assert_eq!(metered, plain, "metrics must not perturb the recovery");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["attack.guesses"], 256);
+        assert_eq!(snap.counters["attack.samples_correlated"], 256 * 20);
+        assert_eq!(snap.counters["span.attack.byte.calls"], 1);
+    }
+
+    #[test]
+    fn recover_key_records_its_span() {
+        let (samples, _) = synthetic_samples_for(10, b"attack test key!", &[0]);
+        let registry = MetricsRegistry::new();
+        Attack::baseline(32)
+            .with_metrics(&registry)
+            .recover_key(&samples)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["span.attack.recover_key.calls"], 1);
+        assert_eq!(snap.counters["span.attack.byte.calls"], 16);
+        assert_eq!(snap.counters["attack.guesses"], 16 * 256);
     }
 
     #[test]

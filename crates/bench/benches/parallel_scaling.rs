@@ -104,7 +104,7 @@ fn run() -> Result<(), String> {
     println!("  speedup   : {speedup:.2}x (outputs bit-identical)");
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"outputs_identical\": true\n}}\n",
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"outputs_identical\": true\n}}\n",
         seq.seconds, par.seconds, speedup
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

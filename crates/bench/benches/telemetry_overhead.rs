@@ -1,0 +1,100 @@
+//! Cost of the telemetry layer on the experiment hot path.
+//!
+//! Runs the same timing workload three ways — uninstrumented (twice, to
+//! establish the machine's noise floor), profile-only telemetry, and
+//! full event tracing — verifies the scientific observations are
+//! bit-identical in all legs, and records the wall-clock ratios to
+//! `BENCH_telemetry.json` at the repository root.
+//!
+//! The acceptance bar for the *disabled* path is that instrumentation is
+//! invisible: `GpuSimulator::run_launch_faulted` now routes through the
+//! instrumented loop with a no-op sink, so the `off` legs ARE the
+//! disabled-hook cost, and their spread is the noise floor the enabled
+//! overheads should be read against.
+
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::{ExperimentConfig, ExperimentData, TelemetrySpec};
+use std::time::Instant;
+
+/// Plaintexts per leg: enough simulated launches for stable timings
+/// while keeping the whole bench under a minute.
+const PLAINTEXTS: usize = 24;
+/// Repetitions per leg; the minimum is recorded (standard practice for
+/// wall-clock microbenchmarks — the minimum is the least-noise sample).
+const REPS: usize = 3;
+
+fn run_leg(telemetry: Option<TelemetrySpec>) -> Result<(f64, ExperimentData), String> {
+    let mut best = f64::INFINITY;
+    let mut data = None;
+    for _ in 0..REPS {
+        let mut cfg = ExperimentConfig::new(
+            CoalescingPolicy::rss_rts(8).map_err(|e| e.to_string())?,
+            PLAINTEXTS,
+            32,
+        )
+        .with_seed(BENCH_SEED)
+        .with_threads(1);
+        if let Some(spec) = telemetry {
+            cfg = cfg.with_telemetry(spec);
+        }
+        let start = Instant::now();
+        let d = cfg.run().map_err(|e| e.to_string())?;
+        best = best.min(start.elapsed().as_secs_f64());
+        data = Some(d);
+    }
+    data.map(|d| (best, d)).ok_or_else(|| "no reps ran".into())
+}
+
+/// Strips the telemetry payload so legs compare on observations only.
+fn observations(mut data: ExperimentData) -> ExperimentData {
+    data.telemetry = None;
+    data
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("telemetry_overhead bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    println!(
+        "telemetry_overhead: {PLAINTEXTS}-plaintext RSS+RTS(8) timing workload, best of {REPS}"
+    );
+
+    let (off_a, data_off) = run_leg(None)?;
+    let (off_b, data_off_repeat) = run_leg(None)?;
+    let (profile_secs, data_profile) = run_leg(Some(TelemetrySpec::profile_only()))?;
+    let (full_secs, data_full) = run_leg(Some(TelemetrySpec::full()))?;
+
+    let data_off = observations(data_off);
+    if data_off != observations(data_off_repeat) {
+        return Err("repeated uninstrumented runs disagree (nondeterminism!)".into());
+    }
+    if data_off != observations(data_profile.clone())
+        || data_off != observations(data_full.clone())
+    {
+        return Err("telemetry changed the scientific observations".into());
+    }
+    let events = data_full
+        .telemetry
+        .as_ref()
+        .map_or(0, rcoal_experiments::ExperimentTelemetry::num_events);
+
+    let noise_floor = (off_a - off_b).abs() / off_a.max(off_b);
+    let profile_overhead = profile_secs / off_a.min(off_b) - 1.0;
+    let full_overhead = full_secs / off_a.min(off_b) - 1.0;
+    println!("  off        : {off_a:.4} s / {off_b:.4} s (noise {:.1}%)", noise_floor * 100.0);
+    println!("  profile    : {profile_secs:.4} s ({:+.1}%)", profile_overhead * 100.0);
+    println!("  full trace : {full_secs:.4} s ({:+.1}%, {events} events)", full_overhead * 100.0);
+
+    let json = format!(
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"telemetry_overhead\",\n  \"workload\": \"RSS+RTS(8) timing experiment x {PLAINTEXTS} plaintexts, threads=1, best of {REPS}\",\n  \"off_seconds\": {off_a:.6},\n  \"off_repeat_seconds\": {off_b:.6},\n  \"noise_floor\": {noise_floor:.4},\n  \"profile_only_seconds\": {profile_secs:.6},\n  \"profile_only_overhead\": {profile_overhead:.4},\n  \"full_trace_seconds\": {full_secs:.6},\n  \"full_trace_overhead\": {full_overhead:.4},\n  \"events_collected\": {events},\n  \"observations_identical\": true\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_telemetry.json");
+    Ok(())
+}

@@ -33,8 +33,10 @@
 mod error;
 pub mod figures;
 mod run;
+mod telemetry;
 mod workload;
 
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
+pub use telemetry::{ExperimentTelemetry, LaunchTrace, TelemetrySpec};
 pub use workload::{random_plaintexts, DEMO_KEY};

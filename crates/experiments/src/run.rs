@@ -1,12 +1,16 @@
 use crate::error::ExperimentError;
+use crate::telemetry::{ExperimentTelemetry, TelemetrySpec};
 use crate::workload::{random_plaintexts, DEMO_KEY};
 use rcoal_rng::StdRng;
 use rcoal_rng::SeedableRng;
 use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
 use rcoal_attack::AttackSample;
 use rcoal_core::{Coalescer, CoalescingPolicy};
-use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, TraceInstr};
-use rcoal_parallel::{resolve_threads, try_parallel_map};
+use rcoal_gpu_sim::{
+    FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, SimTelemetry, TraceInstr,
+};
+use rcoal_parallel::{resolve_threads, try_parallel_map, try_parallel_map_metered};
+use rcoal_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
 /// Which measurement plays the role of the attacker's timing observation.
@@ -60,6 +64,18 @@ pub struct ExperimentConfig {
     /// its own seed, so the results are bit-identical at any thread
     /// count.
     pub threads: Option<usize>,
+    /// When set, every simulated launch runs instrumented and the
+    /// collected [`ExperimentTelemetry`] lands on
+    /// [`ExperimentData::telemetry`]. Requires `timing` (the telemetry is
+    /// cycle-domain); everything collected is deterministic for a fixed
+    /// seed at any thread count.
+    pub telemetry: Option<TelemetrySpec>,
+    /// Optional host-domain metrics sink. When set, the run records a
+    /// `span.experiment.run` wall-clock span, `pool.launches.*` sweep
+    /// utilization, and (if `telemetry` is also set) the aggregate
+    /// `sim.*` profile. Host metrics are wall-clock and therefore **not**
+    /// deterministic — they never feed back into results.
+    pub host_metrics: Option<MetricsRegistry>,
 }
 
 impl ExperimentConfig {
@@ -77,6 +93,8 @@ impl ExperimentConfig {
             launch: None,
             faults: FaultPlan::none(),
             threads: None,
+            telemetry: None,
+            host_metrics: None,
         }
     }
 
@@ -142,6 +160,21 @@ impl ExperimentConfig {
         self
     }
 
+    /// Instruments every launch per `spec` (see
+    /// [`ExperimentConfig::telemetry`]).
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
+        self
+    }
+
+    /// Attaches a host-domain metrics sink (see
+    /// [`ExperimentConfig::host_metrics`]); the registry is shared, so
+    /// the caller keeps visibility through its own clone.
+    pub fn with_host_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.host_metrics = Some(registry.clone());
+        self
+    }
+
     /// Validates the configuration without running anything.
     ///
     /// # Errors
@@ -159,6 +192,13 @@ impl ExperimentConfig {
         if self.threads == Some(0) {
             return Err(ExperimentError::Config(
                 "threads must be positive (use 1 for a sequential run)".into(),
+            ));
+        }
+        if self.telemetry.is_some() && !self.timing {
+            return Err(ExperimentError::Config(
+                "telemetry requires a timing run (it instruments the cycle simulator); \
+                 drop functional_only() or the telemetry spec"
+                    .into(),
             ));
         }
         self.gpu
@@ -180,6 +220,7 @@ impl ExperimentConfig {
     /// runs can still fail on a policy/warp-size mismatch.
     pub fn run(&self) -> Result<ExperimentData, ExperimentError> {
         self.validate()?;
+        let span = self.host_metrics.as_ref().map(|m| m.span("experiment.run"));
         let plaintexts = random_plaintexts(self.num_plaintexts, self.lines, self.seed);
         let sim = GpuSimulator::new(self.gpu.clone());
         let coalescer = Coalescer::with_block_size(self.gpu.block_size)?;
@@ -189,11 +230,17 @@ impl ExperimentConfig {
         // its policy randomness from its own `launch_seed` — so they fan
         // out across worker threads; results come back in plaintext
         // order, making the data bit-identical to a sequential run.
-        let launches = try_parallel_map(
-            resolve_threads(self.threads),
-            &plaintexts,
-            |i, lines| self.run_one_launch(i, lines, &sim, &coalescer, launch),
-        )?;
+        let threads = resolve_threads(self.threads);
+        let map = |i: usize, lines: &Vec<Block>| {
+            self.run_one_launch(i, lines, &sim, &coalescer, launch)
+        };
+        let launches = if let Some(metrics) = &self.host_metrics {
+            let (result, report) = try_parallel_map_metered(threads, &plaintexts, map);
+            report.record_into(metrics, "launches");
+            result?
+        } else {
+            try_parallel_map(threads, &plaintexts, map)?
+        };
 
         let mut data = ExperimentData {
             policy: self.policy,
@@ -205,8 +252,9 @@ impl ExperimentConfig {
             total_requests: Vec::with_capacity(self.num_plaintexts),
             last_round_cycles: self.timing.then(Vec::new),
             total_cycles: self.timing.then(Vec::new),
+            telemetry: self.telemetry.map(|_| ExperimentTelemetry::default()),
         };
-        for launch_data in launches {
+        for (i, launch_data) in launches.into_iter().enumerate() {
             data.ciphertexts.push(launch_data.ciphertexts);
             data.last_round_accesses
                 .push(launch_data.by_byte.iter().sum());
@@ -219,6 +267,17 @@ impl ExperimentConfig {
             if let Some(tc) = data.total_cycles.as_mut() {
                 tc.push(launch_data.total_cycles.unwrap_or(0));
             }
+            if let (Some(tel), Some(sink)) = (data.telemetry.as_mut(), launch_data.telemetry) {
+                // Launches arrive in index order, so the merge (and every
+                // serialized form of it) is thread-count independent.
+                tel.push(i, sink);
+            }
+        }
+        if let (Some(metrics), Some(tel)) = (&self.host_metrics, &data.telemetry) {
+            tel.record_into(metrics);
+        }
+        if let Some(span) = span {
+            span.finish();
         }
         Ok(data)
     }
@@ -246,15 +305,27 @@ impl ExperimentConfig {
             total_requests: 0,
             last_round_cycles: None,
             total_cycles: None,
+            telemetry: None,
         };
         if self.timing {
-            let stats = sim.run_launch_faulted(&kernel, launch, launch_seed, &self.faults)?;
+            let stats = if let Some(spec) = &self.telemetry {
+                let mut sink = spec.sink();
+                let stats =
+                    sim.run_instrumented(&kernel, launch, launch_seed, &self.faults, &mut sink)?;
+                out.telemetry = Some(sink);
+                stats
+            } else {
+                sim.run_launch_faulted(&kernel, launch, launch_seed, &self.faults)?
+            };
             for (j, slot) in out.by_byte.iter_mut().enumerate() {
                 *slot = stats.accesses_for_tag(LAST_ROUND_TAG_BASE + j as u16);
             }
             out.total_accesses = stats.total_accesses;
             out.total_requests = stats.total_requests;
-            out.last_round_cycles = Some(stats.cycles_after_round(9));
+            // `try_` keeps a kernel that never passes round 9 from
+            // silently reporting the whole run as "last-round" time (the
+            // AES kernel always passes it; other kernels may not).
+            out.last_round_cycles = stats.try_cycles_after_round(9);
             out.total_cycles = Some(stats.total_cycles);
         } else {
             let counts = functional_counts(&kernel, launch, launch_seed, coalescer, &self.gpu)?;
@@ -274,6 +345,7 @@ struct LaunchData {
     total_requests: u64,
     last_round_cycles: Option<u64>,
     total_cycles: Option<u64>,
+    telemetry: Option<SimTelemetry>,
 }
 
 struct FunctionalCounts {
@@ -353,6 +425,11 @@ pub struct ExperimentData {
     pub last_round_cycles: Option<Vec<u64>>,
     /// Per-plaintext total cycles (timing runs only).
     pub total_cycles: Option<Vec<u64>>,
+    /// Per-launch traces and the aggregate leakage profile (present only
+    /// when the config set [`ExperimentConfig::telemetry`]). Cycle-domain
+    /// and deterministic, so it participates in `PartialEq` like every
+    /// other observation.
+    pub telemetry: Option<ExperimentTelemetry>,
 }
 
 impl ExperimentData {
@@ -598,6 +675,67 @@ mod tests {
         assert!(fss16.mean_last_round_accesses() > base.mean_last_round_accesses());
         assert!(!base.is_empty());
         assert_eq!(base.len(), 4);
+    }
+
+    #[test]
+    fn telemetry_collects_per_launch_traces() {
+        let data = ExperimentConfig::new(CoalescingPolicy::Baseline, 3, 32)
+            .with_seed(7)
+            .with_telemetry(TelemetrySpec::full())
+            .run()
+            .unwrap();
+        let tel = data.telemetry.as_ref().unwrap();
+        assert_eq!(tel.launches.len(), 3);
+        assert!(tel.num_events() > 0);
+        assert_eq!(tel.launches[1].index, 1);
+        // Every launch issues the same loads, so the aggregate profile
+        // sums the per-launch ones.
+        let per_launch: u64 = tel
+            .launches
+            .iter()
+            .map(|l| l.profile.accesses_per_load.count())
+            .sum();
+        assert_eq!(tel.profile.accesses_per_load.count(), per_launch);
+        let jsonl = tel.trace_jsonl();
+        assert!(jsonl.lines().count() == tel.num_events());
+        assert!(jsonl.contains("\"launch\":2,"));
+    }
+
+    #[test]
+    fn telemetry_requires_timing() {
+        let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 2, 32)
+            .with_telemetry(TelemetrySpec::profile_only())
+            .functional_only();
+        assert!(matches!(cfg.validate(), Err(ExperimentError::Config(_))));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_observations() {
+        let plain = quick(CoalescingPolicy::fss(4).unwrap(), true);
+        let mut cfg = ExperimentConfig::new(CoalescingPolicy::fss(4).unwrap(), 4, 32)
+            .with_seed(7)
+            .with_telemetry(TelemetrySpec::full());
+        cfg.timing = true;
+        let mut instrumented = cfg.run().unwrap();
+        instrumented.telemetry = None;
+        assert_eq!(instrumented, plain, "instrumentation must be invisible");
+    }
+
+    #[test]
+    fn host_metrics_record_span_and_pool() {
+        let registry = rcoal_telemetry::MetricsRegistry::new();
+        let data = ExperimentConfig::new(CoalescingPolicy::Baseline, 3, 32)
+            .with_telemetry(TelemetrySpec::profile_only())
+            .with_host_metrics(&registry)
+            .with_threads(2)
+            .run()
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["span.experiment.run.calls"], 1);
+        assert_eq!(snap.counters["pool.launches.items"], 3);
+        assert_eq!(snap.counters["sim.launches"], 3);
+        assert!(snap.hists["sim.mem_latency"].count > 0);
+        assert!(data.telemetry.is_some());
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl MemoryController {
         self.accesses
     }
 
+    /// Serviced requests that hit an already-open row.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Serviced requests that paid a precharge/activate.
+    pub fn row_misses(&self) -> u64 {
+        self.accesses - self.row_hits
+    }
+
+    /// Requests currently waiting in the controller queue (excluding
+    /// completions not yet drained).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Fraction of serviced requests that hit an open row.
     pub fn row_hit_rate(&self) -> f64 {
         if self.accesses == 0 {

@@ -30,6 +30,9 @@ pub struct Crossbar {
     port_count: Vec<(usize, usize)>,
     /// Per-tick scratch: packets deferred by port contention.
     deferred: Vec<Reverse<(u64, u64, usize, u64)>>,
+    /// Running count of deferrals — each is one cycle a packet lost to
+    /// ejection-port contention (the interconnect-serialization signal).
+    deferred_total: u64,
 }
 
 impl Crossbar {
@@ -44,6 +47,7 @@ impl Crossbar {
             seq: 0,
             port_count: Vec::new(),
             deferred: Vec::new(),
+            deferred_total: 0,
         }
     }
 
@@ -59,6 +63,12 @@ impl Crossbar {
     /// Number of packets buffered or in flight.
     pub fn pending(&self) -> usize {
         self.src_queues.iter().map(VecDeque::len).sum::<usize>() + self.in_flight.len()
+    }
+
+    /// Total packet-cycles lost to ejection-port contention since
+    /// construction (each deferral delays one packet by one cycle).
+    pub fn deferred_total(&self) -> u64 {
+        self.deferred_total
     }
 
     /// Advances one interconnect cycle, appending packets that complete
@@ -106,6 +116,7 @@ impl Crossbar {
                 delivered.push((dst, id));
             } else {
                 // Port contention: retry next cycle.
+                self.deferred_total += 1;
                 self.deferred.push(Reverse((arrive + 1, seq, dst, id)));
             }
         }

@@ -62,6 +62,7 @@ mod sim;
 mod sm;
 mod stats;
 mod synthetic;
+mod telemetry;
 
 pub use address::{AddressMapper, PhysLoc};
 pub use config::{DramTiming, GpuConfig, SchedulerPolicy};
@@ -73,3 +74,4 @@ pub use launch::LaunchPolicy;
 pub use sim::{GpuSimulator, SimError};
 pub use stats::SimStats;
 pub use synthetic::{AccessPattern, SyntheticKernel};
+pub use telemetry::{McProfile, SimProfile, SimTelemetry, DEFAULT_EVENT_CAPACITY};

@@ -2,11 +2,13 @@ use crate::cache::L1Cache;
 use crate::dram::MemRequest;
 use crate::fault::{FaultPlan, ReplyFate};
 use crate::sm::{Sm, WarpCtx};
+use crate::telemetry::SimTelemetry;
 use crate::{
     AddressMapper, Crossbar, GpuConfig, Kernel, LaunchPolicy, MemoryController, PhysLoc, SimStats,
     TraceInstr,
 };
 use rcoal_core::{Coalescer, CoalescingPolicy, PolicyError};
+use rcoal_telemetry::Severity;
 use rcoal_rng::SeedableRng;
 use rcoal_rng::StdRng;
 use std::cmp::Reverse;
@@ -38,6 +40,9 @@ pub enum SimError {
         outstanding: u64,
         /// Human-readable description naming the stuck components.
         diagnostic: String,
+        /// The last few telemetry events before the stall, rendered as
+        /// one line each (empty when the run used the no-op sink).
+        trail: Vec<String>,
     },
 }
 
@@ -53,10 +58,20 @@ impl fmt::Display for SimError {
                 cycle,
                 outstanding,
                 diagnostic,
-            } => write!(
-                f,
-                "simulation stalled at cycle {cycle} with {outstanding} replies outstanding: {diagnostic}"
-            ),
+                trail,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled at cycle {cycle} with {outstanding} replies outstanding: {diagnostic}"
+                )?;
+                if !trail.is_empty() {
+                    write!(f, "; recent events:")?;
+                    for line in trail {
+                        write!(f, "\n  {line}")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -75,6 +90,9 @@ impl From<PolicyError> for SimError {
         SimError::Policy(e)
     }
 }
+
+/// How many trailing telemetry events a stall diagnostic carries.
+const STALL_TRAIL_EVENTS: usize = 16;
 
 #[derive(Debug, Clone, Copy)]
 struct ReqMeta {
@@ -179,6 +197,31 @@ impl GpuSimulator {
         seed: u64,
         plan: &FaultPlan,
     ) -> Result<SimStats, SimError> {
+        self.run_instrumented(kernel, launch, seed, plan, &mut SimTelemetry::off())
+    }
+
+    /// Executes `kernel` like [`GpuSimulator::run_launch_faulted`] while
+    /// recording structured events and a leakage-channel profile into
+    /// `tel`.
+    ///
+    /// Timing and statistics are identical to the uninstrumented run:
+    /// telemetry observes the machine, it never perturbs it. With
+    /// [`SimTelemetry::off`] every hook reduces to one predictable
+    /// branch, which is exactly what the plain entry points pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GpuSimulator::run_launch_faulted`]; on
+    /// [`SimError::Stalled`] the error carries the last few telemetry
+    /// events as its `trail` (empty with the no-op sink).
+    pub fn run_instrumented(
+        &self,
+        kernel: &dyn Kernel,
+        launch: LaunchPolicy,
+        seed: u64,
+        plan: &FaultPlan,
+        tel: &mut SimTelemetry,
+    ) -> Result<SimStats, SimError> {
         self.config.validate().map_err(SimError::Config)?;
         plan.validate()
             .map_err(|msg| SimError::Config(format!("invalid fault plan: {msg}")))?;
@@ -216,6 +259,17 @@ impl GpuSimulator {
             warp_finish_cycle: vec![0; kernel.num_warps()],
             ..SimStats::default()
         };
+        if tel.is_enabled() {
+            tel.profile.ensure_mcs(cfg.num_mem_controllers);
+            tel.event(
+                0,
+                Severity::Info,
+                "sim",
+                "launch",
+                kernel.num_warps() as u64,
+                cfg.warp_size as u64,
+            );
+        }
         let mut req_net = Crossbar::new(
             cfg.num_sms,
             cfg.icnt_latency,
@@ -253,6 +307,9 @@ impl GpuSimulator {
         // demonstrably moved (an instruction issued, a reply drained, a
         // warp was executing, or a reply was waiting for release).
         let mut progress_at: u64 = 0;
+        // Previous cycle's interconnect-freeze state, for edge-triggered
+        // backpressure events.
+        let mut prev_frozen = false;
 
         let mut now: u64 = 0;
         loop {
@@ -274,6 +331,14 @@ impl GpuSimulator {
                                 warp.pc += 1;
                                 progressed = true;
                                 stats.record_round_mark(round, now);
+                                tel.event(
+                                    now,
+                                    Severity::Debug,
+                                    "sm",
+                                    "round_mark",
+                                    u64::from(round),
+                                    (widx * cfg.num_sms + s) as u64,
+                                );
                                 // Marks are free: keep consuming.
                             }
                             Some(&TraceInstr::Compute { cycles }) => {
@@ -297,6 +362,9 @@ impl GpuSimulator {
                                     addrs.iter().filter(|a| a.is_some()).count() as u64;
                                 stats.total_requests += active;
                                 stats.record_tagged_accesses(tag, n);
+                                if tel.is_enabled() {
+                                    tel.record_load(now, assignment.num_subwarps(), &result);
+                                }
                                 if n == 0 {
                                     continue; // all lanes inactive
                                 }
@@ -345,11 +413,31 @@ impl GpuSimulator {
                         }
                     }
                 }
+                // Issue-stall accounting: this SM still has unfinished
+                // warps but found none ready to issue this cycle.
+                if tel.is_enabled() && ready_scratch.is_empty() && !sms[s].all_done(now) {
+                    tel.profile.issue_stall_cycles += 1;
+                }
             }
 
             // --- Interconnect: transient backpressure bursts freeze both
             // crossbars for this cycle; packets keep their places.
             let icnt_frozen = fault.icnt_stalled(now);
+            if tel.is_enabled() && icnt_frozen != prev_frozen {
+                tel.event(
+                    now,
+                    Severity::Warn,
+                    "icnt",
+                    if icnt_frozen {
+                        "backpressure_start"
+                    } else {
+                        "backpressure_end"
+                    },
+                    req_net.pending() as u64,
+                    reply_net.pending() as u64,
+                );
+            }
+            prev_frozen = icnt_frozen;
 
             // --- Request network (icnt clock == core clock in Table I).
             let mem_now = now * u64::from(cfg.mem_clock_mhz) / u64::from(cfg.core_clock_mhz);
@@ -362,6 +450,11 @@ impl GpuSimulator {
                         loc,
                         arrival: mem_now,
                     });
+                    if tel.is_enabled() {
+                        tel.profile.mcs[mc]
+                            .queue_depth
+                            .record(mcs[mc].queue_len() as u64);
+                    }
                 }
             }
 
@@ -398,6 +491,7 @@ impl GpuSimulator {
                     ReplyFate::Retransmit => {
                         stats.dropped_replies += 1;
                         stats.fault_retries += 1;
+                        tel.event(now, Severity::Warn, "fault", "reply_retransmit", mc as u64, id);
                         mcs[mc].enqueue(MemRequest {
                             id,
                             loc: req_meta[id as usize].loc,
@@ -407,6 +501,7 @@ impl GpuSimulator {
                     ReplyFate::Lost => {
                         stats.dropped_replies += 1;
                         stats.replies_lost += 1;
+                        tel.event(now, Severity::Error, "fault", "reply_lost", mc as u64, id);
                     }
                 }
             }
@@ -417,7 +512,12 @@ impl GpuSimulator {
                 for &(_sm, id) in &net_scratch {
                     progressed = true;
                     let meta = req_meta[id as usize];
-                    stats.mem_latency_sum += now - meta.issued_at;
+                    let latency = now - meta.issued_at;
+                    stats.mem_latency_sum += latency;
+                    if tel.is_enabled() {
+                        tel.profile.mem_latency.record(latency);
+                        tel.event(now, Severity::Debug, "mem", "reply", id, latency);
+                    }
                     if let Some(l1) = l1s[meta.sm].as_mut() {
                         l1.fill(meta.block_addr);
                     }
@@ -458,6 +558,7 @@ impl GpuSimulator {
                     let gid = l * cfg.num_sms + s;
                     if stats.warp_finish_cycle[gid] == 0 && warp.done(now) {
                         stats.warp_finish_cycle[gid] = now + 1;
+                        tel.event(now, Severity::Info, "sm", "warp_finished", gid as u64, s as u64);
                     }
                     any_busy |= warp.busy_until > now;
                 }
@@ -488,6 +589,7 @@ impl GpuSimulator {
                     &reply_net,
                     &mcs,
                     pending_replies.len(),
+                    tel,
                 ));
             }
             if progressed || any_busy || !pending_replies.is_empty() {
@@ -500,6 +602,29 @@ impl GpuSimulator {
                     limit: cfg.max_cycles,
                 });
             }
+        }
+
+        if tel.is_enabled() {
+            tel.profile.ensure_mcs(mcs.len());
+            for (i, mc) in mcs.iter().enumerate() {
+                let p = &mut tel.profile.mcs[i];
+                p.row_hits += mc.row_hits();
+                p.row_misses += mc.row_misses();
+                p.serviced += mc.serviced();
+            }
+            tel.profile.icnt_req_deferred += req_net.deferred_total();
+            tel.profile.icnt_reply_deferred += reply_net.deferred_total();
+            let max = stats.warp_finish_cycle.iter().max().copied().unwrap_or(0);
+            let min = stats.warp_finish_cycle.iter().min().copied().unwrap_or(0);
+            tel.profile.warp_finish_spread = tel.profile.warp_finish_spread.max(max - min);
+            tel.event(
+                stats.total_cycles,
+                Severity::Info,
+                "sim",
+                "done",
+                stats.total_cycles,
+                stats.total_accesses,
+            );
         }
 
         let (hits, serviced) = mcs.iter().fold((0.0, 0u64), |(h, n), mc| {
@@ -521,7 +646,8 @@ impl GpuSimulator {
     }
 
     /// Builds the [`SimError::Stalled`] diagnostic naming the stuck
-    /// components at the moment the watchdog fired.
+    /// components at the moment the watchdog fired, carrying the last
+    /// few telemetry events as the `trail`.
     #[allow(clippy::too_many_arguments)]
     fn stall_report(
         &self,
@@ -532,6 +658,7 @@ impl GpuSimulator {
         reply_net: &Crossbar,
         mcs: &[MemoryController],
         pending_replies: usize,
+        tel: &mut SimTelemetry,
     ) -> SimError {
         let mut outstanding: u64 = 0;
         let mut stuck: Option<(usize, usize, u32, usize)> = None;
@@ -563,10 +690,25 @@ impl GpuSimulator {
             mc_pending,
             pending_replies
         ));
+        tel.event(
+            cycle,
+            Severity::Error,
+            "sim",
+            "stalled",
+            outstanding,
+            pending_replies as u64,
+        );
+        let trail = tel
+            .events
+            .tail(STALL_TRAIL_EVENTS)
+            .iter()
+            .map(rcoal_telemetry::Event::to_line)
+            .collect();
         SimError::Stalled {
             cycle,
             outstanding,
             diagnostic,
+            trail,
         }
     }
 }
@@ -930,6 +1072,7 @@ mod tests {
                 cycle,
                 outstanding,
                 diagnostic,
+                ..
             } => {
                 assert!(cycle < 100_000, "detected at cycle {cycle}");
                 assert!(outstanding > 0);
@@ -1030,8 +1173,100 @@ mod tests {
             cycle: 42,
             outstanding: 3,
             diagnostic: "sm 0 warp 1".into(),
+            trail: vec![],
         };
         let s = err.to_string();
         assert!(s.contains("42") && s.contains("3 replies") && s.contains("sm 0 warp 1"));
+        assert!(!s.contains("recent events"), "no trail section when empty");
+
+        let err = SimError::Stalled {
+            cycle: 42,
+            outstanding: 3,
+            diagnostic: "sm 0 warp 1".into(),
+            trail: vec!["[error @42] fault.reply_lost a=0 b=7".into()],
+        };
+        let s = err.to_string();
+        assert!(s.contains("recent events"), "{s}");
+        assert!(s.contains("fault.reply_lost"), "{s}");
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_timing() {
+        let k = memory_kernel();
+        let plain = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
+        let mut tel = crate::SimTelemetry::new();
+        let instrumented = sim()
+            .run_instrumented(
+                &k,
+                LaunchPolicy::Uniform(CoalescingPolicy::Baseline),
+                1,
+                &FaultPlan::none(),
+                &mut tel,
+            )
+            .unwrap();
+        assert_eq!(plain, instrumented);
+        // The profile saw every load and every reply.
+        assert_eq!(tel.profile.accesses_per_load.count(), 2 * 3);
+        assert_eq!(tel.profile.mem_latency.count(), plain.total_accesses);
+        assert_eq!(
+            tel.profile.mcs.iter().map(|m| m.serviced).sum::<u64>(),
+            plain.total_accesses
+        );
+        // Lifecycle events are present with cycle timestamps.
+        assert!(tel.events.events().any(|e| e.code == "launch"));
+        assert!(tel.events.events().any(|e| e.code == "done"));
+        assert!(tel
+            .events
+            .events()
+            .filter(|e| e.code == "warp_finished")
+            .count()
+            == 3);
+    }
+
+    #[test]
+    fn instrumented_runs_are_deterministic() {
+        let k = memory_kernel();
+        let p = LaunchPolicy::Uniform(CoalescingPolicy::rss_rts(2).unwrap());
+        let mut ta = crate::SimTelemetry::new();
+        let mut tb = crate::SimTelemetry::new();
+        let a = sim().run_instrumented(&k, p, 9, &FaultPlan::none(), &mut ta).unwrap();
+        let b = sim().run_instrumented(&k, p, 9, &FaultPlan::none(), &mut tb).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ta.profile, tb.profile);
+        assert_eq!(
+            ta.events.events().collect::<Vec<_>>(),
+            tb.events.events().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn instrumented_stall_carries_an_event_trail() {
+        let k = memory_kernel();
+        let plan = crate::FaultPlan::seeded(5).with_mc_drop(0, 1.0, 0);
+        let mut tel = crate::SimTelemetry::new();
+        let err = sim()
+            .run_instrumented(
+                &k,
+                LaunchPolicy::Uniform(CoalescingPolicy::Baseline),
+                1,
+                &plan,
+                &mut tel,
+            )
+            .unwrap_err();
+        match err {
+            SimError::Stalled { trail, .. } => {
+                assert!(!trail.is_empty());
+                assert!(trail.len() <= STALL_TRAIL_EVENTS);
+                assert!(
+                    trail.iter().any(|l| l.contains("reply_lost")),
+                    "the lost reply must appear in the trail: {trail:?}"
+                );
+                assert!(
+                    trail.last().is_some_and(|l| l.contains("sim.stalled")),
+                    "the stall event itself closes the trail: {trail:?}"
+                );
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
     }
 }

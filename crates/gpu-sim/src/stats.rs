@@ -51,6 +51,12 @@ impl SimStats {
     /// Core cycles spent after phase `round` completed — with the AES
     /// kernel's convention, `cycles_after_round(9)` is the last-round
     /// execution time the attacker correlates against.
+    ///
+    /// **Footgun**: a round the kernel never passed silently counts from
+    /// launch (its mark is the zero sentinel), returning `total_cycles`
+    /// as if the "round" took the whole run. Use
+    /// [`SimStats::try_cycles_after_round`] when the round's existence
+    /// is not already guaranteed.
     pub fn cycles_after_round(&self, round: u16) -> u64 {
         let mark = self
             .round_complete_cycle
@@ -58,6 +64,17 @@ impl SimStats {
             .copied()
             .unwrap_or(0);
         self.total_cycles.saturating_sub(mark)
+    }
+
+    /// Like [`SimStats::cycles_after_round`], but `None` when no warp
+    /// ever passed `RoundMark { round }` — instead of silently counting
+    /// from launch.
+    pub fn try_cycles_after_round(&self, round: u16) -> Option<u64> {
+        let mark = self.round_complete_cycle.get(usize::from(round)).copied()?;
+        if mark == 0 {
+            return None; // zero is the "never passed" sentinel
+        }
+        Some(self.total_cycles.saturating_sub(mark))
     }
 
     /// Average round-trip latency of a coalesced memory access in core
@@ -122,6 +139,18 @@ mod tests {
         s.total_cycles = 150;
         assert_eq!(s.cycles_after_round(9), 50);
         assert_eq!(s.cycles_after_round(3), 150, "unpassed round counts from launch");
+    }
+
+    #[test]
+    fn try_cycles_after_round_rejects_unpassed_rounds() {
+        let mut s = SimStats::default();
+        s.record_round_mark(9, 100);
+        s.total_cycles = 150;
+        assert_eq!(s.try_cycles_after_round(9), Some(50));
+        // Round 3 was allocated by the resize but never passed (zero
+        // sentinel); round 42 is out of range entirely.
+        assert_eq!(s.try_cycles_after_round(3), None);
+        assert_eq!(s.try_cycles_after_round(42), None);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Per-launch simulator telemetry: a structured event stream plus a
+//! leakage-channel profile.
+//!
+//! [`SimTelemetry`] is handed to [`crate::GpuSimulator::run_instrumented`]
+//! and filled in as the launch executes. Everything in it lives in the
+//! **cycle domain**: timestamps are core cycles and every histogram is
+//! fed in deterministic simulation order, so for a fixed seed the whole
+//! struct is bit-identical no matter how many worker threads drive the
+//! simulator. Wall-clock measurements belong to the experiment/CLI edges
+//! (see `rcoal_telemetry::Span`), never in here.
+//!
+//! The disabled form ([`SimTelemetry::off`]) is near-zero-cost: every
+//! hook is behind a single branch on [`SimTelemetry::is_enabled`] and the
+//! event ring has capacity zero, so the simulator's hot loop does no
+//! extra allocation or bookkeeping.
+
+use rcoal_core::CoalesceResult;
+use rcoal_telemetry::{Event, EventRing, Hist64, Severity};
+
+/// Default event-ring capacity for an enabled [`SimTelemetry`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Per-memory-controller slice of the leakage profile.
+///
+/// Row locality is one of the three timing-signal sources the RCoal
+/// paper names (§III): randomized coalescing perturbs which rows are
+/// touched together, and these counters expose how much.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McProfile {
+    /// Serviced reads that hit an already-open row.
+    pub row_hits: u64,
+    /// Serviced reads that paid a precharge/activate.
+    pub row_misses: u64,
+    /// Total reads serviced by this controller.
+    pub serviced: u64,
+    /// Controller queue depth sampled at each request arrival.
+    pub queue_depth: Hist64,
+}
+
+impl McProfile {
+    /// Fraction of serviced reads that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.serviced == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.serviced as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (used when aggregating launches).
+    pub fn merge(&mut self, other: &McProfile) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.serviced += other.serviced;
+        self.queue_depth.merge(&other.queue_depth);
+    }
+}
+
+/// The leakage-channel profile of one (or many merged) kernel launches.
+///
+/// Each field maps onto a component of the timing channel: coalescer
+/// access counts (the primary signal), DRAM row locality and queueing
+/// (secondary), interconnect serialization (secondary), and SM issue
+/// behaviour (how the signal reaches the clock).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Coalesced accesses generated per executed load instruction.
+    pub accesses_per_load: Hist64,
+    /// Coalesced accesses generated per subwarp per load (including
+    /// subwarps that produced zero accesses) — the distribution RCoal's
+    /// randomization reshapes.
+    pub accesses_per_subwarp: Hist64,
+    /// Active lanes served by each coalesced access.
+    pub lanes_per_access: Hist64,
+    /// Round-trip latency (core cycles) of each delivered memory reply.
+    pub mem_latency: Hist64,
+    /// Core cycles in which an SM had unfinished warps but issued
+    /// nothing, summed over SMs.
+    pub issue_stall_cycles: u64,
+    /// Request-network packets deferred by ejection-port contention.
+    pub icnt_req_deferred: u64,
+    /// Reply-network packets deferred by ejection-port contention.
+    pub icnt_reply_deferred: u64,
+    /// Spread (max − min) of per-warp finish cycles.
+    pub warp_finish_spread: u64,
+    /// Per-memory-controller row locality and queue depth.
+    pub mcs: Vec<McProfile>,
+}
+
+impl SimProfile {
+    /// Sizes the per-controller slice (idempotent; never shrinks).
+    pub fn ensure_mcs(&mut self, n: usize) {
+        if self.mcs.len() < n {
+            self.mcs.resize(n, McProfile::default());
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    ///
+    /// Merging launches in a fixed order (e.g. launch index) keeps the
+    /// aggregate deterministic across worker-thread counts.
+    pub fn merge(&mut self, other: &SimProfile) {
+        self.accesses_per_load.merge(&other.accesses_per_load);
+        self.accesses_per_subwarp.merge(&other.accesses_per_subwarp);
+        self.lanes_per_access.merge(&other.lanes_per_access);
+        self.mem_latency.merge(&other.mem_latency);
+        self.issue_stall_cycles += other.issue_stall_cycles;
+        self.icnt_req_deferred += other.icnt_req_deferred;
+        self.icnt_reply_deferred += other.icnt_reply_deferred;
+        self.warp_finish_spread = self.warp_finish_spread.max(other.warp_finish_spread);
+        self.ensure_mcs(other.mcs.len());
+        for (mine, theirs) in self.mcs.iter_mut().zip(&other.mcs) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Telemetry sink for one simulated kernel launch.
+///
+/// Pass [`SimTelemetry::off`] for the no-op sink (the default used by
+/// [`crate::GpuSimulator::run`]) or [`SimTelemetry::new`] to record.
+#[derive(Debug, Clone)]
+pub struct SimTelemetry {
+    enabled: bool,
+    /// Ring of the most recent structured events (cycle-stamped).
+    pub events: EventRing,
+    /// Leakage-channel counters and histograms.
+    pub profile: SimProfile,
+    /// Per-load scratch for subwarp access counting (reused; no steady
+    /// state allocation).
+    subwarp_scratch: Vec<u64>,
+}
+
+impl SimTelemetry {
+    /// The no-op sink: records nothing, allocates nothing.
+    pub fn off() -> Self {
+        SimTelemetry {
+            enabled: false,
+            events: EventRing::with_capacity(0),
+            profile: SimProfile::default(),
+            subwarp_scratch: Vec::new(),
+        }
+    }
+
+    /// An enabled sink with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled sink retaining up to `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        SimTelemetry {
+            enabled: true,
+            events: EventRing::with_capacity(capacity),
+            profile: SimProfile::default(),
+            subwarp_scratch: Vec::new(),
+        }
+    }
+
+    /// Sets the minimum severity retained in the event ring.
+    pub fn with_min_severity(mut self, min: Severity) -> Self {
+        self.events = std::mem::replace(&mut self.events, EventRing::with_capacity(0))
+            .with_min_severity(min);
+        self
+    }
+
+    /// Whether this sink records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a structured event (no-op when disabled).
+    #[inline]
+    pub(crate) fn event(
+        &mut self,
+        cycle: u64,
+        severity: Severity,
+        component: &'static str,
+        code: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        if self.enabled {
+            self.events.record(Event {
+                cycle,
+                severity,
+                component,
+                code,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Profiles one coalesced load: accesses per load, per subwarp
+    /// (zero-access subwarps included), and lanes per access.
+    ///
+    /// Caller guards on [`SimTelemetry::is_enabled`].
+    pub(crate) fn record_load(&mut self, cycle: u64, num_subwarps: usize, result: &CoalesceResult) {
+        self.profile
+            .accesses_per_load
+            .record(result.num_accesses() as u64);
+        self.subwarp_scratch.clear();
+        self.subwarp_scratch.resize(num_subwarps, 0);
+        for access in result.accesses() {
+            self.profile
+                .lanes_per_access
+                .record(u64::from(access.num_lanes()));
+            if let Some(slot) = self.subwarp_scratch.get_mut(usize::from(access.sid)) {
+                *slot += 1;
+            }
+        }
+        for i in 0..self.subwarp_scratch.len() {
+            let n = self.subwarp_scratch[i];
+            self.profile.accesses_per_subwarp.record(n);
+        }
+        self.event(
+            cycle,
+            Severity::Debug,
+            "coalescer",
+            "load",
+            num_subwarps as u64,
+            result.num_accesses() as u64,
+        );
+    }
+}
+
+impl Default for SimTelemetry {
+    /// The default sink is **off** — instrumentation is opt-in.
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_is_disabled_and_empty() {
+        let mut tel = SimTelemetry::off();
+        assert!(!tel.is_enabled());
+        tel.event(1, Severity::Error, "sim", "stalled", 0, 0);
+        assert!(tel.events.is_empty());
+        assert_eq!(tel.events.capacity(), 0);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(!SimTelemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_sink_records_events() {
+        let mut tel = SimTelemetry::new();
+        assert!(tel.is_enabled());
+        tel.event(7, Severity::Info, "sim", "launch", 4, 32);
+        assert_eq!(tel.events.len(), 1);
+    }
+
+    #[test]
+    fn min_severity_survives_the_builder() {
+        let mut tel = SimTelemetry::new().with_min_severity(Severity::Warn);
+        tel.event(1, Severity::Debug, "sm", "round_mark", 0, 0);
+        tel.event(2, Severity::Error, "fault", "reply_lost", 0, 0);
+        assert_eq!(tel.events.len(), 1);
+    }
+
+    #[test]
+    fn profile_merge_accumulates_and_sizes_mcs() {
+        let mut a = SimProfile::default();
+        a.accesses_per_load.record(4);
+        a.issue_stall_cycles = 10;
+        a.warp_finish_spread = 5;
+
+        let mut b = SimProfile::default();
+        b.accesses_per_load.record(8);
+        b.issue_stall_cycles = 3;
+        b.warp_finish_spread = 9;
+        b.ensure_mcs(2);
+        b.mcs[1].row_hits = 7;
+        b.mcs[1].serviced = 10;
+
+        a.merge(&b);
+        assert_eq!(a.accesses_per_load.count(), 2);
+        assert_eq!(a.issue_stall_cycles, 13);
+        assert_eq!(a.warp_finish_spread, 9, "spread merges as max");
+        assert_eq!(a.mcs.len(), 2);
+        assert_eq!(a.mcs[1].row_hits, 7);
+        assert!((a.mcs[1].row_hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_load_counts_zero_access_subwarps() {
+        use rcoal_core::{Coalescer, SubwarpAssignment};
+        let coalescer = Coalescer::with_block_size(32).unwrap();
+        let assignment = SubwarpAssignment::in_order(&[2, 2]).unwrap();
+        // Subwarp 0 loads one block; subwarp 1 is fully inactive.
+        let addrs = vec![Some(0), Some(8), None, None];
+        let result = coalescer.coalesce(&assignment, &addrs);
+        let mut tel = SimTelemetry::new();
+        tel.record_load(5, assignment.num_subwarps(), &result);
+        assert_eq!(tel.profile.accesses_per_load.count(), 1);
+        assert_eq!(tel.profile.accesses_per_subwarp.count(), 2);
+        // One subwarp issued 1 access (bucket 1), one issued 0 (bucket 0).
+        assert_eq!(tel.profile.accesses_per_subwarp.bucket(0), 1);
+        assert_eq!(tel.profile.accesses_per_subwarp.bucket(1), 1);
+        assert_eq!(tel.profile.lanes_per_access.count(), 1);
+        assert_eq!(tel.events.len(), 1);
+    }
+}

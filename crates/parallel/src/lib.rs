@@ -28,9 +28,11 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use rcoal_telemetry::MetricsRegistry;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker-thread count for every
 /// parallel sweep in the workspace (`0` and unparseable values are
@@ -74,7 +76,7 @@ where
     if threads <= 1 || items.len() < 2 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let indexed = run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None);
+    let (indexed, _) = run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None, false);
     let mut out = Vec::with_capacity(items.len());
     for (_, r) in indexed {
         match r {
@@ -83,6 +85,35 @@ where
         }
     }
     out
+}
+
+/// [`parallel_map`] plus a host-domain [`PoolReport`] describing how the
+/// work spread over the pool.
+///
+/// The mapped output is still deterministic; the report is **not** (it
+/// reflects this run's scheduling) and must never feed back into
+/// results — record it into a metrics registry and nothing else.
+pub fn parallel_map_metered<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, PoolReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    if threads <= 1 || items.len() < 2 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return (out, PoolReport::sequential(items.len(), start.elapsed()));
+    }
+    let (indexed, stats) =
+        run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None, true);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in indexed {
+        match r {
+            Ok(v) => out.push(v),
+            Err(never) => match never {},
+        }
+    }
+    (out, PoolReport::from_workers(stats, items.len(), start.elapsed()))
 }
 
 /// Fallible [`parallel_map`]: maps `f` over `items` and collects
@@ -110,12 +141,137 @@ where
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let abort = AtomicBool::new(false);
-    let indexed = run_workers(threads, items, &f, Some(&abort));
+    let (indexed, _) = run_workers(threads, items, &f, Some(&abort), false);
     let mut out = Vec::with_capacity(items.len());
     for (_, r) in indexed {
         out.push(r?);
     }
     Ok(out)
+}
+
+/// [`try_parallel_map`] plus a host-domain [`PoolReport`]. The report is
+/// returned even when the map fails (covering the items that did run).
+pub fn try_parallel_map_metered<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> (Result<Vec<R>, E>, PoolReport)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let start = Instant::now();
+    if threads <= 1 || items.len() < 2 {
+        let out: Result<Vec<R>, E> =
+            items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return (out, PoolReport::sequential(items.len(), start.elapsed()));
+    }
+    let abort = AtomicBool::new(false);
+    let (indexed, stats) = run_workers(threads, items, &f, Some(&abort), true);
+    let report = PoolReport::from_workers(stats, items.len(), start.elapsed());
+    let mut out = Vec::with_capacity(items.len());
+    for (_, r) in indexed {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => return (Err(e), report),
+        }
+    }
+    (Ok(out), report)
+}
+
+/// Host-domain utilization report of one parallel sweep.
+///
+/// Everything here is wall-clock and scheduling-dependent: two runs with
+/// identical inputs produce identical *results* but different reports.
+/// Record reports into a [`MetricsRegistry`]; never compare them across
+/// runs or let them influence computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Workers that actually ran (1 for the sequential path).
+    pub workers: usize,
+    /// Items mapped.
+    pub items: usize,
+    /// Items completed by each worker.
+    pub per_worker_items: Vec<u64>,
+    /// Time each worker spent inside the mapped closure.
+    pub per_worker_busy: Vec<Duration>,
+    /// Wall-clock duration of the whole sweep.
+    pub wall: Duration,
+}
+
+impl PoolReport {
+    fn sequential(items: usize, wall: Duration) -> Self {
+        PoolReport {
+            workers: 1,
+            items,
+            per_worker_items: vec![items as u64],
+            per_worker_busy: vec![wall],
+            wall,
+        }
+    }
+
+    fn from_workers(stats: Vec<(u64, Duration)>, items: usize, wall: Duration) -> Self {
+        PoolReport {
+            workers: stats.len(),
+            items,
+            per_worker_items: stats.iter().map(|&(n, _)| n).collect(),
+            per_worker_busy: stats.into_iter().map(|(_, d)| d).collect(),
+            wall,
+        }
+    }
+
+    /// Fraction of the pool's total capacity (`workers × wall`) spent
+    /// inside the mapped closure — 1.0 is a perfectly packed pool.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_worker_busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / capacity).min(1.0)
+    }
+
+    /// Items mapped per wall-clock second.
+    pub fn items_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / secs
+        }
+    }
+
+    /// Records the report into `registry` under `pool.<name>.*`:
+    /// total items and wall micros as counters, worker count and
+    /// per-mille utilization as gauges, and per-worker item counts as a
+    /// histogram (so imbalance is visible without one metric per worker).
+    pub fn record_into(&self, registry: &MetricsRegistry, name: &str) {
+        registry
+            .counter(&format!("pool.{name}.items"))
+            .add(self.items as u64);
+        registry
+            .counter(&format!("pool.{name}.wall_micros"))
+            .add(self.wall.as_micros().min(u128::from(u64::MAX)) as u64);
+        registry
+            .counter(&format!("pool.{name}.sweeps"))
+            .inc();
+        registry
+            .gauge(&format!("pool.{name}.workers"))
+            .raise_to(self.workers as u64);
+        registry
+            .gauge(&format!("pool.{name}.utilization_permille"))
+            .set((self.utilization() * 1000.0) as u64);
+        let worker_items = registry.histogram(&format!("pool.{name}.worker_items"));
+        for &n in &self.per_worker_items {
+            worker_items.record(n);
+        }
+        let worker_busy = registry.histogram(&format!("pool.{name}.worker_busy_micros"));
+        for d in &self.per_worker_busy {
+            worker_busy.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
 }
 
 /// An uninhabited error type for the infallible path (a local stand-in
@@ -125,17 +281,21 @@ enum Never {}
 /// Shared worker loop: claims indices from an atomic counter, applies
 /// `f`, and returns all results sorted by item index. When `abort` is
 /// provided, an `Err` result raises the flag and stops further claims.
+/// With `metered` set, each worker also reports `(items, busy)` —
+/// unmetered sweeps skip every `Instant::now()` call.
 ///
 /// The atomic counter hands indices out in increasing order, so by the
 /// time index `k` fails, every index below `k` has already been claimed
 /// and will run to completion — which is what makes "first error by
 /// index" well defined under any interleaving.
+#[allow(clippy::type_complexity)]
 fn run_workers<T, R, E, F>(
     threads: usize,
     items: &[T],
     f: F,
     abort: Option<&AtomicBool>,
-) -> Vec<(usize, Result<R, E>)>
+    metered: bool,
+) -> (Vec<(usize, Result<R, E>)>, Vec<(u64, Duration)>)
 where
     T: Sync,
     R: Send,
@@ -147,43 +307,54 @@ where
     let workers = threads.min(n);
     let f = &f;
     let next = &next;
-    let mut indexed: Vec<(usize, Result<R, E>)> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
-                    loop {
-                        if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let r = f(i, &items[i]);
-                        if r.is_err() {
-                            if let Some(a) = abort {
-                                a.store(true, Ordering::Relaxed);
+    let (mut indexed, stats): (Vec<(usize, Result<R, E>)>, Vec<(u64, Duration)>) =
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            if abort.is_some_and(|a| a.load(Ordering::Relaxed)) {
+                                break;
                             }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let t0 = metered.then(Instant::now);
+                            let r = f(i, &items[i]);
+                            if let Some(t0) = t0 {
+                                busy += t0.elapsed();
+                            }
+                            if r.is_err() {
+                                if let Some(a) = abort {
+                                    a.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            local.push((i, r));
                         }
-                        local.push((i, r));
-                    }
-                    local
+                        (local, busy)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(local) => local,
-                // A panicking closure propagates to the caller, as it
-                // would in the sequential loop.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
+                .collect();
+            let mut indexed = Vec::with_capacity(n);
+            let mut stats = Vec::with_capacity(workers);
+            for h in handles {
+                match h.join() {
+                    Ok((local, busy)) => {
+                        stats.push((local.len() as u64, busy));
+                        indexed.extend(local);
+                    }
+                    // A panicking closure propagates to the caller, as it
+                    // would in the sequential loop.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            (indexed, stats)
+        });
     indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed
+    (indexed, stats)
 }
 
 #[cfg(test)]
@@ -274,6 +445,68 @@ mod tests {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert_eq!(resolve_threads(Some(0)), 1, "explicit zero clamps to one");
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn metered_map_matches_unmetered_output() {
+        let items: Vec<u64> = (0..123).collect();
+        let plain = parallel_map(4, &items, |i, &x| x * 7 + i as u64);
+        let (metered, report) = parallel_map_metered(4, &items, |i, &x| x * 7 + i as u64);
+        assert_eq!(metered, plain, "metering must not change results");
+        assert_eq!(report.items, 123);
+        assert!(report.workers >= 1 && report.workers <= 4);
+        assert_eq!(
+            report.per_worker_items.iter().sum::<u64>(),
+            123,
+            "every item is attributed to exactly one worker"
+        );
+        assert_eq!(report.per_worker_items.len(), report.workers);
+        assert_eq!(report.per_worker_busy.len(), report.workers);
+    }
+
+    #[test]
+    fn metered_sequential_path_reports_one_worker() {
+        let (out, report) = parallel_map_metered(1, &[1u32, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.per_worker_items, vec![3]);
+        assert!(report.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn try_metered_reports_even_on_failure() {
+        let items: Vec<u32> = (0..64).collect();
+        let (out, report) = try_parallel_map_metered(4, &items, |i, &x| {
+            if i == 20 {
+                Err("boom")
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(out.unwrap_err(), "boom");
+        assert!(report.items == 64 && report.workers >= 1);
+    }
+
+    #[test]
+    fn pool_report_records_into_registry() {
+        let report = PoolReport {
+            workers: 2,
+            items: 10,
+            per_worker_items: vec![6, 4],
+            per_worker_busy: vec![Duration::from_micros(500), Duration::from_micros(300)],
+            wall: Duration::from_micros(600),
+        };
+        // busy 800µs over capacity 1200µs ⇒ 2/3 utilization.
+        assert!((report.utilization() - 2.0 / 3.0).abs() < 1e-9);
+        let reg = MetricsRegistry::new();
+        report.record_into(&reg, "sweep");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["pool.sweep.items"], 10);
+        assert_eq!(snap.counters["pool.sweep.sweeps"], 1);
+        assert_eq!(snap.gauges["pool.sweep.workers"], 2);
+        assert_eq!(snap.gauges["pool.sweep.utilization_permille"], 666);
+        assert_eq!(snap.hists["pool.sweep.worker_items"].count, 2);
+        assert_eq!(snap.hists["pool.sweep.worker_items"].sum, 10);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Wall-clock spans for the experiment/CLI edges.
+//!
+//! Spans are the only wall-clock timestamps in the telemetry layer.
+//! They are **host-domain**: never use one inside the simulator's cycle
+//! loop, where timestamps must be core cycles so traces stay
+//! bit-identical across worker-thread counts.
+
+use crate::metrics::MetricsRegistry;
+use std::time::{Duration, Instant};
+
+/// An in-progress wall-clock measurement that records its duration into
+/// a [`MetricsRegistry`] when finished:
+/// `span.<name>.micros` (total microseconds) and `span.<name>.calls`.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+    registry: MetricsRegistry,
+}
+
+impl MetricsRegistry {
+    /// Starts a wall-clock span named `name`.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            start: Instant::now(),
+            registry: self.clone(),
+        }
+    }
+}
+
+impl Span {
+    /// Ends the span, records it, and returns the measured duration.
+    pub fn finish(self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.registry
+            .counter(&format!("span.{}.micros", self.name))
+            .add(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.registry
+            .counter(&format!("span.{}.calls", self.name))
+            .inc();
+        elapsed
+    }
+
+    /// Elapsed time so far without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finished_spans_record_micros_and_calls() {
+        let reg = MetricsRegistry::new();
+        let span = reg.span("attack");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(span.elapsed() >= Duration::from_millis(2));
+        let d = span.finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["span.attack.calls"], 1);
+        assert!(snap.counters["span.attack.micros"] >= 2000);
+        assert!(d >= Duration::from_millis(2));
+        // A second span accumulates into the same counters.
+        reg.span("attack").finish();
+        assert_eq!(reg.snapshot().counters["span.attack.calls"], 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! Ring-buffered, severity-leveled structured event stream.
+
+use std::collections::VecDeque;
+
+/// Event severity, ordered from chattiest to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Per-instruction detail (coalesce results, queue movements).
+    Debug,
+    /// Lifecycle milestones (launch, warp finish, kernel done).
+    Info,
+    /// Recoverable anomalies (dropped replies, backpressure bursts).
+    Warn,
+    /// Forward-progress failures (lost replies, stalls).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in serialized traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Events are a fixed, `Copy`-able shape so recording never allocates:
+/// a component/code pair of static strings plus two generic operands
+/// whose meaning is per-code (documented where the event is emitted).
+/// Inside the simulator `cycle` is the **core cycle** — never
+/// wall-clock — so event streams are bit-identical for a fixed seed
+/// regardless of worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Cycle timestamp (core cycles inside the simulator).
+    pub cycle: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// Emitting component, e.g. `"coalescer"`, `"dram"`, `"icnt"`.
+    pub component: &'static str,
+    /// Event kind within the component, e.g. `"load"`, `"reply_lost"`.
+    pub code: &'static str,
+    /// First operand (meaning depends on `code`).
+    pub a: u64,
+    /// Second operand (meaning depends on `code`).
+    pub b: u64,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        // component/code are compile-time literals (no escaping needed).
+        format!(
+            "{{\"cycle\":{},\"severity\":\"{}\",\"component\":\"{}\",\"code\":\"{}\",\"a\":{},\"b\":{}}}",
+            self.cycle,
+            self.severity.as_str(),
+            self.component,
+            self.code,
+            self.a,
+            self.b
+        )
+    }
+
+    /// Compact human-readable one-liner (used in stall diagnostics).
+    pub fn to_line(&self) -> String {
+        format!(
+            "[{} @{}] {}.{} a={} b={}",
+            self.severity.as_str(),
+            self.cycle,
+            self.component,
+            self.code,
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// A bounded ring of the most recent [`Event`]s.
+///
+/// Events below `min_severity` are filtered at record time; once the
+/// ring is full, the oldest retained event is evicted and counted in
+/// [`EventRing::dropped`]. A capacity of zero keeps the ring permanently
+/// empty (every retained-severity event counts as dropped), which is the
+/// disabled configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    capacity: usize,
+    min_severity: Severity,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring retaining up to `capacity` events at `Debug` and above.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            capacity,
+            min_severity: Severity::Debug,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Sets the minimum severity retained (events below it are skipped
+    /// without counting as dropped).
+    pub fn with_min_severity(mut self, min: Severity) -> Self {
+        self.min_severity = min;
+        self
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured severity floor.
+    pub fn min_severity(&self) -> Severity {
+        self.min_severity
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        if event.severity < self.min_severity {
+            return;
+        }
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            if self.buf.pop_front().is_none() {
+                return; // capacity 0: nothing is ever retained
+            }
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted (or rejected by a zero capacity) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// The last `n` events, oldest first (the stall-diagnostic window).
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
+
+    /// Drains the ring into a `Vec`, oldest first, resetting the ring.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Serializes the retained events as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, severity: Severity) -> Event {
+        Event {
+            cycle,
+            severity,
+            component: "test",
+            code: "tick",
+            a: cycle,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut r = EventRing::with_capacity(3);
+        for c in 0..5 {
+            r.record(ev(c, Severity::Info));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut r = EventRing::with_capacity(0);
+        r.record(ev(1, Severity::Error));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn severity_floor_filters_quietly() {
+        let mut r = EventRing::with_capacity(8).with_min_severity(Severity::Warn);
+        r.record(ev(1, Severity::Debug));
+        r.record(ev(2, Severity::Info));
+        r.record(ev(3, Severity::Warn));
+        r.record(ev(4, Severity::Error));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0, "filtered events are not 'dropped'");
+        assert_eq!(r.min_severity(), Severity::Warn);
+    }
+
+    #[test]
+    fn severity_orders_from_debug_to_error() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.as_str(), "warn");
+    }
+
+    #[test]
+    fn tail_returns_the_last_n_oldest_first() {
+        let mut r = EventRing::with_capacity(10);
+        for c in 0..6 {
+            r.record(ev(c, Severity::Info));
+        }
+        let t = r.tail(2);
+        assert_eq!(t.iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(r.tail(100).len(), 6);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let mut r = EventRing::with_capacity(4);
+        r.record(ev(7, Severity::Info));
+        r.record(ev(9, Severity::Error));
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"cycle\":7"));
+        assert!(lines[1].contains("\"severity\":\"error\""));
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn take_events_drains_and_resets() {
+        let mut r = EventRing::with_capacity(4);
+        r.record(ev(1, Severity::Info));
+        let taken = r.take_events();
+        assert_eq!(taken.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn event_line_format_is_stable() {
+        let line = ev(12, Severity::Warn).to_line();
+        assert_eq!(line, "[warn @12] test.tick a=12 b=0");
+    }
+}

@@ -1,0 +1,81 @@
+//! Profile the leakage channels side by side: run the same workload on
+//! the vulnerable baseline coalescer and under RSS(4), and compare what
+//! the telemetry layer sees on every stage the RCoal paper names as a
+//! timing-signal source — coalescer access counts, DRAM row locality and
+//! queueing, interconnect serialization, and warp finish spread.
+//!
+//! Run with: `cargo run --release --example profile_leakage`
+
+use rcoal::prelude::*;
+
+fn profiled(policy: CoalescingPolicy, n: usize) -> Result<ExperimentData, ExperimentError> {
+    ExperimentConfig::new(policy, n, 32)
+        .with_seed(23)
+        .with_telemetry(TelemetrySpec::profile_only())
+        .run()
+}
+
+fn hist_line(name: &str, h: &Hist64) -> String {
+    format!(
+        "  {name:<22} mean {:>7.2}  min {:>4}  max {:>5}  (n = {})",
+        h.mean(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.count()
+    )
+}
+
+fn describe(label: &str, data: &ExperimentData) {
+    let tel = data.telemetry.as_ref().expect("telemetry was requested");
+    let p = &tel.profile;
+    println!("{label}");
+    println!("{}", hist_line("accesses/load", &p.accesses_per_load));
+    println!("{}", hist_line("accesses/subwarp", &p.accesses_per_subwarp));
+    println!("{}", hist_line("lanes/access", &p.lanes_per_access));
+    println!("{}", hist_line("memory latency (cyc)", &p.mem_latency));
+    let hits: u64 = p.mcs.iter().map(|m| m.row_hits).sum();
+    let serviced: u64 = p.mcs.iter().map(|m| m.serviced).sum();
+    println!(
+        "  {:<22} {:.1}% over {} reads ({} controllers)",
+        "dram row-hit rate",
+        if serviced == 0 { 0.0 } else { 100.0 * hits as f64 / serviced as f64 },
+        serviced,
+        p.mcs.len()
+    );
+    println!(
+        "  {:<22} {} req / {} reply packets deferred",
+        "icnt serialization", p.icnt_req_deferred, p.icnt_reply_deferred
+    );
+    println!(
+        "  {:<22} {} cycles stalled; finish spread {} cycles\n",
+        "sm issue", p.issue_stall_cycles, p.warp_finish_spread
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24;
+    println!("leakage-channel profile, {n} plaintexts x 32 lines (seed 23)\n");
+
+    let base = profiled(CoalescingPolicy::Baseline, n)?;
+    let rss = profiled(CoalescingPolicy::rss(4)?, n)?;
+    describe("baseline coalescing (vulnerable):", &base);
+    describe("RSS(4) randomized subwarps:", &rss);
+
+    let bp = &base.telemetry.as_ref().expect("telemetry").profile;
+    let rp = &rss.telemetry.as_ref().expect("telemetry").profile;
+    println!(
+        "what RCoal changes: the per-subwarp access distribution. baseline subwarps\n\
+         coalesce a whole warp (mean {:.2} accesses/subwarp); RSS(4) splits each warp\n\
+         into 4 random subwarps (mean {:.2}), so per-plaintext totals rise {:.2}x and\n\
+         the attacker's access-count predictions decorrelate from the clock.",
+        bp.accesses_per_subwarp.mean(),
+        rp.accesses_per_subwarp.mean(),
+        rss.mean_total_accesses() / base.mean_total_accesses()
+    );
+    println!(
+        "\nsecondary channels move with it: row-hit rate and queueing shift as the\n\
+         randomized access stream scatters over DRAM rows, which is why the paper's\n\
+         security argument needs the full memory system, not just access counts."
+    );
+    Ok(())
+}

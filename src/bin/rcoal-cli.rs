@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! rcoal-cli table2
-//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true] [--threads N]
-//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7] [--threads N]
+//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
+//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
 //! rcoal-cli score    [--samples 100] [--seed 7] [--threads N]
 //! ```
 
-use rcoal::cli::{parse_policy, parse_threads, ParsedArgs};
+use rcoal::cli::{parse_policy, parse_threads, write_artifact, ParsedArgs};
 use rcoal::prelude::*;
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
 use std::process::ExitCode;
@@ -20,11 +20,13 @@ USAGE:
       Print the analytical security model (paper Table II).
 
   rcoal-cli simulate --policy <POLICY> [--plaintexts N] [--lines L] [--seed S] [--selective true] [--threads T]
+                     [--trace-out FILE] [--metrics-out FILE] [--progress true]
       Encrypt N plaintexts of L lines on the simulated GPU and report
       cycles and coalesced accesses. With --selective true, only the
       last-round loads use the (randomized) policy.
 
   rcoal-cli attack --policy <POLICY> [--samples N] [--byte J|all] [--seed S] [--threads T]
+                   [--trace-out FILE] [--metrics-out FILE] [--progress true]
       Deploy POLICY on the victim, collect N timing samples, run the
       corresponding correlation attack, and grade the key recovery.
 
@@ -38,7 +40,18 @@ THREADS: worker threads for launch sweeps and attack guess sweeps.
         Results are bit-identical for every T. Defaults to the
         RCOAL_THREADS environment variable, then the machine's
         available parallelism; --threads T overrides both (1 = run
-        sequentially, 0 is rejected).";
+        sequentially, 0 is rejected).
+
+TELEMETRY:
+  --trace-out FILE    instrument every launch of the policy under test
+                      and write its cycle-stamped event stream as JSONL
+                      (one {\"launch\":i,\"cycle\":c,...} object per line;
+                      deterministic for a fixed seed at any T).
+  --metrics-out FILE  write an rcoal-metrics/v1 JSON snapshot: the
+                      aggregate sim.* leakage profile plus host-domain
+                      span.*/pool.*/attack.* wall-clock metrics.
+  --progress true     print per-byte attack progress and a pool
+                      utilization summary to stderr.";
 
 fn main() -> ExitCode {
     match run() {
@@ -85,6 +98,77 @@ fn policy_from(args: &ParsedArgs) -> Result<CoalescingPolicy, String> {
     parse_policy(args.get("policy").unwrap_or("baseline"))
 }
 
+/// The `--trace-out` / `--metrics-out` / `--progress` trio shared by the
+/// simulate and attack commands.
+struct TelemetryArgs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    progress: bool,
+}
+
+impl TelemetryArgs {
+    fn parse(args: &ParsedArgs) -> Result<Self, String> {
+        Ok(TelemetryArgs {
+            trace_out: args.get("trace-out").map(str::to_string),
+            metrics_out: args.get("metrics-out").map(str::to_string),
+            progress: args.get_or("progress", false)?,
+        })
+    }
+
+    /// Whether any host-side instrumentation was requested.
+    fn wants_any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.progress
+    }
+
+    /// Writes the event trace of an instrumented run, if requested.
+    fn write_trace(&self, data: &ExperimentData) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            let tel = data
+                .telemetry
+                .as_ref()
+                .ok_or("internal: --trace-out run collected no telemetry")?;
+            write_artifact(path, &tel.trace_jsonl())?;
+            println!("trace written    : {path} ({} events)", tel.num_events());
+        }
+        Ok(())
+    }
+
+    /// Writes the metrics snapshot, if requested.
+    fn write_metrics(&self, registry: &MetricsRegistry) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            let mut json = registry.snapshot().to_json();
+            json.push('\n');
+            write_artifact(path, &json)?;
+            println!("metrics written  : {path}");
+        }
+        Ok(())
+    }
+
+    /// Prints the pool utilization summary to stderr under `--progress`.
+    fn report_pool(&self, registry: &MetricsRegistry, pool: &str) {
+        if !self.progress {
+            return;
+        }
+        let snap = registry.snapshot();
+        let workers = snap.gauges.get(&format!("pool.{pool}.workers")).copied();
+        let permille = snap
+            .gauges
+            .get(&format!("pool.{pool}.utilization_permille"))
+            .copied();
+        let wall = snap
+            .counters
+            .get(&format!("pool.{pool}.wall_micros"))
+            .copied();
+        if let (Some(w), Some(u), Some(micros)) = (workers, permille, wall) {
+            eprintln!(
+                "[progress] {pool}: {w} workers, {:.1}% busy, {:.1} ms wall",
+                u as f64 / 10.0,
+                micros as f64 / 1000.0
+            );
+        }
+    }
+}
+
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     let policy = policy_from(args)?;
     let plaintexts: usize = args.get_or("plaintexts", 20)?;
@@ -92,6 +176,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 7)?;
     let selective: bool = args.get_or("selective", false)?;
     let threads = parse_threads(args)?;
+    let telemetry = TelemetryArgs::parse(args)?;
 
     let mut cfg = if selective {
         ExperimentConfig::selective(policy, plaintexts, lines)
@@ -103,7 +188,17 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
         cfg = cfg.with_threads(t);
         base = base.with_threads(t);
     }
+    // Only the policy under test is instrumented; the baseline reference
+    // run stays plain.
+    let registry = MetricsRegistry::new();
+    if telemetry.wants_any() {
+        cfg = cfg.with_host_metrics(&registry);
+    }
+    if telemetry.trace_out.is_some() || telemetry.metrics_out.is_some() {
+        cfg = cfg.with_telemetry(TelemetrySpec::full());
+    }
     let data = cfg.with_seed(seed).run().map_err(|e| e.to_string())?;
+    telemetry.report_pool(&registry, "launches");
     let base = base.with_seed(seed).run().map_err(|e| e.to_string())?;
 
     println!(
@@ -121,6 +216,25 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     println!("last-round mean  : {:.0} cycles / {:.0} accesses",
         data.mean_last_round_cycles().map_err(|e| e.to_string())?,
         data.mean_last_round_accesses());
+    if let Some(tel) = &data.telemetry {
+        let p = &tel.profile;
+        println!(
+            "leakage profile  : {:.2} accesses/subwarp mean; {:.0} issue-stall cycles; finish spread {}",
+            p.accesses_per_subwarp.mean(),
+            p.issue_stall_cycles,
+            p.warp_finish_spread
+        );
+        let hits: u64 = p.mcs.iter().map(|m| m.row_hits).sum();
+        let serviced: u64 = p.mcs.iter().map(|m| m.serviced).sum();
+        if serviced > 0 {
+            println!(
+                "dram row locality: {:.1}% hits over {serviced} serviced reads",
+                100.0 * hits as f64 / serviced as f64
+            );
+        }
+    }
+    telemetry.write_trace(&data)?;
+    telemetry.write_metrics(&registry)?;
     Ok(())
 }
 
@@ -130,24 +244,54 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 7)?;
     let byte_spec = args.get("byte").unwrap_or("all").to_string();
     let threads = parse_threads(args)?;
+    let telemetry = TelemetryArgs::parse(args)?;
 
     println!("victim policy : {policy}");
     println!("samples       : {samples} (32-line plaintexts, last-round timing)");
+    let registry = MetricsRegistry::new();
     let mut cfg = ExperimentConfig::new(policy, samples, 32).with_seed(seed);
     if let Some(t) = threads {
         cfg = cfg.with_threads(t);
     }
+    if telemetry.wants_any() {
+        cfg = cfg.with_host_metrics(&registry);
+    }
+    if telemetry.trace_out.is_some() || telemetry.metrics_out.is_some() {
+        cfg = cfg.with_telemetry(TelemetrySpec::full());
+    }
     let data = cfg.run().map_err(|e| e.to_string())?;
+    telemetry.report_pool(&registry, "launches");
     let k10 = data.true_last_round_key();
-    let attack = Attack::against(policy, 32)
+    let mut attack = Attack::against(policy, 32)
         .with_seed(seed ^ 0xa77ac)
         .with_threads(threads);
+    if telemetry.wants_any() {
+        attack = attack.with_metrics(&registry);
+    }
     let samples = data
         .attack_samples(TimingSource::LastRoundCycles)
         .map_err(|e| e.to_string())?;
+    telemetry.write_trace(&data)?;
 
     if byte_spec == "all" {
-        let rec = attack.recover_key(&samples).map_err(|e| e.to_string())?;
+        let rec = if telemetry.progress {
+            // Per-byte sweep so progress is visible between the 16
+            // (expensive) 256-guess correlation scans; identical results
+            // to a single recover_key call.
+            let mut bytes = Vec::with_capacity(16);
+            for j in 0..16 {
+                bytes.push(attack.recover_byte(&samples, j).map_err(|e| e.to_string())?);
+                let guesses = registry.counter("attack.guesses").get();
+                let rate = registry.gauge("attack.correlations_per_sec").get();
+                eprintln!(
+                    "[progress] byte {:2}/16 done ({guesses} guesses swept, ~{rate} corr/s)",
+                    j + 1
+                );
+            }
+            KeyRecovery { bytes }
+        } else {
+            attack.recover_key(&samples).map_err(|e| e.to_string())?
+        };
         let out = rec.outcome(&k10);
         for (j, b) in rec.bytes.iter().enumerate() {
             let hit = if b.best_guess == k10[j] { "HIT " } else { "miss" };
@@ -183,6 +327,7 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
             rec.rank_of(k10[j])
         );
     }
+    telemetry.write_metrics(&registry)?;
     Ok(())
 }
 

@@ -69,6 +69,15 @@ pub fn parse_threads(args: &ParsedArgs) -> Result<Option<usize>, String> {
     }
 }
 
+/// Writes a telemetry artifact (trace JSONL, metrics JSON) to `path`.
+///
+/// # Errors
+///
+/// Returns a message naming the path on any I/O failure.
+pub fn write_artifact(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
 /// Extracts `--flag value` pairs and positional arguments from raw args.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParsedArgs {
@@ -197,6 +206,17 @@ mod tests {
         assert!(err.contains("positive"), "error explains the bound: {err}");
         let junk = ParsedArgs::parse(["--threads", "many"].map(String::from)).unwrap();
         assert!(parse_threads(&junk).unwrap_err().contains("--threads"));
+    }
+
+    #[test]
+    fn write_artifact_roundtrips_and_names_bad_paths() {
+        let path = std::env::temp_dir().join("rcoal-cli-artifact-test.json");
+        let path_str = path.to_str().unwrap();
+        write_artifact(path_str, "{\"ok\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":1}\n");
+        std::fs::remove_file(&path).ok();
+        let err = write_artifact("/nonexistent-dir/x/y.json", "x").unwrap_err();
+        assert!(err.contains("/nonexistent-dir/x/y.json"), "{err}");
     }
 
     #[test]

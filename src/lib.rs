@@ -45,6 +45,8 @@ pub use rcoal_attack as attack;
 pub use rcoal_core as core;
 pub use rcoal_experiments as experiments;
 pub use rcoal_gpu_sim as sim;
+pub use rcoal_parallel as parallel;
+pub use rcoal_telemetry as telemetry;
 pub use rcoal_theory as theory;
 
 /// Commonly used items, importable with `use rcoal::prelude::*`.
@@ -54,7 +56,17 @@ pub mod prelude {
     pub use rcoal_core::{
         CoalescingPolicy, Coalescer, NumSubwarps, SizeDistribution, SubwarpAssignment,
     };
-    pub use rcoal_experiments::{ExperimentConfig, ExperimentData, ExperimentError, TimingSource};
-    pub use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimStats};
+    pub use rcoal_experiments::{
+        ExperimentConfig, ExperimentData, ExperimentError, ExperimentTelemetry, LaunchTrace,
+        TelemetrySpec, TimingSource,
+    };
+    pub use rcoal_gpu_sim::{
+        FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimProfile, SimStats,
+        SimTelemetry,
+    };
+    pub use rcoal_parallel::{parallel_map, resolve_threads, PoolReport};
+    pub use rcoal_telemetry::{
+        Event, EventRing, Hist64, MetricsRegistry, MetricsSnapshot, Severity,
+    };
     pub use rcoal_theory::{table2, Mechanism, RCoalScore, SecurityModel};
 }

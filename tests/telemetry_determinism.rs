@@ -1,0 +1,119 @@
+//! The telemetry determinism contract: every cycle-domain artifact —
+//! event streams, leakage profiles, and their serialized forms — must be
+//! bit-identical for a fixed seed no matter how many worker threads
+//! drive the sweep, and collecting telemetry must not perturb the
+//! scientific observations.
+
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::{ExperimentConfig, ExperimentData, TelemetrySpec};
+use rcoal_telemetry::{MetricsRegistry, Severity};
+
+const SEED: u64 = 0x7e1e;
+
+fn run_instrumented(policy: CoalescingPolicy, threads: usize) -> ExperimentData {
+    ExperimentConfig::new(policy, 8, 32)
+        .with_seed(SEED)
+        .with_threads(threads)
+        .with_telemetry(TelemetrySpec::full())
+        .run()
+        .expect("instrumented run succeeds")
+}
+
+#[test]
+fn event_streams_and_profiles_are_bit_identical_across_thread_counts() {
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::rss_rts(4).expect("valid subwarp count"),
+    ] {
+        let reference = run_instrumented(policy, 1);
+        let ref_tel = reference.telemetry.as_ref().expect("telemetry collected");
+        for threads in [2, 4] {
+            let data = run_instrumented(policy, threads);
+            let tel = data.telemetry.as_ref().expect("telemetry collected");
+            assert_eq!(
+                tel, ref_tel,
+                "{policy} telemetry diverged at threads={threads}"
+            );
+            assert_eq!(
+                tel.trace_jsonl(),
+                ref_tel.trace_jsonl(),
+                "{policy} serialized trace diverged at threads={threads}"
+            );
+            assert_eq!(
+                tel.metrics_json(),
+                ref_tel.metrics_json(),
+                "{policy} metrics snapshot diverged at threads={threads}"
+            );
+            assert_eq!(data, reference, "{policy} data diverged at threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn instrumentation_does_not_change_the_observations() {
+    let plain = ExperimentConfig::new(CoalescingPolicy::fss(8).expect("8 divides 32"), 8, 32)
+        .with_seed(SEED)
+        .run()
+        .expect("plain run succeeds");
+    let mut instrumented = run_instrumented(CoalescingPolicy::fss(8).expect("8 divides 32"), 4);
+    assert!(instrumented.telemetry.is_some());
+    instrumented.telemetry = None;
+    assert_eq!(instrumented, plain, "telemetry perturbed the observations");
+}
+
+#[test]
+fn traces_record_the_whole_launch_lifecycle() {
+    let data = run_instrumented(CoalescingPolicy::Baseline, 1);
+    let tel = data.telemetry.expect("telemetry collected");
+    assert_eq!(tel.launches.len(), 8);
+    let jsonl = tel.trace_jsonl();
+    for code in ["\"code\":\"launch\"", "\"code\":\"load\"", "\"code\":\"reply\"",
+                 "\"code\":\"warp_finished\"", "\"code\":\"done\""] {
+        assert!(jsonl.contains(code), "trace is missing {code}");
+    }
+    // The aggregate profile saw the memory system end to end.
+    assert!(tel.profile.mem_latency.count() > 0);
+    assert!(tel.profile.accesses_per_subwarp.count() > 0);
+    assert!(tel.profile.mcs.iter().any(|mc| mc.serviced > 0));
+}
+
+#[test]
+fn severity_floor_thins_the_trace_deterministically() {
+    let full = run_instrumented(CoalescingPolicy::Baseline, 1);
+    let warn_only = ExperimentConfig::new(CoalescingPolicy::Baseline, 8, 32)
+        .with_seed(SEED)
+        .with_telemetry(TelemetrySpec::full().with_min_severity(Severity::Info))
+        .run()
+        .expect("info-level run succeeds");
+    let full_events = full.telemetry.as_ref().expect("telemetry").num_events();
+    let info_events = warn_only.telemetry.as_ref().expect("telemetry").num_events();
+    assert!(
+        info_events < full_events,
+        "raising the floor must retain fewer events ({info_events} vs {full_events})"
+    );
+    assert!(!warn_only
+        .telemetry
+        .expect("telemetry")
+        .trace_jsonl()
+        .contains("\"severity\":\"debug\""));
+}
+
+#[test]
+fn host_metrics_never_leak_into_cycle_domain_artifacts() {
+    // Attach a host registry (wall-clock, nondeterministic) and check the
+    // cycle-domain outputs still match a run without one.
+    let registry = MetricsRegistry::new();
+    let with_host = ExperimentConfig::new(CoalescingPolicy::rss_rts(4).expect("valid"), 8, 32)
+        .with_seed(SEED)
+        .with_threads(4)
+        .with_telemetry(TelemetrySpec::full())
+        .with_host_metrics(&registry)
+        .run()
+        .expect("host-metered run succeeds");
+    let without_host = run_instrumented(CoalescingPolicy::rss_rts(4).expect("valid"), 4);
+    assert_eq!(with_host, without_host);
+    // And the registry did record host-side activity.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["span.experiment.run.calls"], 1);
+    assert!(snap.counters["pool.launches.items"] == 8);
+}
