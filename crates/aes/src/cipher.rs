@@ -116,10 +116,22 @@ fn encrypt_rounds(
             let i2 = (s[(i + 2) % 4] >> 8) as usize & 0xff;
             let i3 = s[(i + 3) % 4] as usize & 0xff;
             t[i] = T0[i0] ^ T1[i1] ^ T2[i2] ^ T3[i3] ^ w[4 * r + i];
-            lookups[4 * i] = TableLookup { table: 0, index: i0 as u8 };
-            lookups[4 * i + 1] = TableLookup { table: 1, index: i1 as u8 };
-            lookups[4 * i + 2] = TableLookup { table: 2, index: i2 as u8 };
-            lookups[4 * i + 3] = TableLookup { table: 3, index: i3 as u8 };
+            lookups[4 * i] = TableLookup {
+                table: 0,
+                index: i0 as u8,
+            };
+            lookups[4 * i + 1] = TableLookup {
+                table: 1,
+                index: i1 as u8,
+            };
+            lookups[4 * i + 2] = TableLookup {
+                table: 2,
+                index: i2 as u8,
+            };
+            lookups[4 * i + 3] = TableLookup {
+                table: 3,
+                index: i3 as u8,
+            };
         }
         if let Some(tr) = trace.as_deref_mut() {
             tr.rounds.push(lookups);
@@ -246,11 +258,28 @@ fn inv_shift_rows(state: &mut Block) {
 
 fn inv_mix_columns(state: &mut Block) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
-        state[4 * c + 1] = gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
-        state[4 * c + 2] = gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
-        state[4 * c + 3] = gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf_mul(col[0], 0x0e)
+            ^ gf_mul(col[1], 0x0b)
+            ^ gf_mul(col[2], 0x0d)
+            ^ gf_mul(col[3], 0x09);
+        state[4 * c + 1] = gf_mul(col[0], 0x09)
+            ^ gf_mul(col[1], 0x0e)
+            ^ gf_mul(col[2], 0x0b)
+            ^ gf_mul(col[3], 0x0d);
+        state[4 * c + 2] = gf_mul(col[0], 0x0d)
+            ^ gf_mul(col[1], 0x09)
+            ^ gf_mul(col[2], 0x0e)
+            ^ gf_mul(col[3], 0x0b);
+        state[4 * c + 3] = gf_mul(col[0], 0x0b)
+            ^ gf_mul(col[1], 0x0d)
+            ^ gf_mul(col[2], 0x09)
+            ^ gf_mul(col[3], 0x0e);
     }
 }
 
@@ -469,10 +498,9 @@ mod large_key_tests {
 
     #[test]
     fn fips197_appendix_c3_aes256() {
-        let key: [u8; 32] =
-            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
-                .try_into()
-                .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let pt: Block = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         let aes = Aes256::new(&key);
         assert_eq!(
@@ -524,12 +552,8 @@ impl Aes128 {
     pub fn from_last_round_key(k10: &Block) -> Self {
         let mut w = [0u32; 44];
         for i in 0..4 {
-            w[40 + i] = u32::from_be_bytes([
-                k10[4 * i],
-                k10[4 * i + 1],
-                k10[4 * i + 2],
-                k10[4 * i + 3],
-            ]);
+            w[40 + i] =
+                u32::from_be_bytes([k10[4 * i], k10[4 * i + 1], k10[4 * i + 2], k10[4 * i + 3]]);
         }
         for i in (4..44).rev().map(|i| i - 4) {
             // Recover w[i] from w[i+4] and w[i+3].
@@ -566,7 +590,10 @@ mod inversion_tests {
         for seed in 0..50u8 {
             let mut key = [0u8; 16];
             for (i, b) in key.iter_mut().enumerate() {
-                *b = seed.wrapping_mul(37).wrapping_add(i as u8).wrapping_mul(101);
+                *b = seed
+                    .wrapping_mul(37)
+                    .wrapping_add(i as u8)
+                    .wrapping_mul(101);
             }
             let aes = Aes128::new(&key);
             let recovered = Aes128::from_last_round_key(&aes.last_round_key());

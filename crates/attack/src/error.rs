@@ -26,7 +26,10 @@ impl fmt::Display for AttackError {
         match self {
             AttackError::NoSamples => write!(f, "no attack samples were provided"),
             AttackError::ByteIndex { j } => {
-                write!(f, "key byte index {j} out of range (AES-128 has 16 key bytes)")
+                write!(
+                    f,
+                    "key byte index {j} out of range (AES-128 has 16 key bytes)"
+                )
             }
             AttackError::Domain(msg) => write!(f, "parameter out of domain: {msg}"),
         }
@@ -41,8 +44,12 @@ mod tests {
 
     #[test]
     fn display_names_the_problem() {
-        assert!(AttackError::NoSamples.to_string().contains("no attack samples"));
+        assert!(AttackError::NoSamples
+            .to_string()
+            .contains("no attack samples"));
         assert!(AttackError::ByteIndex { j: 16 }.to_string().contains("16"));
-        assert!(AttackError::Domain("sigma -1".into()).to_string().contains("sigma -1"));
+        assert!(AttackError::Domain("sigma -1".into())
+            .to_string()
+            .contains("sigma -1"));
     }
 }

@@ -37,9 +37,7 @@ impl OnlineByteRecovery {
         if byte >= 16 {
             return Err(AttackError::ByteIndex { j: byte });
         }
-        let predictors = (0..=255u8)
-            .map(|m| attack.predictor_for_guess(m))
-            .collect();
+        let predictors = (0..=255u8).map(|m| attack.predictor_for_guess(m)).collect();
         Ok(OnlineByteRecovery {
             predictors,
             byte,

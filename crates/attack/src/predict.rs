@@ -1,7 +1,7 @@
-use rcoal_rng::StdRng;
-use rcoal_rng::SeedableRng;
 use rcoal_aes::{last_round_index, Block};
 use rcoal_core::{Coalescer, CoalescingPolicy};
+use rcoal_rng::SeedableRng;
+use rcoal_rng::StdRng;
 
 /// The attacker's model of the victim GPU's coalescing: predicts how many
 /// last-round coalesced accesses a plaintext generates for a given key
@@ -182,9 +182,7 @@ mod tests {
         let total = p.predict(&cts, 0, k10[0]);
         let per_warp: f64 = cts
             .chunks(32)
-            .map(|w| {
-                AccessPredictor::new(CoalescingPolicy::Baseline, 32, 0).predict(w, 0, k10[0])
-            })
+            .map(|w| AccessPredictor::new(CoalescingPolicy::Baseline, 32, 0).predict(w, 0, k10[0]))
             .sum();
         assert_eq!(total, per_warp);
     }

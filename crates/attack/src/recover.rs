@@ -222,22 +222,18 @@ impl Attack {
         // the 256 correlation computations are independent and sweep in
         // parallel with bit-identical results.
         let guesses: Vec<u8> = (0..=255u8).collect();
-        let correlations = parallel_map(
-            resolve_threads(self.threads),
-            &guesses,
-            |_, &m| {
-                let mut predictor = self.predictor_for_guess(m);
-                let predicted: Vec<f64> = samples
-                    .iter()
-                    .map(|s| predictor.predict(&s.ciphertexts, j, m))
-                    .collect();
-                let r = pearson(&predicted, &times);
-                if let Some(c) = &guess_counter {
-                    c.inc();
-                }
-                r
-            },
-        );
+        let correlations = parallel_map(resolve_threads(self.threads), &guesses, |_, &m| {
+            let mut predictor = self.predictor_for_guess(m);
+            let predicted: Vec<f64> = samples
+                .iter()
+                .map(|s| predictor.predict(&s.ciphertexts, j, m))
+                .collect();
+            let r = pearson(&predicted, &times);
+            if let Some(c) = &guess_counter {
+                c.inc();
+            }
+            r
+        });
         if let (Some(span), Some(metrics)) = (span, &self.metrics) {
             let elapsed = span.finish();
             metrics
@@ -310,7 +306,8 @@ mod tests {
                     .map(|line| {
                         let mut pt = [0u8; 16];
                         for (b, x) in pt.iter_mut().enumerate() {
-                            *x = (i * 131 + line * 17 + b * 29) as u8 ^ (i as u8)
+                            *x = (i * 131 + line * 17 + b * 29) as u8
+                                ^ (i as u8)
                                 ^ (line as u8).rotate_left(3);
                         }
                         aes.encrypt_block(pt)
@@ -355,7 +352,8 @@ mod tests {
         // variance is ~1/16, so at small N the correct guess may not be
         // the absolute argmax (the paper needs its low-noise simulator for
         // that) — but it must already rank far above the median guess.
-        let (samples, k10) = synthetic_samples_for(200, b"attack test key!", &(0..16).collect::<Vec<_>>());
+        let (samples, k10) =
+            synthetic_samples_for(200, b"attack test key!", &(0..16).collect::<Vec<_>>());
         let attack = Attack::baseline(32);
         let rec = attack.recover_byte(&samples, 0).unwrap();
         assert!(

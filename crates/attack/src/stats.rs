@@ -77,7 +77,9 @@ mod tests {
     fn independent_noise_is_weakly_correlated() {
         // Deterministic pseudo-noise.
         let x: Vec<f64> = (0..2000).map(|i| f64::from((i * 48271) % 1013)).collect();
-        let y: Vec<f64> = (0..2000).map(|i| f64::from((i * 16807 + 7) % 997)).collect();
+        let y: Vec<f64> = (0..2000)
+            .map(|i| f64::from((i * 16807 + 7) % 997))
+            .collect();
         assert!(pearson(&x, &y).abs() < 0.1);
     }
 

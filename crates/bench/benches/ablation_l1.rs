@@ -6,9 +6,9 @@
 //! |corr| attacker would not — randomization is needed at every level of
 //! the hierarchy, exactly the paper's §VII conclusion.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_l1;
 use rcoal_experiments::random_plaintexts;
@@ -41,7 +41,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("simulate_with_l1", |b| {
         b.iter(|| {
             let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
-            black_box(sim.run(&kernel, CoalescingPolicy::Baseline, 1).expect("run"))
+            black_box(
+                sim.run(&kernel, CoalescingPolicy::Baseline, 1)
+                    .expect("run"),
+            )
         })
     });
     g.finish();

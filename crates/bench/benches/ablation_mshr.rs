@@ -3,9 +3,9 @@
 //! timing channel — making "just disable coalescing" unsafe on a machine
 //! with miss-status holding registers.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_mshr;
 use rcoal_experiments::random_plaintexts;
@@ -37,7 +37,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("simulate_disabled_with_mshr", |b| {
         b.iter(|| {
             let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
-            black_box(sim.run(&kernel, CoalescingPolicy::Disabled, 1).expect("run"))
+            black_box(
+                sim.run(&kernel, CoalescingPolicy::Disabled, 1)
+                    .expect("run"),
+            )
         })
     });
     g.finish();

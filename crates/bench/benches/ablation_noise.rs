@@ -3,9 +3,9 @@
 //! paper's clean-simulator sample counts (~10^2) and real-hardware
 //! attacks (~10^6, Jiang et al.).
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::GaussianNoise;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_noise;
 use rcoal_experiments::{ExperimentConfig, TimingSource};

@@ -1,9 +1,9 @@
 //! Extension ablation: empirical samples-to-recovery per mechanism —
 //! the measured counterpart of Table II's normalized S and Eq. 4.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::{samples_needed, Attack};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_samples_needed;
 use rcoal_experiments::{ExperimentConfig, TimingSource};
@@ -14,10 +14,22 @@ fn bench(c: &mut Criterion) {
     let policies = vec![
         ("baseline".to_string(), CoalescingPolicy::Baseline),
         ("FSS".to_string(), CoalescingPolicy::fss(4).expect("valid")),
-        ("FSS+RTS".to_string(), CoalescingPolicy::fss_rts(2).expect("valid")),
-        ("FSS+RTS".to_string(), CoalescingPolicy::fss_rts(4).expect("valid")),
-        ("RSS+RTS".to_string(), CoalescingPolicy::rss_rts(2).expect("valid")),
-        ("RSS+RTS".to_string(), CoalescingPolicy::rss_rts(4).expect("valid")),
+        (
+            "FSS+RTS".to_string(),
+            CoalescingPolicy::fss_rts(2).expect("valid"),
+        ),
+        (
+            "FSS+RTS".to_string(),
+            CoalescingPolicy::fss_rts(4).expect("valid"),
+        ),
+        (
+            "RSS+RTS".to_string(),
+            CoalescingPolicy::rss_rts(2).expect("valid"),
+        ),
+        (
+            "RSS+RTS".to_string(),
+            CoalescingPolicy::rss_rts(4).expect("valid"),
+        ),
     ];
     let rows = ablation_samples_needed(&policies, 4000, BENCH_SEED).expect("simulation");
     let model = SecurityModel::default();
@@ -68,7 +80,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_samples");
     g.sample_size(10);
     g.bench_function("recover_byte_200_samples_fss_rts", |b| {
-        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0).expect("samples")))
+        b.iter(|| {
+            black_box(
+                attack
+                    .recover_byte(black_box(&samples), 0)
+                    .expect("samples"),
+            )
+        })
     });
     g.finish();
 }

@@ -2,9 +2,9 @@
 //! The timing channel and the defense mechanisms are scheduler-agnostic;
 //! this quantifies how much the absolute timing shifts.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::{random_plaintexts, ExperimentConfig};
 use rcoal_gpu_sim::{GpuConfig, GpuSimulator, SchedulerPolicy};
@@ -34,12 +34,19 @@ fn bench(c: &mut Criterion) {
     );
     for (name, policy, lines) in [
         ("baseline, 32 lines", CoalescingPolicy::Baseline, 32),
-        ("RSS+RTS(8), 32 lines", CoalescingPolicy::rss_rts(8).expect("valid"), 32),
+        (
+            "RSS+RTS(8), 32 lines",
+            CoalescingPolicy::rss_rts(8).expect("valid"),
+            32,
+        ),
         ("baseline, 1024 lines", CoalescingPolicy::Baseline, 1024),
     ] {
         let (gto_cycles, gto_accesses) = run(SchedulerPolicy::Gto, policy, lines);
         let (lrr_cycles, lrr_accesses) = run(SchedulerPolicy::Lrr, policy, lines);
-        assert_eq!(gto_accesses, lrr_accesses, "access counts are scheduler-independent");
+        assert_eq!(
+            gto_accesses, lrr_accesses,
+            "access counts are scheduler-independent"
+        );
         println!(
             "{:>24} | {:>12.0} {:>12.0} | {:>14.0}",
             name, gto_cycles, lrr_cycles, gto_accesses
@@ -58,7 +65,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("simulate_1024_lines_{name}"), |b| {
             b.iter(|| {
                 let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
-                black_box(sim.run(&kernel, CoalescingPolicy::Baseline, 1).expect("run"))
+                black_box(
+                    sim.run(&kernel, CoalescingPolicy::Baseline, 1)
+                        .expect("run"),
+                )
             })
         });
     }

@@ -2,8 +2,8 @@
 //! protects only the vulnerable last-round loads. Security of the last
 //! round matches the uniform defense; the performance cost collapses.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::ablation_selective;
 use rcoal_experiments::ExperimentConfig;
@@ -30,15 +30,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("selective_functional_run", |b| {
         b.iter(|| {
             black_box(
-                ExperimentConfig::selective(
-                    CoalescingPolicy::rss_rts(8).expect("valid"),
-                    1,
-                    32,
-                )
-                .with_seed(BENCH_SEED)
-                .functional_only()
-                .run()
-                .expect("run"),
+                ExperimentConfig::selective(CoalescingPolicy::rss_rts(8).expect("valid"), 1, 32)
+                    .with_seed(BENCH_SEED)
+                    .functional_only()
+                    .run()
+                    .expect("run"),
             )
         })
     });

@@ -2,8 +2,8 @@
 //! with different locality profiles (streaming, strided, random gather,
 //! broadcast) — the first question a deployment would ask.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_gpu_sim::{AccessPattern, GpuConfig, GpuSimulator, SyntheticKernel};
 use std::hint::black_box;
@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
         ("RSS+RTS(8)", CoalescingPolicy::rss_rts(8).expect("valid")),
         ("disabled", CoalescingPolicy::Disabled),
     ];
-    println!("\nRCoal cost on synthetic workloads (30 warps x 32 loads, cycles normalized to baseline):");
+    println!(
+        "\nRCoal cost on synthetic workloads (30 warps x 32 loads, cycles normalized to baseline):"
+    );
     print!("{:>16}", "pattern");
     for (name, _) in &policies {
         print!(" {name:>12}");
@@ -36,7 +38,10 @@ fn bench(c: &mut Criterion) {
             .total_cycles as f64;
         print!("{:>16}", pattern.to_string());
         for (_, policy) in &policies {
-            let cycles = sim.run(&kernel, *policy, 1).expect("simulation").total_cycles as f64;
+            let cycles = sim
+                .run(&kernel, *policy, 1)
+                .expect("simulation")
+                .total_cycles as f64;
             print!(" {:>12.3}", cycles / base);
         }
         println!();

@@ -1,9 +1,9 @@
 //! Figure 5: relationship between last-round and total execution time on
 //! the baseline GPU.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig05_last_vs_total;
 use rcoal_experiments::random_plaintexts;
@@ -13,11 +13,17 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let data = fig05_last_vs_total(100, BENCH_SEED).expect("simulation");
     println!("\nFigure 5: last-round vs total execution time (100 plaintexts)");
-    println!("corr(last_round_cycles, total_cycles) = {:.3}", data.correlation);
+    println!(
+        "corr(last_round_cycles, total_cycles) = {:.3}",
+        data.correlation
+    );
     for (last, total) in data.points.iter().take(10) {
         println!("  last {last:>6} cycles | total {total:>6} cycles");
     }
-    println!("  ... ({} points total; positive correlation expected)\n", data.points.len());
+    println!(
+        "  ... ({} points total; positive correlation expected)\n",
+        data.points.len()
+    );
 
     // Time one baseline simulated launch (32 lines = 1 warp).
     let lines = random_plaintexts(1, 32, BENCH_SEED).remove(0);
@@ -26,7 +32,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("simulate_one_plaintext_baseline", |b| {
         b.iter(|| {
             let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
-            black_box(sim.run(&kernel, CoalescingPolicy::Baseline, 1).expect("run"))
+            black_box(
+                sim.run(&kernel, CoalescingPolicy::Baseline, 1)
+                    .expect("run"),
+            )
         })
     });
     g.finish();

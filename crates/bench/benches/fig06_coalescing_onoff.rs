@@ -1,8 +1,8 @@
 //! Figure 6: key-byte recovery with coalescing enabled vs disabled.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::Attack;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig06_coalescing_onoff;
 use rcoal_experiments::{ExperimentConfig, TimingSource};
@@ -17,13 +17,21 @@ fn bench(c: &mut Criterion) {
         "(a) coalescing ENABLED : corr(correct)={:+.3}, rank={} -> {}",
         data.enabled[correct],
         data.rank_enabled,
-        if data.rank_enabled == 0 { "RECOVERED" } else { "not recovered" }
+        if data.rank_enabled == 0 {
+            "RECOVERED"
+        } else {
+            "not recovered"
+        }
     );
     println!(
         "(b) coalescing DISABLED: corr(correct)={:+.3}, rank={} -> {}",
         data.disabled[correct],
         data.rank_disabled,
-        if data.rank_disabled == 0 { "RECOVERED" } else { "not recovered (channel closed)" }
+        if data.rank_disabled == 0 {
+            "RECOVERED"
+        } else {
+            "not recovered (channel closed)"
+        }
     );
     let max_off = data.disabled.iter().cloned().fold(f64::MIN, f64::max);
     println!("    max |corr| over all guesses with coalescing off: {max_off:.3}\n");
@@ -39,7 +47,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig06");
     g.sample_size(10);
     g.bench_function("recover_byte_100_samples", |b| {
-        b.iter(|| black_box(attack.recover_byte(black_box(&samples), 0).expect("samples")))
+        b.iter(|| {
+            black_box(
+                attack
+                    .recover_byte(black_box(&samples), 0)
+                    .expect("samples"),
+            )
+        })
     });
     g.finish();
 }

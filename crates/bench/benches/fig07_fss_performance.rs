@@ -1,9 +1,9 @@
 //! Figure 7: FSS performance and naive-attack correlation vs the number
 //! of subwarps.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig07_fss_performance;
 use rcoal_experiments::random_plaintexts;

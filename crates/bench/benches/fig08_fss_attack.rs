@@ -1,8 +1,8 @@
 //! Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
 //! attack re-establishes the correlation, so FSS alone is not enough.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::AccessPredictor;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::{describe_scatter, BENCH_SEED};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig08_fss_attack;
@@ -24,11 +24,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig08");
     g.bench_function("fss_attack_predict_50_samples", |b| {
         b.iter(|| {
-            let mut p = AccessPredictor::new(
-                CoalescingPolicy::fss(8).expect("valid"),
-                32,
-                BENCH_SEED,
-            );
+            let mut p =
+                AccessPredictor::new(CoalescingPolicy::fss(8).expect("valid"), 32, BENCH_SEED);
             let total: f64 = samples
                 .iter()
                 .map(|s| p.predict(black_box(&s.ciphertexts), 0, 0x42))

@@ -1,12 +1,12 @@
 //! Figure 9: subwarp-size distribution of RSS (normal vs skewed),
 //! num-subwarp = 4, 1000 draws.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig09_rss_distributions;
-use rcoal_rng::StdRng;
 use rcoal_rng::SeedableRng;
+use rcoal_rng::StdRng;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Figure 14 (RSS+RTS vs RSS+RTS attack): the randomized defense under its corresponding attack.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::AccessPredictor;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::{describe_scatter, BENCH_SEED};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig14_rss_rts;

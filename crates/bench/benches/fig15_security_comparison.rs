@@ -2,9 +2,9 @@
 //! average correlation of the correct guesses under each mechanism's
 //! corresponding attack.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_attack::Attack;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::{avg_correct_correlation, fig15_16_comparison};
 use rcoal_experiments::{ExperimentConfig, TimingSource};
@@ -13,7 +13,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let data = fig15_16_comparison(150, BENCH_SEED).expect("simulation");
     println!("\nFigure 15: avg correlation of correct guesses (150 plaintexts)");
-    println!("{:>8} | {:>6} {:>6} {:>6} {:>6}", "mech", "M=2", "M=4", "M=8", "M=16");
+    println!(
+        "{:>8} | {:>6} {:>6} {:>6} {:>6}",
+        "mech", "M=2", "M=4", "M=8", "M=16"
+    );
     for mech in ["FSS", "FSS+RTS", "RSS", "RSS+RTS"] {
         let row: Vec<f64> = [2usize, 4, 8, 16]
             .iter()

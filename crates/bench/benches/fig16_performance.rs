@@ -1,9 +1,9 @@
 //! Figure 16: performance and data movement of each defense mechanism vs
 //! the number of subwarps.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig15_16_comparison;
 use rcoal_experiments::random_plaintexts;

@@ -1,8 +1,8 @@
 //! Figure 17: RCoal_Score trade-off for security-oriented (a = b = 1)
 //! and performance-oriented (a = 1, b = 20) systems.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
 use rcoal_theory::RCoalScore;
 use std::hint::black_box;
@@ -21,11 +21,25 @@ fn bench(c: &mut Criterion) {
             s.mechanism, s.m, s.security_oriented, s.performance_oriented
         );
     }
-    let best_sec = scores.iter().max_by(|a, b| a.security_oriented.total_cmp(&b.security_oriented)).expect("rows");
-    let best_perf = scores.iter().max_by(|a, b| a.performance_oriented.total_cmp(&b.performance_oriented)).expect("rows");
-    println!("security-oriented winner   : {} M={}", best_sec.mechanism, best_sec.m);
-    println!("performance-oriented winner: {} M={}", best_perf.mechanism, best_perf.m);
-    println!("(paper: FSS+RTS at M=8/16 wins security-oriented; RSS+RTS wins performance-oriented)\n");
+    let best_sec = scores
+        .iter()
+        .max_by(|a, b| a.security_oriented.total_cmp(&b.security_oriented))
+        .expect("rows");
+    let best_perf = scores
+        .iter()
+        .max_by(|a, b| a.performance_oriented.total_cmp(&b.performance_oriented))
+        .expect("rows");
+    println!(
+        "security-oriented winner   : {} M={}",
+        best_sec.mechanism, best_sec.m
+    );
+    println!(
+        "performance-oriented winner: {} M={}",
+        best_perf.mechanism, best_perf.m
+    );
+    println!(
+        "(paper: FSS+RTS at M=8/16 wins security-oriented; RSS+RTS wins performance-oriented)\n"
+    );
 
     let mut g = c.benchmark_group("fig17");
     let cfg = RCoalScore::performance_oriented();

@@ -2,8 +2,8 @@
 //! access estimates with the observed accesses, cancelling scheduler
 //! noise) and normalized execution time.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::fig18_scalability;
 use rcoal_experiments::ExperimentConfig;
@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let rows = fig18_scalability(60, 4, BENCH_SEED).expect("simulation");
     println!("\nFigure 18: 1024-line plaintexts (32 warps)");
-    println!("{:>9} {:>3} | {:>9} {:>10}", "mech", "M", "avg corr", "norm time");
+    println!(
+        "{:>9} {:>3} | {:>9} {:>10}",
+        "mech", "M", "avg corr", "norm time"
+    );
     for r in &rows {
         println!(
             "{:>9} {:>3} | {:>9.3} {:>10.3}",
@@ -26,15 +29,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("functional_run_1024_lines", |b| {
         b.iter(|| {
             black_box(
-                ExperimentConfig::new(
-                    CoalescingPolicy::rss_rts(4).expect("valid"),
-                    1,
-                    1024,
-                )
-                .with_seed(BENCH_SEED)
-                .functional_only()
-                .run()
-                .expect("run"),
+                ExperimentConfig::new(CoalescingPolicy::rss_rts(4).expect("valid"), 1, 1024)
+                    .with_seed(BENCH_SEED)
+                    .functional_only()
+                    .run()
+                    .expect("run"),
             )
         })
     });

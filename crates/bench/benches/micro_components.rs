@@ -1,9 +1,9 @@
 //! Microbenchmarks of the core components: the coalescer under each
 //! policy, AES tracing, DRAM service, and the attack predictor.
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::Aes128;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::{Coalescer, CoalescingPolicy};
 use rcoal_rng::StdRng;
 use rcoal_rng::{Rng, SeedableRng};
@@ -25,7 +25,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(coalescer.coalesce(black_box(&assignment), black_box(&addrs))))
         });
         g.bench_function(format!("count_accesses_{name}"), |b| {
-            b.iter(|| black_box(coalescer.count_accesses(black_box(&assignment), black_box(&addrs))))
+            b.iter(|| {
+                black_box(coalescer.count_accesses(black_box(&assignment), black_box(&addrs)))
+            })
         });
     }
     g.finish();

@@ -1,9 +1,9 @@
 //! §III motivation: the cost of disabling coalescing outright
 //! (paper: up to 178% slowdown and 2.7x data movement at 1024 lines).
 
-use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_aes::AesGpuKernel;
 use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{criterion_group, criterion_main, Criterion};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::figures::motivation_disable_coalescing;
 use rcoal_experiments::random_plaintexts;
@@ -13,8 +13,14 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let data = motivation_disable_coalescing(3, 1024, BENCH_SEED).expect("simulation");
     println!("\nMotivation (1024-line plaintext): disabling coalescing costs");
-    println!("  slowdown      : {:.0}% (paper: up to 178%)", data.slowdown_pct);
-    println!("  data movement : {:.2}x accesses (paper: 2.7x)\n", data.access_factor);
+    println!(
+        "  slowdown      : {:.0}% (paper: up to 178%)",
+        data.slowdown_pct
+    );
+    println!(
+        "  data movement : {:.2}x accesses (paper: 2.7x)\n",
+        data.access_factor
+    );
 
     let lines = random_plaintexts(1, 1024, BENCH_SEED).remove(0);
     let sim = GpuSimulator::new(GpuConfig::paper());
@@ -23,7 +29,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("simulate_1024_lines_no_coalescing", |b| {
         b.iter(|| {
             let kernel = AesGpuKernel::new(b"bench key 16 by!", lines.clone(), 32);
-            black_box(sim.run(&kernel, CoalescingPolicy::Disabled, 1).expect("run"))
+            black_box(
+                sim.run(&kernel, CoalescingPolicy::Disabled, 1)
+                    .expect("run"),
+            )
         })
     });
     g.finish();

@@ -59,7 +59,9 @@ fn run_workload(threads: usize) -> Result<WorkloadResult, String> {
 
     let k10 = baseline.true_last_round_key();
     let key_bytes = recovered.bytes.iter().map(|b| b.best_guess).collect();
-    let ranks = (0..16).map(|j| recovered.bytes[j].rank_of(k10[j])).collect();
+    let ranks = (0..16)
+        .map(|j| recovered.bytes[j].rank_of(k10[j]))
+        .collect();
     Ok(WorkloadResult {
         data,
         key_bytes,
@@ -100,12 +102,22 @@ fn run() -> Result<(), String> {
     if seq.key_bytes != par.key_bytes || seq.ranks != par.ranks {
         return Err("recovered key or ranks differ between thread counts".into());
     }
-    let speedup = seq.seconds / par.seconds;
-    println!("  speedup   : {speedup:.2}x (outputs bit-identical)");
+    // A speedup measured on a single-core box is noise, not signal: the
+    // parallel leg cannot beat the sequential one there, so the artifact
+    // records null rather than a misleading ~1.0.
+    let speedup_meaningful = cores > 1;
+    let speedup_field = if speedup_meaningful {
+        let speedup = seq.seconds / par.seconds;
+        println!("  speedup   : {speedup:.2}x (outputs bit-identical)");
+        format!("{speedup:.4}")
+    } else {
+        println!("  speedup   : n/a (1 core available; outputs bit-identical)");
+        "null".to_string()
+    };
 
     let json = format!(
-        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"outputs_identical\": true\n}}\n",
-        seq.seconds, par.seconds, speedup
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {speedup_field},\n  \"speedup_meaningful\": {speedup_meaningful},\n  \"outputs_identical\": true\n}}\n",
+        seq.seconds, par.seconds
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;

@@ -1,0 +1,110 @@
+//! Effect of the content-addressed run cache on the figure suite.
+//!
+//! Runs a representative slice of the figure generators twice — once
+//! with caching disabled (`SweepRunner::uncached()`, every scenario
+//! simulated) and once through a shared `SweepRunner::new()` — verifies
+//! the figure rows are bit-identical, and records the wall-clock
+//! numbers plus the cache accounting to `BENCH_scenario.json` at the
+//! repository root.
+//!
+//! The suite is chosen so configurations genuinely repeat across
+//! generators: fig06's baseline timing run is the same scenario as the
+//! paper-default rows of the MSHR and L1 ablations, so the cached leg
+//! must report hits > 0 or the content-addressing is broken.
+
+use rcoal_bench::BENCH_SEED;
+use rcoal_experiments::figures::{
+    ablation_l1_with, ablation_mshr_with, fig05_last_vs_total_with, fig06_coalescing_onoff_with,
+    Fig5Data, Fig6Data, L1Row, MshrRow,
+};
+use rcoal_experiments::SweepRunner;
+use std::time::Instant;
+
+/// Plaintexts per generator; shared by every figure in the slice so
+/// the baseline scenario is literally the same run in all of them.
+const PLAINTEXTS: usize = 24;
+
+struct SuiteResult {
+    fig05: Fig5Data,
+    fig06: Fig6Data,
+    mshr: Vec<MshrRow>,
+    l1: Vec<L1Row>,
+    seconds: f64,
+    served: u64,
+    launched: u64,
+}
+
+/// The figure slice, end to end, on one runner.
+fn run_suite(runner: &SweepRunner) -> Result<SuiteResult, String> {
+    let start = Instant::now();
+    let fig05 =
+        fig05_last_vs_total_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
+    let fig06 =
+        fig06_coalescing_onoff_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
+    let mshr = ablation_mshr_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
+    let l1 = ablation_l1_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
+    let seconds = start.elapsed().as_secs_f64();
+    let report = runner.report();
+    Ok(SuiteResult {
+        fig05,
+        fig06,
+        mshr,
+        l1,
+        seconds,
+        served: report.served,
+        launched: report.launched,
+    })
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("sweep_cache bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    println!(
+        "sweep_cache: fig05 + fig06 + MSHR/L1 ablations at {PLAINTEXTS} plaintexts, \
+         cache off vs on"
+    );
+
+    let cold = run_suite(&SweepRunner::uncached())?;
+    println!(
+        "  cache off : {:.3} s ({} runs served, {} simulated)",
+        cold.seconds, cold.served, cold.launched
+    );
+    let warm = run_suite(&SweepRunner::new())?;
+    let hits = warm.served - warm.launched;
+    println!(
+        "  cache on  : {:.3} s ({} runs served, {} simulated, {} hits)",
+        warm.seconds, warm.served, warm.launched, hits
+    );
+
+    // The cache must be invisible in the science and visible in the
+    // accounting.
+    if cold.fig05 != warm.fig05
+        || cold.fig06 != warm.fig06
+        || cold.mshr != warm.mshr
+        || cold.l1 != warm.l1
+    {
+        return Err("figure rows differ between cached and uncached legs".into());
+    }
+    if cold.served != cold.launched {
+        return Err("uncached runner reported cache hits".into());
+    }
+    if hits == 0 {
+        return Err("cached leg saw no hits; shared scenarios were re-simulated".into());
+    }
+    let runs_saved_pct = 100.0 * hits as f64 / warm.served as f64;
+    println!("  saved     : {runs_saved_pct:.0}% of scenario runs (rows bit-identical)");
+
+    let json = format!(
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"sweep_cache\",\n  \"workload\": \"fig05 + fig06 + MSHR/L1 ablations x {PLAINTEXTS} plaintexts, shared runner\",\n  \"uncached_seconds\": {:.6},\n  \"uncached_runs\": {},\n  \"cached_seconds\": {:.6},\n  \"cached_runs_served\": {},\n  \"cached_runs_simulated\": {},\n  \"cache_hits\": {hits},\n  \"runs_saved_pct\": {runs_saved_pct:.1},\n  \"rows_identical\": true\n}}\n",
+        cold.seconds, cold.served, warm.seconds, warm.served, warm.launched
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_scenario.json");
+    Ok(())
+}

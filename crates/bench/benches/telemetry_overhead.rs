@@ -73,8 +73,7 @@ fn run() -> Result<(), String> {
     if data_off != observations(data_off_repeat) {
         return Err("repeated uninstrumented runs disagree (nondeterminism!)".into());
     }
-    if data_off != observations(data_profile.clone())
-        || data_off != observations(data_full.clone())
+    if data_off != observations(data_profile.clone()) || data_off != observations(data_full.clone())
     {
         return Err("telemetry changed the scientific observations".into());
     }
@@ -86,9 +85,18 @@ fn run() -> Result<(), String> {
     let noise_floor = (off_a - off_b).abs() / off_a.max(off_b);
     let profile_overhead = profile_secs / off_a.min(off_b) - 1.0;
     let full_overhead = full_secs / off_a.min(off_b) - 1.0;
-    println!("  off        : {off_a:.4} s / {off_b:.4} s (noise {:.1}%)", noise_floor * 100.0);
-    println!("  profile    : {profile_secs:.4} s ({:+.1}%)", profile_overhead * 100.0);
-    println!("  full trace : {full_secs:.4} s ({:+.1}%, {events} events)", full_overhead * 100.0);
+    println!(
+        "  off        : {off_a:.4} s / {off_b:.4} s (noise {:.1}%)",
+        noise_floor * 100.0
+    );
+    println!(
+        "  profile    : {profile_secs:.4} s ({:+.1}%)",
+        profile_overhead * 100.0
+    );
+    println!(
+        "  full trace : {full_secs:.4} s ({:+.1}%, {events} events)",
+        full_overhead * 100.0
+    );
 
     let json = format!(
         "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"telemetry_overhead\",\n  \"workload\": \"RSS+RTS(8) timing experiment x {PLAINTEXTS} plaintexts, threads=1, best of {REPS}\",\n  \"off_seconds\": {off_a:.6},\n  \"off_repeat_seconds\": {off_b:.6},\n  \"noise_floor\": {noise_floor:.4},\n  \"profile_only_seconds\": {profile_secs:.6},\n  \"profile_only_overhead\": {profile_overhead:.4},\n  \"full_trace_seconds\": {full_secs:.6},\n  \"full_trace_overhead\": {full_overhead:.4},\n  \"events_collected\": {events},\n  \"observations_identical\": true\n}}\n"

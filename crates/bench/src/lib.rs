@@ -73,7 +73,11 @@ impl BenchmarkGroup<'_> {
         }
         samples.sort_by(|a, b| a.total_cmp(b));
         let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
-        println!("  {id}: median {:.3} ms/iter ({} samples)", median * 1e3, samples.len());
+        println!(
+            "  {id}: median {:.3} ms/iter ({} samples)",
+            median * 1e3,
+            samples.len()
+        );
         self
     }
 

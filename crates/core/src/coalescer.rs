@@ -182,8 +182,8 @@ impl Coalescer {
 mod tests {
     use super::*;
     use crate::CoalescingPolicy;
-    use rcoal_rng::StdRng;
     use rcoal_rng::SeedableRng;
+    use rcoal_rng::StdRng;
 
     fn addrs_fig2() -> [Option<u64>; 4] {
         // Figure 2: threads 1 and 2 share a block; threads 0 and 3 have

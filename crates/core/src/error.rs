@@ -67,6 +67,30 @@ impl fmt::Display for PolicyError {
 
 impl Error for PolicyError {}
 
+/// Error produced when parsing a [`crate::CoalescingPolicy`] from its
+/// textual form (see the `FromStr` implementation for the grammar).
+///
+/// Carries a human-readable message naming the offending spec, suitable
+/// for direct display in CLI errors and scenario-file diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    msg: String,
+}
+
+impl ParsePolicyError {
+    pub(crate) fn new(msg: String) -> Self {
+        ParsePolicyError { msg }
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl Error for ParsePolicyError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

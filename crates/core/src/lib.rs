@@ -51,7 +51,7 @@ mod prt;
 mod subwarp;
 
 pub use coalescer::{CoalesceResult, Coalescer, MemAccess};
-pub use error::PolicyError;
+pub use error::{ParsePolicyError, PolicyError};
 pub use policy::{CoalescingPolicy, SizeDistribution, NORMAL_SIGMA_DIVISOR};
 pub use prt::{PendingRequestTable, PrtEntry};
 pub use subwarp::{NumSubwarps, SubwarpAssignment};

@@ -1,4 +1,4 @@
-use crate::{NumSubwarps, PolicyError, SubwarpAssignment};
+use crate::{NumSubwarps, ParsePolicyError, PolicyError, SubwarpAssignment};
 
 use rcoal_rng::seq::SliceRandom;
 use rcoal_rng::Rng;
@@ -27,6 +27,20 @@ impl std::fmt::Display for SizeDistribution {
         match self {
             SizeDistribution::Normal => f.write_str("normal"),
             SizeDistribution::Skewed => f.write_str("skewed"),
+        }
+    }
+}
+
+impl std::str::FromStr for SizeDistribution {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "normal" => Ok(SizeDistribution::Normal),
+            "skewed" => Ok(SizeDistribution::Skewed),
+            _ => Err(ParsePolicyError::new(format!(
+                "unknown size distribution {s:?} (expected normal or skewed)"
+            ))),
         }
     }
 }
@@ -228,6 +242,91 @@ impl std::fmt::Display for CoalescingPolicy {
     }
 }
 
+impl std::str::FromStr for CoalescingPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses a policy spec, accepting both the CLI grammar and the
+    /// [`Display`](std::fmt::Display) form (so `parse ∘ to_string = id`):
+    ///
+    /// * `baseline`; `disabled`, `off`, `no-coalescing`
+    /// * `fss:M`, `rss:M`, `fss-rts:M`, `rss-rts:M` (also `fss+rts:M`,
+    ///   `rss+rts:M`) with `M` the subwarp count; RSS forms take an
+    ///   optional trailing `:normal` / `:skewed`
+    /// * `FSS(M=8)`, `FSS+RTS(M=8)`, `RSS(M=4, skewed)`,
+    ///   `RSS+RTS(M=4, normal)`
+    ///
+    /// Matching is case-insensitive and whitespace-tolerant.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let lower = spec.trim().to_ascii_lowercase();
+        let (name, m, dist) = if let Some((name, rest)) = lower.split_once('(') {
+            // Display form: NAME(M=count[, dist])
+            let inner = rest.trim_end().strip_suffix(')').ok_or_else(|| {
+                ParsePolicyError::new(format!("invalid policy {spec:?}: missing ')'"))
+            })?;
+            let (m_part, dist_part) = match inner.split_once(',') {
+                Some((m_part, dist_part)) => (m_part, Some(dist_part)),
+                None => (inner, None),
+            };
+            let m_str = m_part.trim().strip_prefix("m=").ok_or_else(|| {
+                ParsePolicyError::new(format!("invalid policy {spec:?}: expected M=<count>"))
+            })?;
+            let m = parse_subwarp_count(m_str.trim(), spec)?;
+            let dist = dist_part.map(str::parse::<SizeDistribution>).transpose()?;
+            (name.trim().to_string(), Some(m), dist)
+        } else {
+            // CLI form: name[:count[:dist]]
+            let mut parts = lower.splitn(3, ':');
+            let name = parts.next().unwrap_or_default().to_string();
+            let m = parts
+                .next()
+                .map(|m_str| parse_subwarp_count(m_str, spec))
+                .transpose()?;
+            let dist = parts
+                .next()
+                .map(str::parse::<SizeDistribution>)
+                .transpose()?;
+            (name, m, dist)
+        };
+        let fail = |e: PolicyError| ParsePolicyError::new(format!("{spec:?}: {e}"));
+        let no_dist = |p: Result<CoalescingPolicy, PolicyError>| {
+            if dist.is_some() {
+                return Err(ParsePolicyError::new(format!(
+                    "policy {spec:?} does not take a size distribution"
+                )));
+            }
+            p.map_err(fail)
+        };
+        match (name.as_str(), m) {
+            ("baseline", None) => no_dist(Ok(CoalescingPolicy::Baseline)),
+            ("disabled" | "off" | "no-coalescing", None) => no_dist(Ok(CoalescingPolicy::Disabled)),
+            ("fss", Some(m)) => no_dist(CoalescingPolicy::fss(m)),
+            ("fss-rts" | "fss+rts", Some(m)) => no_dist(CoalescingPolicy::fss_rts(m)),
+            ("rss", Some(m)) => Ok(CoalescingPolicy::Rss {
+                num_subwarps: NumSubwarps::new_unaligned(m, crate::WARP_SIZE).map_err(fail)?,
+                dist: dist.unwrap_or_default(),
+            }),
+            ("rss-rts" | "rss+rts", Some(m)) => Ok(CoalescingPolicy::RssRts {
+                num_subwarps: NumSubwarps::new_unaligned(m, crate::WARP_SIZE).map_err(fail)?,
+                dist: dist.unwrap_or_default(),
+            }),
+            ("fss" | "rss" | "fss-rts" | "fss+rts" | "rss-rts" | "rss+rts", None) => {
+                Err(ParsePolicyError::new(format!(
+                    "policy {spec:?} needs a subwarp count, e.g. {name}:4"
+                )))
+            }
+            _ => Err(ParsePolicyError::new(format!(
+                "unknown policy {spec:?} (expected baseline, disabled, fss:M, rss:M, fss-rts:M, rss-rts:M)"
+            ))),
+        }
+    }
+}
+
+fn parse_subwarp_count(m_str: &str, spec: &str) -> Result<usize, ParsePolicyError> {
+    m_str
+        .parse()
+        .map_err(|_| ParsePolicyError::new(format!("invalid subwarp count {m_str:?} in {spec:?}")))
+}
+
 fn fixed_sizes(warp_size: usize, m: usize) -> Result<Vec<usize>, PolicyError> {
     if m > warp_size {
         return Err(PolicyError::OutOfRange {
@@ -315,8 +414,7 @@ fn normal_sizes<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Vec<usize> 
                 sizes[i] += 1;
             }
             std::cmp::Ordering::Greater => {
-                let candidates: Vec<usize> =
-                    (0..m).filter(|&i| sizes[i] > 1).collect();
+                let candidates: Vec<usize> = (0..m).filter(|&i| sizes[i] > 1).collect();
                 let i = candidates[rng.gen_range(0..candidates.len())];
                 sizes[i] -= 1;
             }
@@ -334,8 +432,8 @@ fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcoal_rng::StdRng;
     use rcoal_rng::SeedableRng;
+    use rcoal_rng::StdRng;
     use std::collections::HashMap;
 
     fn rng(seed: u64) -> StdRng {
@@ -344,14 +442,18 @@ mod tests {
 
     #[test]
     fn baseline_is_single_subwarp() {
-        let a = CoalescingPolicy::Baseline.assignment(32, &mut rng(0)).unwrap();
+        let a = CoalescingPolicy::Baseline
+            .assignment(32, &mut rng(0))
+            .unwrap();
         assert_eq!(a.num_subwarps(), 1);
         assert_eq!(a.warp_size(), 32);
     }
 
     #[test]
     fn disabled_is_one_lane_per_subwarp() {
-        let a = CoalescingPolicy::Disabled.assignment(32, &mut rng(0)).unwrap();
+        let a = CoalescingPolicy::Disabled
+            .assignment(32, &mut rng(0))
+            .unwrap();
         assert_eq!(a.num_subwarps(), 32);
         assert!(a.sizes().iter().all(|&s| s == 1));
     }
@@ -369,7 +471,9 @@ mod tests {
     #[test]
     fn fss_with_m1_equals_baseline() {
         let p = CoalescingPolicy::fss(1).unwrap();
-        let base = CoalescingPolicy::Baseline.assignment(32, &mut rng(0)).unwrap();
+        let base = CoalescingPolicy::Baseline
+            .assignment(32, &mut rng(0))
+            .unwrap();
         assert_eq!(p.assignment(32, &mut rng(1)).unwrap(), base);
     }
 
@@ -404,7 +508,10 @@ mod tests {
         }
         assert_eq!(counts.len(), 3);
         for &c in counts.values() {
-            assert!((800..1200).contains(&c), "non-uniform composition count {c}");
+            assert!(
+                (800..1200).contains(&c),
+                "non-uniform composition count {c}"
+            );
         }
     }
 
@@ -438,7 +545,10 @@ mod tests {
         let mut r = rng(3);
         let a = p.assignment(32, &mut r).unwrap();
         let b = p.assignment(32, &mut r).unwrap();
-        assert_ne!(a, b, "two RTS draws should differ with overwhelming probability");
+        assert_ne!(
+            a, b,
+            "two RTS draws should differ with overwhelming probability"
+        );
         // Still a valid partition into 4 groups of 8.
         assert_eq!(a.sizes(), vec![8; 4]);
         let mut lanes: Vec<usize> = a.lanes_by_subwarp().into_iter().flatten().collect();
@@ -479,13 +589,103 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(CoalescingPolicy::Baseline.to_string(), "baseline");
-        assert_eq!(
-            CoalescingPolicy::fss(8).unwrap().to_string(),
-            "FSS(M=8)"
-        );
+        assert_eq!(CoalescingPolicy::fss(8).unwrap().to_string(), "FSS(M=8)");
         assert_eq!(
             CoalescingPolicy::rss(4).unwrap().to_string(),
             "RSS(M=4, skewed)"
         );
+    }
+
+    #[test]
+    fn parses_cli_grammar() {
+        assert_eq!("baseline".parse(), Ok(CoalescingPolicy::Baseline));
+        assert_eq!("BASELINE".parse(), Ok(CoalescingPolicy::Baseline));
+        assert_eq!("disabled".parse(), Ok(CoalescingPolicy::Disabled));
+        assert_eq!("off".parse(), Ok(CoalescingPolicy::Disabled));
+        assert_eq!("no-coalescing".parse(), Ok(CoalescingPolicy::Disabled));
+        assert_eq!("fss:8".parse(), Ok(CoalescingPolicy::fss(8).unwrap()));
+        assert_eq!("rss:4".parse(), Ok(CoalescingPolicy::rss(4).unwrap()));
+        assert_eq!(
+            "fss+rts:16".parse(),
+            Ok(CoalescingPolicy::fss_rts(16).unwrap())
+        );
+        assert_eq!(
+            "rss-rts:4".parse(),
+            Ok(CoalescingPolicy::rss_rts(4).unwrap())
+        );
+        assert_eq!(
+            "rss:4:normal".parse(),
+            Ok(CoalescingPolicy::Rss {
+                num_subwarps: NumSubwarps::new_unaligned(4, 32).unwrap(),
+                dist: SizeDistribution::Normal,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_display_grammar() {
+        assert_eq!("FSS(M=8)".parse(), Ok(CoalescingPolicy::fss(8).unwrap()));
+        assert_eq!(
+            "FSS+RTS(M=2)".parse(),
+            Ok(CoalescingPolicy::fss_rts(2).unwrap())
+        );
+        assert_eq!(
+            "RSS(M=4, skewed)".parse(),
+            Ok(CoalescingPolicy::rss(4).unwrap())
+        );
+        assert_eq!(
+            "RSS+RTS(M=3, normal)".parse(),
+            Ok(CoalescingPolicy::RssRts {
+                num_subwarps: NumSubwarps::new_unaligned(3, 32).unwrap(),
+                dist: SizeDistribution::Normal,
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        let err = |s: &str| s.parse::<CoalescingPolicy>().unwrap_err().to_string();
+        assert!(err("fss").contains("subwarp count"));
+        assert!(err("fss:3").contains("divide"));
+        assert!(err("fss:x").contains("invalid"));
+        assert!(err("magic").contains("unknown"));
+        assert!(err("fss:8:skewed").contains("distribution"));
+        assert!(err("FSS(M=8").contains("')'"));
+        assert!(err("FSS(8)").contains("M=<count>"));
+        assert!(err("RSS(M=4, diagonal)").contains("unknown size distribution"));
+        assert!("rss:0".parse::<CoalescingPolicy>().is_err());
+        assert!("rss:33".parse::<CoalescingPolicy>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let mut pool = vec![CoalescingPolicy::Baseline, CoalescingPolicy::Disabled];
+        for m in [1, 2, 4, 8, 16, 32] {
+            pool.push(CoalescingPolicy::fss(m).unwrap());
+            pool.push(CoalescingPolicy::fss_rts(m).unwrap());
+        }
+        for m in 1..=32 {
+            for dist in [SizeDistribution::Skewed, SizeDistribution::Normal] {
+                pool.push(CoalescingPolicy::Rss {
+                    num_subwarps: NumSubwarps::new_unaligned(m, 32).unwrap(),
+                    dist,
+                });
+                pool.push(CoalescingPolicy::RssRts {
+                    num_subwarps: NumSubwarps::new_unaligned(m, 32).unwrap(),
+                    dist,
+                });
+            }
+        }
+        for p in pool {
+            assert_eq!(p.to_string().parse::<CoalescingPolicy>(), Ok(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn size_distribution_round_trips() {
+        for d in [SizeDistribution::Normal, SizeDistribution::Skewed] {
+            assert_eq!(d.to_string().parse::<SizeDistribution>(), Ok(d));
+        }
+        assert!("diagonal".parse::<SizeDistribution>().is_err());
     }
 }

@@ -113,7 +113,16 @@ mod tests {
         prt.fill(&a, &[Some(10), Some(70), None, Some(130)], 4, 64);
         assert_eq!(prt.len(), 3);
         assert!(!prt.is_empty());
-        assert_eq!(prt.entries()[0], PrtEntry { tid: 0, base_addr: 0, offset: 10, size: 4, sid: 0 });
+        assert_eq!(
+            prt.entries()[0],
+            PrtEntry {
+                tid: 0,
+                base_addr: 0,
+                offset: 10,
+                size: 4,
+                sid: 0
+            }
+        );
         assert_eq!(prt.entries()[1].sid, 0);
         assert_eq!(prt.entries()[2].sid, 1);
         assert_eq!(prt.entries()[2].base_addr, 128);

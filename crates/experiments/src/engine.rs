@@ -1,0 +1,630 @@
+//! The sweep engine: executes declarative scenarios through the
+//! experiment pipeline with a content-addressed run cache.
+//!
+//! This is where the dependency layers meet: `rcoal-scenario` describes
+//! runs as data ([`Scenario`], [`SweepSpec`], [`RunCache`]) without
+//! knowing how to execute them; this module supplies the three missing
+//! pieces —
+//!
+//! * [`scenario_config`]: scenario → [`ExperimentConfig`] conversion,
+//! * the `rcoal-run/v1` disk codec for [`ExperimentData`]
+//!   ([`encode_run`] / [`decode_run`]), and
+//! * [`SweepRunner`]: deterministic, cache-aware execution of scenario
+//!   lists through `rcoal-parallel`.
+//!
+//! ## Execution contract
+//!
+//! For a scenario list, the runner resolves each *distinct* scenario
+//! (by content hash) exactly once — from the cache when possible,
+//! otherwise by one fresh simulation — and assembles results in input
+//! order. Because experiment results are a pure function of the
+//! scenario (bit-identical at any thread count), a cache hit is
+//! indistinguishable from a fresh run; the equivalence test pins this.
+//!
+//! ## Caching policy
+//!
+//! Runs carrying telemetry stay memory-only (the codec declines to
+//! encode them: traces are bulky and mostly write-once); everything
+//! else round-trips losslessly through JSON — [`ExperimentData`] is
+//! integers and byte blocks, no floats — so disk hits are exact.
+
+use crate::error::ExperimentError;
+use crate::run::{ExperimentConfig, ExperimentData};
+use crate::telemetry::TelemetrySpec;
+use rcoal_aes::Block;
+use rcoal_core::CoalescingPolicy;
+use rcoal_parallel::{resolve_threads, try_parallel_map};
+use rcoal_scenario::json::{ObjBuilder, Value};
+use rcoal_scenario::{CacheStats, RunCache, Scenario, ScenarioError, SweepSpec};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Schema identifier of one serialized run result.
+pub const RUN_SCHEMA: &str = "rcoal-run/v1";
+
+/// Lowers a scenario onto the experiment layer. Thread counts are an
+/// execution detail, so the returned config keeps `threads: None`; the
+/// runner overrides it per batch.
+pub fn scenario_config(scenario: &Scenario) -> ExperimentConfig {
+    let mut cfg = if scenario.selective {
+        ExperimentConfig::selective(scenario.policy, scenario.num_plaintexts, scenario.lines)
+    } else {
+        ExperimentConfig::new(scenario.policy, scenario.num_plaintexts, scenario.lines)
+    };
+    cfg.seed = scenario.seed;
+    if let Some(key) = scenario.key {
+        cfg.key = key;
+    }
+    cfg.gpu = scenario.gpu_config();
+    cfg.timing = scenario.timing;
+    cfg.faults = scenario.faults.clone();
+    cfg.telemetry = scenario.telemetry.map(|t| {
+        TelemetrySpec::full()
+            .with_event_capacity(t.event_capacity)
+            .with_min_severity(t.min_severity)
+    });
+    cfg
+}
+
+/// Serializes a run result to its `rcoal-run/v1` JSON form.
+///
+/// Returns `None` for telemetry-bearing runs, which stay memory-only
+/// (see the module docs); every other run encodes losslessly.
+pub fn encode_run(data: &ExperimentData) -> Option<String> {
+    if data.telemetry.is_some() {
+        return None;
+    }
+    let ciphertexts = Value::Arr(
+        data.ciphertexts
+            .iter()
+            .map(|lines| Value::str(hex_blocks(lines)))
+            .collect(),
+    );
+    let by_byte = Value::Arr(
+        data.last_round_accesses_by_byte
+            .iter()
+            .map(|row| Value::Arr(row.iter().map(|&n| Value::u64(n)).collect()))
+            .collect(),
+    );
+    let doc = ObjBuilder::new()
+        .field("schema", Value::str(RUN_SCHEMA))
+        .field("policy", Value::str(data.policy.to_string()))
+        .field("key", Value::str(hex_bytes(&data.key)))
+        .field("ciphertexts", ciphertexts)
+        .field("last_round_accesses", u64_arr(&data.last_round_accesses))
+        .field("last_round_accesses_by_byte", by_byte)
+        .field("total_accesses", u64_arr(&data.total_accesses))
+        .field("total_requests", u64_arr(&data.total_requests))
+        .opt_field(
+            "last_round_cycles",
+            data.last_round_cycles.as_deref().map(u64_arr),
+        )
+        .opt_field("total_cycles", data.total_cycles.as_deref().map(u64_arr))
+        .build();
+    Some(doc.to_json())
+}
+
+/// Parses a run result back from its `rcoal-run/v1` form.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] for syntax errors, schema mismatches, or
+/// ill-formed fields.
+pub fn decode_run(input: &str) -> Result<ExperimentData, ScenarioError> {
+    let v = Value::parse(input).map_err(|e| ScenarioError::new(e.to_string()))?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+    if schema != RUN_SCHEMA {
+        return Err(ScenarioError::new(format!(
+            "unsupported run schema {schema:?} (expected {RUN_SCHEMA:?})"
+        )));
+    }
+    let policy = v
+        .get("policy")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ScenarioError::new("run policy must be a string"))?
+        .parse::<CoalescingPolicy>()
+        .map_err(|e| ScenarioError::new(e.to_string()))?;
+    let key_hex = v
+        .get("key")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ScenarioError::new("run key must be a hex string"))?;
+    let key_bytes = unhex(key_hex)?;
+    let key: [u8; 16] = key_bytes
+        .try_into()
+        .map_err(|_| ScenarioError::new("run key must be 16 bytes"))?;
+    let ciphertexts = v
+        .get("ciphertexts")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| ScenarioError::new("run ciphertexts must be an array"))?
+        .iter()
+        .map(|item| {
+            let hex = item
+                .as_str()
+                .ok_or_else(|| ScenarioError::new("ciphertext entries must be hex strings"))?;
+            Ok(Arc::new(unhex_blocks(hex)?))
+        })
+        .collect::<Result<Vec<Arc<Vec<Block>>>, ScenarioError>>()?;
+    let last_round_accesses = parse_u64_arr(&v, "last_round_accesses")?;
+    let by_byte = v
+        .get("last_round_accesses_by_byte")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| ScenarioError::new("last_round_accesses_by_byte must be an array"))?
+        .iter()
+        .map(|row| {
+            let nums = row
+                .as_arr()
+                .ok_or_else(|| ScenarioError::new("by-byte rows must be arrays"))?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .ok_or_else(|| ScenarioError::new("by-byte entries must be u64"))
+                })
+                .collect::<Result<Vec<u64>, ScenarioError>>()?;
+            <[u64; 16]>::try_from(nums)
+                .map_err(|_| ScenarioError::new("by-byte rows must have 16 entries"))
+        })
+        .collect::<Result<Vec<[u64; 16]>, ScenarioError>>()?;
+    Ok(ExperimentData {
+        policy,
+        key,
+        ciphertexts,
+        last_round_accesses,
+        last_round_accesses_by_byte: by_byte,
+        total_accesses: parse_u64_arr(&v, "total_accesses")?,
+        total_requests: parse_u64_arr(&v, "total_requests")?,
+        last_round_cycles: parse_opt_u64_arr(&v, "last_round_cycles")?,
+        total_cycles: parse_opt_u64_arr(&v, "total_cycles")?,
+        telemetry: None,
+    })
+}
+
+/// What a [`SweepRunner`] did so far: occurrences served, simulations
+/// actually launched, and the hits that made up the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerReport {
+    /// Scenario occurrences served (input-list entries, duplicates
+    /// included).
+    pub served: u64,
+    /// Fresh simulations performed.
+    pub launched: u64,
+}
+
+impl RunnerReport {
+    /// Occurrences answered without a fresh simulation — by the cache or
+    /// by in-batch deduplication.
+    pub fn hits(&self) -> u64 {
+        self.served - self.launched
+    }
+
+    /// Hit fraction in `[0, 1]`; `0` when nothing was served.
+    pub fn hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.served as f64
+        }
+    }
+}
+
+/// Executes scenario lists deterministically with a content-addressed
+/// run cache.
+///
+/// ```no_run
+/// use rcoal_experiments::engine::SweepRunner;
+/// use rcoal_scenario::{Scenario, SweepSpec};
+/// use rcoal_core::CoalescingPolicy;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let runner = SweepRunner::new();
+/// let sweep = SweepSpec::grid(Scenario::new(CoalescingPolicy::Baseline, 50, 32))
+///     .with_policies(vec![CoalescingPolicy::Baseline, CoalescingPolicy::fss(8)?]);
+/// let results = runner.run_sweep(&sweep)?;
+/// assert_eq!(results.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SweepRunner {
+    cache: RunCache<ExperimentData>,
+    caching: bool,
+    threads: Option<usize>,
+    served: AtomicU64,
+    launched: AtomicU64,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with an in-memory cache.
+    pub fn new() -> Self {
+        SweepRunner {
+            cache: RunCache::in_memory(),
+            caching: true,
+            threads: None,
+            served: AtomicU64::new(0),
+            launched: AtomicU64::new(0),
+        }
+    }
+
+    /// A runner that never caches — every occurrence simulates afresh
+    /// (the pre-engine behaviour; kept for benchmarking the cache).
+    pub fn uncached() -> Self {
+        let mut runner = Self::new();
+        runner.caching = false;
+        runner
+    }
+
+    /// A runner whose cache persists under `dir` across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Scenario`] if the directory cannot be
+    /// created.
+    pub fn with_disk_cache(dir: impl AsRef<Path>) -> Result<Self, ExperimentError> {
+        let mut runner = Self::new();
+        runner.cache = RunCache::with_disk(dir.as_ref(), encode_run, decode_run)?;
+        Ok(runner)
+    }
+
+    /// Pins the worker-thread count for sweeps (`1` = sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Raw cache traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Occurrences served vs. simulations launched so far.
+    pub fn report(&self) -> RunnerReport {
+        RunnerReport {
+            served: self.served.load(Ordering::Relaxed),
+            launched: self.launched.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Expands `spec` and runs the expansion in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion errors ([`ExperimentError::Scenario`]) and
+    /// the first (lowest-index) execution failure.
+    pub fn run_sweep(&self, spec: &SweepSpec) -> Result<Vec<ExperimentData>, ExperimentError> {
+        let scenarios = spec.expand()?;
+        self.run_scenarios(&scenarios)
+    }
+
+    /// Runs one scenario (through the cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and execution failures.
+    pub fn run_one(&self, scenario: &Scenario) -> Result<ExperimentData, ExperimentError> {
+        let mut results = self.run_scenarios(std::slice::from_ref(scenario))?;
+        results
+            .pop()
+            .ok_or_else(|| ExperimentError::MissingData("empty scenario batch".into()))
+    }
+
+    /// Runs a scenario list: each distinct scenario resolves exactly
+    /// once (cache first, then one fresh simulation), and the result
+    /// vector lines up index-for-index with the input — duplicates
+    /// share one run.
+    ///
+    /// Distinct missing scenarios fan out across worker threads; each
+    /// one then simulates its own launches sequentially (`threads = 1`)
+    /// so the machine is not oversubscribed. A batch with a single
+    /// missing scenario instead parallelizes *inside* that experiment.
+    /// Either way the results are bit-identical — the workspace's
+    /// determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index failure, matching
+    /// `rcoal_parallel::try_parallel_map`.
+    pub fn run_scenarios(
+        &self,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<ExperimentData>, ExperimentError> {
+        let mut resolved: HashMap<u64, ExperimentData> = HashMap::new();
+        let mut missing: Vec<&Scenario> = Vec::new();
+        let mut missing_keys: HashSet<u64> = HashSet::new();
+        for scenario in scenarios {
+            let key = scenario.content_hash();
+            if resolved.contains_key(&key) || missing_keys.contains(&key) {
+                continue;
+            }
+            if self.caching {
+                if let Some(data) = self.cache.get(scenario) {
+                    resolved.insert(key, data);
+                    continue;
+                }
+            }
+            missing.push(scenario);
+            missing_keys.insert(key);
+        }
+
+        let inner_threads = if missing.len() > 1 { Some(1) } else { None };
+        let fresh = try_parallel_map(
+            resolve_threads(self.threads),
+            &missing,
+            |_i, scenario| -> Result<ExperimentData, ExperimentError> {
+                let mut cfg = scenario_config(scenario);
+                cfg.threads = inner_threads.or(self.threads);
+                cfg.run()
+            },
+        )?;
+        for (scenario, data) in missing.iter().zip(fresh) {
+            if self.caching {
+                self.cache.insert(scenario, data.clone());
+            }
+            resolved.insert(scenario.content_hash(), data);
+        }
+        self.launched
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        self.served
+            .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
+
+        scenarios
+            .iter()
+            .map(|s| {
+                resolved
+                    .get(&s.content_hash())
+                    .cloned()
+                    .ok_or_else(|| ExperimentError::MissingData("unresolved scenario".into()))
+            })
+            .collect()
+    }
+}
+
+fn u64_arr(items: &[u64]) -> Value {
+    Value::Arr(items.iter().map(|&n| Value::u64(n)).collect())
+}
+
+fn parse_u64_arr(v: &Value, key: &str) -> Result<Vec<u64>, ScenarioError> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| ScenarioError::new(format!("{key} must be an array")))?
+        .iter()
+        .map(|n| {
+            n.as_u64()
+                .ok_or_else(|| ScenarioError::new(format!("{key} entries must be u64")))
+        })
+        .collect()
+}
+
+fn parse_opt_u64_arr(v: &Value, key: &str) -> Result<Option<Vec<u64>>, ScenarioError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => Ok(Some(parse_u64_arr(v, key)?)),
+    }
+}
+
+fn hex_bytes(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_blocks(blocks: &[Block]) -> String {
+    let mut out = String::with_capacity(blocks.len() * 32);
+    for block in blocks {
+        out.push_str(&hex_bytes(block));
+    }
+    out
+}
+
+fn unhex(hex: &str) -> Result<Vec<u8>, ScenarioError> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(ScenarioError::new("hex string has odd length"));
+    }
+    hex.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let s = std::str::from_utf8(pair)
+                .map_err(|_| ScenarioError::new("hex string is not ascii"))?;
+            u8::from_str_radix(s, 16)
+                .map_err(|_| ScenarioError::new(format!("invalid hex byte {s:?}")))
+        })
+        .collect()
+}
+
+fn unhex_blocks(hex: &str) -> Result<Vec<Block>, ScenarioError> {
+    let bytes = unhex(hex)?;
+    if bytes.len() % 16 != 0 {
+        return Err(ScenarioError::new(
+            "ciphertext hex must be a whole number of 16-byte blocks",
+        ));
+    }
+    Ok(bytes
+        .chunks(16)
+        .map(|chunk| {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            block
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcoal_scenario::GpuOverrides;
+    use rcoal_telemetry::Severity;
+
+    fn tiny(policy: CoalescingPolicy, n: usize) -> Scenario {
+        // A real timing scenario kept cheap: 4 plaintexts of one warp.
+        Scenario::new(policy, n, 32).with_seed(0xbead)
+    }
+
+    #[test]
+    fn scenario_config_mirrors_the_scenario() {
+        let s = Scenario::selective(CoalescingPolicy::rss_rts(4).unwrap(), 7, 64)
+            .with_seed(99)
+            .with_key([3; 16])
+            .with_gpu(GpuOverrides {
+                mshr_entries: Some(8),
+                ..GpuOverrides::default()
+            })
+            .with_telemetry(rcoal_scenario::TelemetryOverrides {
+                event_capacity: 5,
+                min_severity: Severity::Warn,
+            });
+        let cfg = scenario_config(&s);
+        assert_eq!(cfg.policy, s.policy);
+        assert_eq!(cfg.num_plaintexts, 7);
+        assert_eq!(cfg.lines, 64);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.key, [3; 16]);
+        assert_eq!(cfg.gpu.mshr_entries, 8);
+        assert!(cfg.launch.is_some(), "selective sets a launch policy");
+        let spec = cfg.telemetry.unwrap();
+        assert_eq!(spec.event_capacity, 5);
+        assert_eq!(spec.min_severity, Severity::Warn);
+        assert!(cfg.threads.is_none(), "threads stay an execution detail");
+
+        let plain = scenario_config(&tiny(CoalescingPolicy::Baseline, 2).functional_only());
+        assert!(plain.launch.is_none());
+        assert!(!plain.timing);
+    }
+
+    #[test]
+    fn run_codec_round_trips_bit_identically() {
+        for scenario in [
+            tiny(CoalescingPolicy::Baseline, 3),
+            tiny(CoalescingPolicy::fss(8).unwrap(), 2),
+            tiny(CoalescingPolicy::rss_rts(4).unwrap(), 2).functional_only(),
+        ] {
+            let data = scenario_config(&scenario).run().unwrap();
+            let encoded = encode_run(&data).unwrap();
+            let back = decode_run(&encoded).unwrap();
+            assert_eq!(back, data, "{}", scenario.to_json());
+            assert_eq!(encode_run(&back).unwrap(), encoded, "codec is a fixpoint");
+        }
+    }
+
+    #[test]
+    fn telemetry_runs_are_memory_only() {
+        let s = tiny(CoalescingPolicy::Baseline, 1).with_telemetry(
+            rcoal_scenario::TelemetryOverrides {
+                event_capacity: 4,
+                min_severity: Severity::Info,
+            },
+        );
+        let data = scenario_config(&s).run().unwrap();
+        assert!(data.telemetry.is_some());
+        assert_eq!(encode_run(&data), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        assert!(decode_run("{").is_err());
+        assert!(decode_run(r#"{"schema":"rcoal-run/v9"}"#).is_err());
+        let no_key = r#"{"schema":"rcoal-run/v1","policy":"baseline"}"#;
+        assert!(decode_run(no_key).is_err());
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_a_fresh_run() {
+        let runner = SweepRunner::new();
+        let s = tiny(CoalescingPolicy::fss(4).unwrap(), 2);
+        let first = runner.run_one(&s).unwrap();
+        let second = runner.run_one(&s).unwrap();
+        assert_eq!(first, second);
+        let report = runner.report();
+        assert_eq!((report.served, report.launched), (2, 1));
+        assert_eq!(report.hits(), 1);
+        // And identical to an uncached runner's result.
+        let fresh = SweepRunner::uncached().run_one(&s).unwrap();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn duplicate_scenarios_in_one_batch_simulate_once() {
+        let runner = SweepRunner::new().with_threads(2);
+        let a = tiny(CoalescingPolicy::Baseline, 2);
+        let b = tiny(CoalescingPolicy::Disabled, 2).functional_only();
+        let batch = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+        let results = runner.run_scenarios(&batch).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], results[2]);
+        assert_eq!(results[0], results[3]);
+        assert_ne!(results[0], results[1]);
+        let report = runner.report();
+        assert_eq!(report.served, 4);
+        assert_eq!(report.launched, 2, "two distinct scenarios");
+        assert_eq!(report.hits(), 2);
+        assert!((report.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncached_runner_always_simulates() {
+        let runner = SweepRunner::uncached();
+        let s = tiny(CoalescingPolicy::Baseline, 1).functional_only();
+        runner.run_one(&s).unwrap();
+        runner.run_one(&s).unwrap();
+        let report = runner.report();
+        assert_eq!(report.launched, 2);
+        assert_eq!(report.hits(), 0);
+        assert_eq!(runner.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_across_runners() {
+        let dir =
+            std::env::temp_dir().join(format!("rcoal-engine-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = tiny(CoalescingPolicy::rss(4).unwrap(), 2);
+        let first = {
+            let runner = SweepRunner::with_disk_cache(&dir).unwrap();
+            runner.run_one(&s).unwrap()
+        };
+        let runner = SweepRunner::with_disk_cache(&dir).unwrap();
+        let second = runner.run_one(&s).unwrap();
+        assert_eq!(first, second, "disk hit is bit-identical");
+        assert_eq!(runner.report().launched, 0);
+        assert_eq!(runner.cache_stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_sweep_expands_and_executes_in_order() {
+        let runner = SweepRunner::new();
+        let sweep = SweepSpec::grid(tiny(CoalescingPolicy::Baseline, 2).functional_only())
+            .with_policies(vec![
+                CoalescingPolicy::Baseline,
+                CoalescingPolicy::fss(8).unwrap(),
+            ]);
+        let results = runner.run_sweep(&sweep).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].policy, CoalescingPolicy::Baseline);
+        assert_eq!(results[1].policy, CoalescingPolicy::fss(8).unwrap());
+        // Expansion errors surface as scenario errors.
+        let bad = SweepSpec::default();
+        assert!(matches!(
+            runner.run_sweep(&bad),
+            Err(ExperimentError::Scenario(_))
+        ));
+    }
+
+    #[test]
+    fn execution_failures_propagate() {
+        // FSS over a warp the subwarp count does not divide fails in
+        // the simulator; the runner must surface it, not cache it.
+        let runner = SweepRunner::new();
+        let bad = Scenario::new(CoalescingPolicy::fss(32).unwrap(), 1, 32)
+            .with_gpu(GpuOverrides {
+                warp_size: Some(8),
+                ..GpuOverrides::default()
+            })
+            .functional_only();
+        assert!(runner.run_one(&bad).is_err());
+        assert_eq!(runner.report().launched, 0, "failed runs are not counted");
+    }
+}

@@ -9,6 +9,7 @@
 use rcoal_attack::AttackError;
 use rcoal_core::PolicyError;
 use rcoal_gpu_sim::SimError;
+use rcoal_scenario::ScenarioError;
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +36,8 @@ pub enum ExperimentError {
     /// A figure generator needed data that the preceding sweeps did not
     /// produce (e.g. an empty grid cell).
     MissingData(String),
+    /// A scenario or sweep spec failed to parse, validate, or expand.
+    Scenario(ScenarioError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -53,6 +56,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::MissingData(msg) => {
                 write!(f, "experiment produced no data: {msg}")
             }
+            ExperimentError::Scenario(e) => write!(f, "scenario failed: {e}"),
         }
     }
 }
@@ -63,6 +67,7 @@ impl Error for ExperimentError {
             ExperimentError::Sim(e) => Some(e),
             ExperimentError::Policy(e) => Some(e),
             ExperimentError::Attack(e) => Some(e),
+            ExperimentError::Scenario(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +93,12 @@ impl From<PolicyError> for ExperimentError {
 impl From<AttackError> for ExperimentError {
     fn from(e: AttackError) -> Self {
         ExperimentError::Attack(e)
+    }
+}
+
+impl From<ScenarioError> for ExperimentError {
+    fn from(e: ScenarioError) -> Self {
+        ExperimentError::Scenario(e)
     }
 }
 

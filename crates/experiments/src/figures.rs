@@ -2,21 +2,32 @@
 //! function returns typed rows; the bench targets in `rcoal-bench` print
 //! them and EXPERIMENTS.md records paper-vs-measured.
 
-//! Sweeps over several policies/configurations parallelize the *outer*
-//! loop (one worker per configuration) and pin each inner experiment to
-//! one thread, so a figure saturates the machine without nesting thread
-//! pools; two-run generators instead keep a sequential outer loop and
-//! let the per-launch sweep inside [`ExperimentConfig::run`] parallelize.
-//! Either way results are collected in configuration order, so figure
-//! data is bit-identical to a sequential run.
+//! Every generator is a *declarative sweep plus a typed fold*: it
+//! describes its simulations as a [`SweepSpec`] (a policy grid or an
+//! explicit scenario list) and executes them through a
+//! [`SweepRunner`], which deduplicates scenarios by content hash,
+//! consults the run cache, and fans distinct misses out across worker
+//! threads (one worker per configuration, each experiment pinned to one
+//! inner thread — results are collected in scenario order and are
+//! bit-identical to a sequential run). The fold then turns raw
+//! [`ExperimentData`] into figure rows, parallelizing only the
+//! attack-side post-processing.
+//!
+//! Each generator has a `*_with` variant taking a shared runner — pass
+//! the same runner to several generators and configurations they have
+//! in common (the baseline timing run, most prominently) simulate
+//! exactly once. The legacy signatures are kept as thin wrappers over a
+//! fresh private runner.
 
+use crate::engine::SweepRunner;
 use crate::error::ExperimentError;
-use crate::run::{ExperimentConfig, ExperimentData, TimingSource};
-use rcoal_rng::StdRng;
-use rcoal_rng::SeedableRng;
+use crate::run::{ExperimentData, TimingSource};
 use rcoal_attack::{pearson, Attack};
 use rcoal_core::{CoalescingPolicy, PolicyError, SizeDistribution};
 use rcoal_parallel::{resolve_threads, try_parallel_map};
+use rcoal_rng::SeedableRng;
+use rcoal_rng::StdRng;
+use rcoal_scenario::{GpuOverrides, Scenario, SweepSpec};
 use rcoal_theory::RCoalScore;
 
 /// Subwarp counts the paper sweeps in its defense evaluations.
@@ -37,6 +48,12 @@ pub fn mechanisms(m: usize) -> Result<Vec<(&'static str, CoalescingPolicy)>, Pol
     ])
 }
 
+/// A timing scenario on the paper's GPU — the base most figures sweep
+/// around.
+fn timed(policy: CoalescingPolicy, num_plaintexts: usize, lines: usize, seed: u64) -> Scenario {
+    Scenario::new(policy, num_plaintexts, lines).with_seed(seed)
+}
+
 // ---------------------------------------------------------------- Fig. 5
 
 /// Figure 5: one point per plaintext relating last-round and total time.
@@ -52,9 +69,21 @@ pub struct Fig5Data {
 /// time (both are driven by coalesced accesses), which is why an attacker
 /// observing only total time still sees the last-round channel.
 pub fn fig05_last_vs_total(num_plaintexts: usize, seed: u64) -> Result<Fig5Data, ExperimentError> {
-    let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
-        .with_seed(seed)
-        .run()?;
+    fig05_last_vs_total_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig05_last_vs_total`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation failures; [`ExperimentError::TimingUnavailable`]
+/// cannot occur (the scenario is a timing run).
+pub fn fig05_last_vs_total_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Fig5Data, ExperimentError> {
+    let data = runner.run_one(&timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed))?;
     let last = data
         .last_round_cycles
         .as_ref()
@@ -95,20 +124,38 @@ pub struct Fig6Data {
 
 /// Figure 6: the baseline attack succeeds against stock coalescing and
 /// collapses when coalescing is disabled (every count is the constant 32).
-pub fn fig06_coalescing_onoff(num_plaintexts: usize, seed: u64) -> Result<Fig6Data, ExperimentError> {
-    let attack = Attack::baseline(32);
+pub fn fig06_coalescing_onoff(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Fig6Data, ExperimentError> {
+    fig06_coalescing_onoff_with(&SweepRunner::new(), num_plaintexts, seed)
+}
 
-    let on = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
-        .with_seed(seed)
-        .run()?;
+/// [`fig06_coalescing_onoff`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn fig06_coalescing_onoff_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Fig6Data, ExperimentError> {
+    let sweep = SweepSpec::grid(timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed))
+        .with_policies(vec![CoalescingPolicy::Baseline, CoalescingPolicy::Disabled]);
+    let results = runner.run_sweep(&sweep)?;
+    let (on, off) = match results.as_slice() {
+        [on, off] => (on, off),
+        _ => {
+            return Err(ExperimentError::MissingData(
+                "fig06 sweep must expand to exactly two runs".into(),
+            ))
+        }
+    };
+    let attack = Attack::baseline(32);
     let k10 = on.true_last_round_key();
     let rec_on = attack.recover_byte(&on.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-
-    let off = ExperimentConfig::new(CoalescingPolicy::Disabled, num_plaintexts, 32)
-        .with_seed(seed)
-        .run()?;
     let rec_off = attack.recover_byte(&off.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-
     Ok(Fig6Data {
         rank_enabled: rec_on.rank_of(k10[0]),
         rank_disabled: rec_off.rank_of(k10[0]),
@@ -136,12 +183,36 @@ pub fn motivation_disable_coalescing(
     lines: usize,
     seed: u64,
 ) -> Result<MotivationData, ExperimentError> {
-    let base = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, lines)
-        .with_seed(seed)
-        .run()?;
-    let off = ExperimentConfig::new(CoalescingPolicy::Disabled, num_plaintexts, lines)
-        .with_seed(seed)
-        .run()?;
+    motivation_disable_coalescing_with(&SweepRunner::new(), num_plaintexts, lines, seed)
+}
+
+/// [`motivation_disable_coalescing`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn motivation_disable_coalescing_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    lines: usize,
+    seed: u64,
+) -> Result<MotivationData, ExperimentError> {
+    let sweep = SweepSpec::grid(timed(
+        CoalescingPolicy::Baseline,
+        num_plaintexts,
+        lines,
+        seed,
+    ))
+    .with_policies(vec![CoalescingPolicy::Baseline, CoalescingPolicy::Disabled]);
+    let results = runner.run_sweep(&sweep)?;
+    let (base, off) = match results.as_slice() {
+        [base, off] => (base, off),
+        _ => {
+            return Err(ExperimentError::MissingData(
+                "motivation sweep must expand to exactly two runs".into(),
+            ))
+        }
+    };
     Ok(MotivationData {
         slowdown_pct: 100.0 * (off.mean_total_cycles()? / base.mean_total_cycles()? - 1.0),
         access_factor: off.mean_total_accesses() / base.mean_total_accesses(),
@@ -167,18 +238,37 @@ pub struct Fig7Row {
 
 /// Figure 7: FSS costs performance as `M` grows (a) and degrades the
 /// naive attack's correlation (b).
-pub fn fig07_fss_performance(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig7Row>, ExperimentError> {
+pub fn fig07_fss_performance(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<Fig7Row>, ExperimentError> {
+    fig07_fss_performance_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig07_fss_performance`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates policy construction and simulation failures.
+pub fn fig07_fss_performance_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<Fig7Row>, ExperimentError> {
     let ms = [1usize, 2, 4, 8, 16, 32];
-    try_parallel_map(resolve_threads(None), &ms, |_, &m| {
-        let policy = CoalescingPolicy::fss(m)?;
-        let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-            .with_seed(seed)
-            .with_threads(1)
-            .run()?;
+    let mut policies = Vec::with_capacity(ms.len());
+    for &m in &ms {
+        policies.push(CoalescingPolicy::fss(m)?);
+    }
+    let sweep = SweepSpec::grid(timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed))
+        .with_policies(policies);
+    let results = runner.run_sweep(&sweep)?;
+    let pairs: Vec<(usize, ExperimentData)> = ms.iter().copied().zip(results).collect();
+    try_parallel_map(resolve_threads(None), &pairs, |_, (m, data)| {
         let avg =
-            avg_correct_correlation(&data, Attack::baseline(32), TimingSource::LastRoundCycles)?;
+            avg_correct_correlation(data, Attack::baseline(32), TimingSource::LastRoundCycles)?;
         Ok(Fig7Row {
-            m,
+            m: *m,
             mean_total_cycles: data.mean_total_cycles()?,
             mean_total_accesses: data.mean_total_accesses(),
             avg_corr_naive_attack: avg,
@@ -203,24 +293,28 @@ pub struct ScatterData {
 }
 
 fn defense_scatter(
-    defense: impl Fn(usize) -> Result<CoalescingPolicy, PolicyError> + Sync,
+    runner: &SweepRunner,
+    defense: impl Fn(usize) -> Result<CoalescingPolicy, PolicyError>,
     num_plaintexts: usize,
     seed: u64,
 ) -> Result<Vec<ScatterData>, ExperimentError> {
-    try_parallel_map(resolve_threads(None), &SUBWARP_SWEEP, |_, &m| {
-        let policy = defense(m)?;
-        let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-            .with_seed(seed)
-            .with_threads(1)
-            .run()?;
+    let mut policies = Vec::with_capacity(SUBWARP_SWEEP.len());
+    for &m in &SUBWARP_SWEEP {
+        policies.push(defense(m)?);
+    }
+    let sweep = SweepSpec::grid(timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed))
+        .with_policies(policies);
+    let results = runner.run_sweep(&sweep)?;
+    let pairs: Vec<(usize, ExperimentData)> = SUBWARP_SWEEP.iter().copied().zip(results).collect();
+    try_parallel_map(resolve_threads(None), &pairs, |_, (m, data)| {
         let k10 = data.true_last_round_key();
         // Corresponding attack (§IV-E): the attacker mirrors the defense.
-        let attack = Attack::against(policy, 32)
+        let attack = Attack::against(data.policy, 32)
             .with_seed(seed ^ 0xa77ac)
             .with_threads(Some(1));
         let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
         Ok(ScatterData {
-            m,
+            m: *m,
             rank_of_correct: rec.rank_of(k10[0]),
             correlations: rec.correlations,
             correct_byte: k10[0],
@@ -230,23 +324,84 @@ fn defense_scatter(
 
 /// Figure 8: FSS-enabled GPU under the FSS attack (Algorithm 1) — the
 /// attack re-establishes the correlation, FSS alone is insufficient.
-pub fn fig08_fss_attack(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
-    defense_scatter(CoalescingPolicy::fss, num_plaintexts, seed)
+pub fn fig08_fss_attack(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    fig08_fss_attack_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig08_fss_attack`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn fig08_fss_attack_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(runner, CoalescingPolicy::fss, num_plaintexts, seed)
 }
 
 /// Figure 12: FSS+RTS under the FSS+RTS attack.
-pub fn fig12_fss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
-    defense_scatter(CoalescingPolicy::fss_rts, num_plaintexts, seed)
+pub fn fig12_fss_rts(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    fig12_fss_rts_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig12_fss_rts`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn fig12_fss_rts_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(runner, CoalescingPolicy::fss_rts, num_plaintexts, seed)
 }
 
 /// Figure 13: RSS under the RSS attack.
 pub fn fig13_rss(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
-    defense_scatter(CoalescingPolicy::rss, num_plaintexts, seed)
+    fig13_rss_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig13_rss`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn fig13_rss_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(runner, CoalescingPolicy::rss, num_plaintexts, seed)
 }
 
 /// Figure 14: RSS+RTS under the RSS+RTS attack.
-pub fn fig14_rss_rts(num_plaintexts: usize, seed: u64) -> Result<Vec<ScatterData>, ExperimentError> {
-    defense_scatter(CoalescingPolicy::rss_rts, num_plaintexts, seed)
+pub fn fig14_rss_rts(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    fig14_rss_rts_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig14_rss_rts`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn fig14_rss_rts_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<ScatterData>, ExperimentError> {
+    defense_scatter(runner, CoalescingPolicy::rss_rts, num_plaintexts, seed)
 }
 
 // ---------------------------------------------------------------- Fig. 9
@@ -351,7 +506,8 @@ pub fn avg_correct_correlation(
     let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
     let mut sum = 0.0;
     for (j, &kj) in k10.iter().enumerate() {
-        let mut predictor = rcoal_attack::AccessPredictor::new(attack.policy(), 32, 0xc0ffee + j as u64);
+        let mut predictor =
+            rcoal_attack::AccessPredictor::new(attack.policy(), 32, 0xc0ffee + j as u64);
         let predicted: Vec<f64> = samples
             .iter()
             .map(|s| predictor.predict(&s.ciphertexts, j, kj))
@@ -373,36 +529,56 @@ pub struct ComparisonData {
 /// Figures 15 + 16: sweep the four mechanisms over `M ∈ {2,4,8,16}`,
 /// collecting the corresponding-attack correlation and the performance
 /// cost from the same runs.
-pub fn fig15_16_comparison(num_plaintexts: usize, seed: u64) -> Result<ComparisonData, ExperimentError> {
-    let base = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
-        .with_seed(seed)
-        .run()?;
-    let base_cycles = base.mean_total_cycles()?;
-    let mut configs = Vec::new();
+pub fn fig15_16_comparison(
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<ComparisonData, ExperimentError> {
+    fig15_16_comparison_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`fig15_16_comparison`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates policy construction, simulation, and attack failures.
+pub fn fig15_16_comparison_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<ComparisonData, ExperimentError> {
+    // One grid: the baseline plus mechanism × subwarp-count; the labels
+    // vector carries the (name, m) annotation the policy axis drops.
+    let mut labels: Vec<(&'static str, usize)> = vec![("baseline", 1)];
+    let mut policies = vec![CoalescingPolicy::Baseline];
     for m in SUBWARP_SWEEP {
         for (name, policy) in mechanisms(m)? {
-            configs.push((name, m, policy));
+            labels.push((name, m));
+            policies.push(policy);
         }
     }
-    let measured = try_parallel_map(
-        resolve_threads(None),
-        &configs,
-        |_, &(name, m, policy)| {
-            let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-                .with_seed(seed)
-                .with_threads(1)
-                .run()?;
-            let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-            let avg = avg_correct_correlation(&data, attack, TimingSource::LastRoundCycles)?;
-            Ok::<_, ExperimentError>((
-                name,
-                m,
-                avg,
-                data.mean_total_accesses(),
-                data.mean_total_cycles()?,
-            ))
-        },
-    )?;
+    let sweep = SweepSpec::grid(timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed))
+        .with_policies(policies);
+    let results = runner.run_sweep(&sweep)?;
+    let base = results
+        .first()
+        .ok_or_else(|| ExperimentError::MissingData("empty fig15/16 sweep".into()))?;
+    let base_cycles = base.mean_total_cycles()?;
+    let pairs: Vec<(&str, usize, &ExperimentData)> = labels[1..]
+        .iter()
+        .zip(&results[1..])
+        .map(|(&(name, m), data)| (name, m, data))
+        .collect();
+    let measured = try_parallel_map(resolve_threads(None), &pairs, |_, &(name, m, data)| {
+        let attack = Attack::against(data.policy, 32).with_seed(seed ^ 0xa77ac);
+        let avg = avg_correct_correlation(data, attack, TimingSource::LastRoundCycles)?;
+        Ok::<_, ExperimentError>((
+            name,
+            m,
+            avg,
+            data.mean_total_accesses(),
+            data.mean_total_cycles()?,
+        ))
+    })?;
 
     let mut security = Vec::new();
     let mut performance = vec![PerfRow {
@@ -508,34 +684,56 @@ pub fn fig18_scalability(
     timing_plaintexts: usize,
     seed: u64,
 ) -> Result<Vec<Fig18Row>, ExperimentError> {
-    let base_time = ExperimentConfig::new(CoalescingPolicy::Baseline, timing_plaintexts, 1024)
-        .with_seed(seed)
-        .run()?
-        .mean_total_cycles()?;
+    fig18_scalability_with(&SweepRunner::new(), num_plaintexts, timing_plaintexts, seed)
+}
+
+/// [`fig18_scalability`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates policy construction, simulation, and attack failures.
+pub fn fig18_scalability_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    timing_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<Fig18Row>, ExperimentError> {
     let mut configs = Vec::new();
     for m in [2usize, 4, 8] {
         for (name, policy) in mechanisms(m)? {
             configs.push((name, m, policy));
         }
     }
-    try_parallel_map(resolve_threads(None), &configs, |_, &(name, m, policy)| {
-        let sec = ExperimentConfig::new(policy, num_plaintexts, 1024)
-            .with_seed(seed)
-            .functional_only()
-            .with_threads(1)
-            .run()?;
-        let attack = Attack::against(policy, 32).with_seed(seed ^ 0xa77ac);
-        let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
-        let time = ExperimentConfig::new(policy, timing_plaintexts, 1024)
-            .with_seed(seed)
-            .with_threads(1)
-            .run()?
-            .mean_total_cycles()?;
+    // One batch: the baseline timing run, then per mechanism one
+    // functional security run and one (smaller) timing run.
+    let mut scenarios = vec![timed(
+        CoalescingPolicy::Baseline,
+        timing_plaintexts,
+        1024,
+        seed,
+    )];
+    for &(_, _, policy) in &configs {
+        scenarios.push(timed(policy, num_plaintexts, 1024, seed).functional_only());
+        scenarios.push(timed(policy, timing_plaintexts, 1024, seed));
+    }
+    let results = runner.run_sweep(&SweepSpec::list(scenarios))?;
+    let base_time = results
+        .first()
+        .ok_or_else(|| ExperimentError::MissingData("empty fig18 sweep".into()))?
+        .mean_total_cycles()?;
+    let jobs: Vec<(&str, usize, &ExperimentData, &ExperimentData)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, m, _))| (name, m, &results[1 + 2 * i], &results[2 + 2 * i]))
+        .collect();
+    try_parallel_map(resolve_threads(None), &jobs, |_, &(name, m, sec, time)| {
+        let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
+        let avg = avg_correct_correlation(sec, attack, TimingSource::LastRoundAccesses)?;
         Ok(Fig18Row {
             mechanism: name.into(),
             m,
             avg_correct_corr: avg,
-            normalized_time: time / base_time,
+            normalized_time: time.mean_total_cycles()? / base_time,
         })
     })
 }
@@ -564,7 +762,14 @@ mod tests {
         assert_eq!(d.normal.iter().sum::<u64>(), 500 * 4);
         assert_eq!(d.skewed.iter().sum::<u64>(), 500 * 4);
         // Normal concentrates near 8; skewed reaches far beyond.
-        let spread = |h: &[u64]| h.iter().enumerate().filter(|(_, &c)| c > 0).map(|(s, _)| s).max().unwrap();
+        let spread = |h: &[u64]| {
+            h.iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(s, _)| s)
+                .max()
+                .unwrap()
+        };
         assert!(spread(&d.skewed) > spread(&d.normal));
         assert!(d.normal[7] + d.normal[8] + d.normal[9] > d.skewed[7] + d.skewed[8] + d.skewed[9]);
     }
@@ -590,6 +795,19 @@ mod tests {
         // S = 1/0.25 = 4; security-oriented = 4 / 1.1.
         assert!((scores[0].security_oriented - 4.0 / 1.1).abs() < 1e-9);
         assert!(scores[0].performance_oriented < scores[0].security_oriented);
+    }
+
+    #[test]
+    fn shared_runner_reuses_common_configurations() {
+        // fig05 and fig06 both need the baseline timing run at (n, seed);
+        // through one runner it simulates exactly once.
+        let runner = SweepRunner::new();
+        fig05_last_vs_total_with(&runner, 6, 11).unwrap();
+        fig06_coalescing_onoff_with(&runner, 6, 11).unwrap();
+        let report = runner.report();
+        assert_eq!(report.served, 3);
+        assert_eq!(report.launched, 2, "the baseline run must be shared");
+        assert_eq!(report.hits(), 1);
     }
 }
 
@@ -620,57 +838,83 @@ pub fn ablation_selective(
     m: usize,
     seed: u64,
 ) -> Result<Vec<SelectiveRow>, ExperimentError> {
-    let vulnerable = CoalescingPolicy::rss_rts(m)?;
-    let base_time = ExperimentConfig::new(CoalescingPolicy::Baseline, timing_plaintexts, 32)
-        .with_seed(seed)
-        .run()?
-        .mean_total_cycles()?;
+    ablation_selective_with(
+        &SweepRunner::new(),
+        num_plaintexts,
+        timing_plaintexts,
+        m,
+        seed,
+    )
+}
 
-    let configs: Vec<(String, ExperimentConfig, ExperimentConfig)> = vec![
+/// [`ablation_selective`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates policy construction, simulation, and attack failures.
+pub fn ablation_selective_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    timing_plaintexts: usize,
+    m: usize,
+    seed: u64,
+) -> Result<Vec<SelectiveRow>, ExperimentError> {
+    let vulnerable = CoalescingPolicy::rss_rts(m)?;
+    let configs: Vec<(String, bool, CoalescingPolicy)> = vec![
         (
             "baseline (no defense)".into(),
-            ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32),
-            ExperimentConfig::new(CoalescingPolicy::Baseline, timing_plaintexts, 32),
+            false,
+            CoalescingPolicy::Baseline,
         ),
-        (
-            format!("uniform RSS+RTS(M={m})"),
-            ExperimentConfig::new(vulnerable, num_plaintexts, 32),
-            ExperimentConfig::new(vulnerable, timing_plaintexts, 32),
-        ),
+        (format!("uniform RSS+RTS(M={m})"), false, vulnerable),
         (
             format!("selective RSS+RTS(M={m}) on last round only"),
-            ExperimentConfig::selective(vulnerable, num_plaintexts, 32),
-            ExperimentConfig::selective(vulnerable, timing_plaintexts, 32),
+            true,
+            vulnerable,
         ),
     ];
-    try_parallel_map(
-        resolve_threads(None),
-        &configs,
-        |_, (label, sec_cfg, time_cfg)| {
-            let sec = sec_cfg
-                .clone()
-                .with_seed(seed)
-                .functional_only()
-                .with_threads(1)
-                .run()?;
-            // The attacker knows the deployed (possibly selective) policy;
-            // for the last round the effective policy is `sec.policy`.
-            let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
-            let avg = avg_correct_correlation(&sec, attack, TimingSource::LastRoundAccesses)?;
-            let time = time_cfg
-                .clone()
-                .with_seed(seed)
-                .with_threads(1)
-                .run()?
-                .mean_total_cycles()?;
-            Ok(SelectiveRow {
-                config: label.clone(),
-                avg_correct_corr: avg,
-                normalized_time: time / base_time,
-                mean_total_accesses: sec.mean_total_accesses(),
-            })
-        },
-    )
+    let mk = |selective: bool, policy, n| {
+        let s = if selective {
+            Scenario::selective(policy, n, 32)
+        } else {
+            Scenario::new(policy, n, 32)
+        };
+        s.with_seed(seed)
+    };
+    // The baseline timing scenario doubles as the normalization run —
+    // the cache makes the old duplicate simulation free.
+    let mut scenarios = vec![timed(
+        CoalescingPolicy::Baseline,
+        timing_plaintexts,
+        32,
+        seed,
+    )];
+    for &(_, selective, policy) in &configs {
+        scenarios.push(mk(selective, policy, num_plaintexts).functional_only());
+        scenarios.push(mk(selective, policy, timing_plaintexts));
+    }
+    let results = runner.run_sweep(&SweepSpec::list(scenarios))?;
+    let base_time = results
+        .first()
+        .ok_or_else(|| ExperimentError::MissingData("empty selective sweep".into()))?
+        .mean_total_cycles()?;
+    let jobs: Vec<(&String, &ExperimentData, &ExperimentData)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _, _))| (label, &results[1 + 2 * i], &results[2 + 2 * i]))
+        .collect();
+    try_parallel_map(resolve_threads(None), &jobs, |_, &(label, sec, time)| {
+        // The attacker knows the deployed (possibly selective) policy;
+        // for the last round the effective policy is `sec.policy`.
+        let attack = Attack::against(sec.policy, 32).with_seed(seed ^ 0xa77ac);
+        let avg = avg_correct_correlation(sec, attack, TimingSource::LastRoundAccesses)?;
+        Ok(SelectiveRow {
+            config: label.clone(),
+            avg_correct_corr: avg,
+            normalized_time: time.mean_total_cycles()? / base_time,
+            mean_total_accesses: sec.mean_total_accesses(),
+        })
+    })
 }
 
 // ----------------------------------------- Extension: noise sensitivity
@@ -699,12 +943,24 @@ pub fn ablation_noise(
     sigmas_rel: &[f64],
     seed: u64,
 ) -> Result<Vec<NoiseRow>, ExperimentError> {
+    ablation_noise_with(&SweepRunner::new(), num_plaintexts, sigmas_rel, seed)
+}
+
+/// [`ablation_noise`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn ablation_noise_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    sigmas_rel: &[f64],
+    seed: u64,
+) -> Result<Vec<NoiseRow>, ExperimentError> {
     use rcoal_attack::{attenuated_correlation, samples_needed, GaussianNoise};
 
-    let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
-        .with_seed(seed)
-        .functional_only()
-        .run()?;
+    let data = runner
+        .run_one(&timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed).functional_only())?;
     let k10 = data.true_last_round_key();
     let clean = data.attack_samples(TimingSource::ByteAccesses(0))?;
     let times: Vec<f64> = clean.iter().map(|s| s.time).collect();
@@ -796,15 +1052,35 @@ pub fn ablation_samples_needed(
     max_samples: usize,
     seed: u64,
 ) -> Result<Vec<SamplesNeededRow>, ExperimentError> {
-    try_parallel_map(resolve_threads(None), policies, |_, (name, policy)| {
-        let data = ExperimentConfig::new(*policy, max_samples, 32)
-            .with_seed(seed)
-            .functional_only()
-            .with_threads(1)
-            .run()?;
+    ablation_samples_needed_with(&SweepRunner::new(), policies, max_samples, seed)
+}
+
+/// [`ablation_samples_needed`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures;
+/// [`ExperimentError::MissingData`] if the probe grid comes out empty.
+pub fn ablation_samples_needed_with(
+    runner: &SweepRunner,
+    policies: &[(String, CoalescingPolicy)],
+    max_samples: usize,
+    seed: u64,
+) -> Result<Vec<SamplesNeededRow>, ExperimentError> {
+    let scenarios: Vec<Scenario> = policies
+        .iter()
+        .map(|&(_, policy)| timed(policy, max_samples, 32, seed).functional_only())
+        .collect();
+    let results = runner.run_sweep(&SweepSpec::list(scenarios))?;
+    let jobs: Vec<(&String, CoalescingPolicy, &ExperimentData)> = policies
+        .iter()
+        .zip(&results)
+        .map(|((name, policy), data)| (name, *policy, data))
+        .collect();
+    try_parallel_map(resolve_threads(None), &jobs, |_, &(name, policy, data)| {
         let k10 = data.true_last_round_key();
         let samples = data.attack_samples(TimingSource::ByteAccesses(0))?;
-        let attack = Attack::against(*policy, 32).with_seed(seed ^ 0x5eed);
+        let attack = Attack::against(policy, 32).with_seed(seed ^ 0x5eed);
 
         // Probe a geometric grid of prefix sizes with the streaming
         // attack (each prediction is computed once); recovery must hold
@@ -827,9 +1103,7 @@ pub fn ablation_samples_needed(
             .map(|i| grid[i]);
         let corr_at_budget = curve
             .last()
-            .ok_or_else(|| {
-                ExperimentError::MissingData(format!("empty recovery grid for {name}"))
-            })?
+            .ok_or_else(|| ExperimentError::MissingData(format!("empty recovery grid for {name}")))?
             .1
             .correlation_of(k10[0]);
         Ok(SamplesNeededRow {
@@ -861,37 +1135,69 @@ pub struct MshrRow {
 /// into one memory transaction per distinct block — quietly rebuilding
 /// the very channel that disabling coalescing was meant to close.
 pub fn ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>, ExperimentError> {
-    use rcoal_gpu_sim::GpuConfig;
+    ablation_mshr_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`ablation_mshr`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn ablation_mshr_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<MshrRow>, ExperimentError> {
+    let paper_mshr = rcoal_gpu_sim::GpuConfig::paper().mshr_entries;
     let configs = [
-        ("baseline coalescing, no MSHR", CoalescingPolicy::Baseline, 0usize),
-        ("coalescing disabled, no MSHR", CoalescingPolicy::Disabled, 0),
-        ("coalescing disabled, 64 MSHRs", CoalescingPolicy::Disabled, 64),
+        (
+            "baseline coalescing, no MSHR",
+            CoalescingPolicy::Baseline,
+            0usize,
+        ),
+        (
+            "coalescing disabled, no MSHR",
+            CoalescingPolicy::Disabled,
+            0,
+        ),
+        (
+            "coalescing disabled, 64 MSHRs",
+            CoalescingPolicy::Disabled,
+            64,
+        ),
     ];
-    try_parallel_map(
-        resolve_threads(None),
-        &configs,
-        |_, &(label, policy, mshr_entries)| {
-            let gpu = GpuConfig {
-                mshr_entries,
-                ..GpuConfig::paper()
-            };
-            let data = ExperimentConfig::new(policy, num_plaintexts, 32)
-                .with_seed(seed)
-                .with_gpu(gpu)
-                .with_threads(1)
-                .run()?;
-            let k10 = data.true_last_round_key();
-            let attack = Attack::baseline(32).with_threads(Some(1));
-            let rec =
-                attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-            Ok(MshrRow {
-                config: label.into(),
-                corr_correct: rec.correlation_of(k10[0]),
-                rank: rec.rank_of(k10[0]),
-                mean_total_cycles: data.mean_total_cycles()?,
-            })
-        },
-    )
+    // Only deviations from the paper config become overrides, so the
+    // paper-default rows share cache entries with the other figures.
+    let scenarios: Vec<Scenario> = configs
+        .iter()
+        .map(|&(_, policy, mshr_entries)| {
+            let mut s = timed(policy, num_plaintexts, 32, seed);
+            if mshr_entries != paper_mshr {
+                s = s.with_gpu(GpuOverrides {
+                    mshr_entries: Some(mshr_entries),
+                    ..GpuOverrides::default()
+                });
+            }
+            s
+        })
+        .collect();
+    let results = runner.run_sweep(&SweepSpec::list(scenarios))?;
+    let jobs: Vec<(&'static str, &ExperimentData)> = configs
+        .iter()
+        .zip(&results)
+        .map(|(&(label, _, _), data)| (label, data))
+        .collect();
+    try_parallel_map(resolve_threads(None), &jobs, |_, &(label, data)| {
+        let k10 = data.true_last_round_key();
+        let attack = Attack::baseline(32).with_threads(Some(1));
+        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
+        Ok(MshrRow {
+            config: label.into(),
+            corr_correct: rec.correlation_of(k10[0]),
+            rank: rec.rank_of(k10[0]),
+            mean_total_cycles: data.mean_total_cycles()?,
+        })
+    })
 }
 
 // ------------------------------------------------ Extension: L1 hazard
@@ -919,35 +1225,67 @@ pub struct L1Row {
 /// the leak has moved, not vanished: randomization is needed at every
 /// level of the hierarchy (§VII).
 pub fn ablation_l1(num_plaintexts: usize, seed: u64) -> Result<Vec<L1Row>, ExperimentError> {
-    use rcoal_gpu_sim::GpuConfig;
+    ablation_l1_with(&SweepRunner::new(), num_plaintexts, seed)
+}
+
+/// [`ablation_l1`] against a shared runner/cache.
+///
+/// # Errors
+///
+/// Propagates simulation and attack failures.
+pub fn ablation_l1_with(
+    runner: &SweepRunner,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<L1Row>, ExperimentError> {
+    let paper_l1 = rcoal_gpu_sim::GpuConfig::paper().l1_sets;
     let configs = [("no L1 (globals bypass)", 0usize), ("16-set, 4-way L1", 16)];
-    try_parallel_map(resolve_threads(None), &configs, |_, &(label, l1_sets)| {
-        let gpu = GpuConfig {
-            l1_sets,
-            ..GpuConfig::paper()
-        };
-        let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
-            .with_seed(seed)
-            .with_gpu(gpu.clone())
-            .with_threads(1)
-            .run()?;
-        let k10 = data.true_last_round_key();
-        let attack = Attack::baseline(32).with_threads(Some(1));
-        let rec = attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
-        // Count hits via one representative launch.
-        let kernel = rcoal_aes::AesGpuKernel::new(
-            &data.key,
-            crate::random_plaintexts(1, 32, seed).remove(0),
-            32,
-        );
-        let stats = rcoal_gpu_sim::GpuSimulator::new(gpu)
-            .run(&kernel, CoalescingPolicy::Baseline, seed)?;
-        Ok(L1Row {
-            config: label.into(),
-            corr_correct: rec.correlation_of(k10[0]),
-            rank: rec.rank_of(k10[0]),
-            l1_hits_per_plaintext: stats.l1_hits as f64,
-            mean_total_cycles: data.mean_total_cycles()?,
+    let scenarios: Vec<Scenario> = configs
+        .iter()
+        .map(|&(_, l1_sets)| {
+            let mut s = timed(CoalescingPolicy::Baseline, num_plaintexts, 32, seed);
+            if l1_sets != paper_l1 {
+                s = s.with_gpu(GpuOverrides {
+                    l1_sets: Some(l1_sets),
+                    ..GpuOverrides::default()
+                });
+            }
+            s
         })
-    })
+        .collect();
+    let results = runner.run_sweep(&SweepSpec::list(scenarios.clone()))?;
+    let jobs: Vec<(&'static str, &Scenario, &ExperimentData)> = configs
+        .iter()
+        .zip(&scenarios)
+        .zip(&results)
+        .map(|((&(label, _), scenario), data)| (label, scenario, data))
+        .collect();
+    try_parallel_map(
+        resolve_threads(None),
+        &jobs,
+        |_, &(label, scenario, data)| {
+            let k10 = data.true_last_round_key();
+            let attack = Attack::baseline(32).with_threads(Some(1));
+            let rec =
+                attack.recover_byte(&data.attack_samples(TimingSource::LastRoundCycles)?, 0)?;
+            // Count hits via one representative launch.
+            let kernel = rcoal_aes::AesGpuKernel::new(
+                &data.key,
+                crate::random_plaintexts(1, 32, seed).remove(0),
+                32,
+            );
+            let stats = rcoal_gpu_sim::GpuSimulator::new(scenario.gpu_config()).run(
+                &kernel,
+                CoalescingPolicy::Baseline,
+                seed,
+            )?;
+            Ok(L1Row {
+                config: label.into(),
+                corr_correct: rec.correlation_of(k10[0]),
+                rank: rec.rank_of(k10[0]),
+                l1_hits_per_plaintext: stats.l1_hits as f64,
+                mean_total_cycles: data.mean_total_cycles()?,
+            })
+        },
+    )
 }

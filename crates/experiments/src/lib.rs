@@ -30,12 +30,14 @@
 // test modules are exempt (the harness is the panic handler there).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod engine;
 mod error;
 pub mod figures;
 mod run;
 mod telemetry;
 mod workload;
 
+pub use engine::{decode_run, encode_run, scenario_config, RunnerReport, SweepRunner, RUN_SCHEMA};
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
 pub use telemetry::{ExperimentTelemetry, LaunchTrace, TelemetrySpec};

@@ -1,8 +1,6 @@
 use crate::error::ExperimentError;
 use crate::telemetry::{ExperimentTelemetry, TelemetrySpec};
 use crate::workload::{random_plaintexts, DEMO_KEY};
-use rcoal_rng::StdRng;
-use rcoal_rng::SeedableRng;
 use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
 use rcoal_attack::AttackSample;
 use rcoal_core::{Coalescer, CoalescingPolicy};
@@ -10,6 +8,8 @@ use rcoal_gpu_sim::{
     FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, SimTelemetry, TraceInstr,
 };
 use rcoal_parallel::{resolve_threads, try_parallel_map, try_parallel_map_metered};
+use rcoal_rng::SeedableRng;
+use rcoal_rng::StdRng;
 use rcoal_telemetry::MetricsRegistry;
 use std::sync::Arc;
 
@@ -231,9 +231,8 @@ impl ExperimentConfig {
         // out across worker threads; results come back in plaintext
         // order, making the data bit-identical to a sequential run.
         let threads = resolve_threads(self.threads);
-        let map = |i: usize, lines: &Vec<Block>| {
-            self.run_one_launch(i, lines, &sim, &coalescer, launch)
-        };
+        let map =
+            |i: usize, lines: &Vec<Block>| self.run_one_launch(i, lines, &sim, &coalescer, launch);
         let launches = if let Some(metrics) = &self.host_metrics {
             let (result, report) = try_parallel_map_metered(threads, &plaintexts, map);
             report.record_into(metrics, "launches");
@@ -469,11 +468,9 @@ impl ExperimentData {
                 .iter()
                 .map(|&c| c as f64)
                 .collect(),
-            TimingSource::LastRoundAccesses => self
-                .last_round_accesses
-                .iter()
-                .map(|&c| c as f64)
-                .collect(),
+            TimingSource::LastRoundAccesses => {
+                self.last_round_accesses.iter().map(|&c| c as f64).collect()
+            }
             TimingSource::ByteAccesses(j) => {
                 if usize::from(j) >= 16 {
                     return Err(ExperimentError::Config(format!(
@@ -588,10 +585,7 @@ mod tests {
         ] {
             let timing = quick(policy, true);
             let functional = quick(policy, false);
-            assert_eq!(
-                timing.total_accesses, functional.total_accesses,
-                "{policy}"
-            );
+            assert_eq!(timing.total_accesses, functional.total_accesses, "{policy}");
             assert_eq!(
                 timing.last_round_accesses, functional.last_round_accesses,
                 "{policy}"
@@ -615,7 +609,9 @@ mod tests {
     #[test]
     fn attack_samples_carry_requested_source() {
         let data = quick(CoalescingPolicy::Baseline, true);
-        let s = data.attack_samples(TimingSource::LastRoundAccesses).unwrap();
+        let s = data
+            .attack_samples(TimingSource::LastRoundAccesses)
+            .unwrap();
         assert_eq!(s.len(), 4);
         assert_eq!(s[0].time, data.last_round_accesses[0] as f64);
         let s = data.attack_samples(TimingSource::TotalCycles).unwrap();
@@ -627,7 +623,8 @@ mod tests {
     fn cycle_source_requires_timing_run() {
         let data = quick(CoalescingPolicy::Baseline, false);
         assert_eq!(
-            data.attack_samples(TimingSource::LastRoundCycles).unwrap_err(),
+            data.attack_samples(TimingSource::LastRoundCycles)
+                .unwrap_err(),
             ExperimentError::TimingUnavailable {
                 what: "TimingSource::LastRoundCycles"
             }

@@ -1,6 +1,6 @@
+use rcoal_aes::Block;
 use rcoal_rng::StdRng;
 use rcoal_rng::{Rng, SeedableRng};
-use rcoal_aes::Block;
 
 /// Generates `num_plaintexts` random plaintexts of `lines` 16-byte lines
 /// each, reproducibly from `seed`. This models the attacker-chosen (in

@@ -112,10 +112,7 @@ mod tests {
         c.fill(0);
         c.fill(64);
         c.fill(128); // must evict 0 or 64, never hold duplicates
-        let resident = [0u64, 64, 128]
-            .iter()
-            .filter(|&&b| c.probe(b))
-            .count();
+        let resident = [0u64, 64, 128].iter().filter(|&&b| c.probe(b)).count();
         assert_eq!(resident, 2);
     }
 }

@@ -1,4 +1,3 @@
-
 /// Warp scheduling policy of each SM's schedulers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulerPolicy {
@@ -250,12 +249,27 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         let bad = [
-            GpuConfig { num_sms: 0, ..GpuConfig::default() },
-            GpuConfig { block_size: 48, ..GpuConfig::default() },
+            GpuConfig {
+                num_sms: 0,
+                ..GpuConfig::default()
+            },
+            GpuConfig {
+                block_size: 48,
+                ..GpuConfig::default()
+            },
             // block larger than the interleave chunk:
-            GpuConfig { block_size: 512, ..GpuConfig::default() },
-            GpuConfig { bank_groups_per_mc: 5, ..GpuConfig::default() },
-            GpuConfig { warp_size: 0, ..GpuConfig::default() },
+            GpuConfig {
+                block_size: 512,
+                ..GpuConfig::default()
+            },
+            GpuConfig {
+                bank_groups_per_mc: 5,
+                ..GpuConfig::default()
+            },
+            GpuConfig {
+                warp_size: 0,
+                ..GpuConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?}");

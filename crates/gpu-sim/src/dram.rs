@@ -226,14 +226,30 @@ mod tests {
     fn row_hit_is_faster_than_row_conflict() {
         // Two requests to the same row: the second is a row hit.
         let mut mc = MemoryController::new(&GpuConfig::default());
-        mc.enqueue(MemRequest { id: 0, loc: loc(0, 5), arrival: 0 });
-        mc.enqueue(MemRequest { id: 1, loc: loc(0, 5), arrival: 0 });
+        mc.enqueue(MemRequest {
+            id: 0,
+            loc: loc(0, 5),
+            arrival: 0,
+        });
+        mc.enqueue(MemRequest {
+            id: 1,
+            loc: loc(0, 5),
+            arrival: 0,
+        });
         let hit_done = drain_until_done(&mut mc, 1000)[1].1;
 
         // Two requests to different rows of the same bank: conflict.
         let mut mc = MemoryController::new(&GpuConfig::default());
-        mc.enqueue(MemRequest { id: 0, loc: loc(0, 5), arrival: 0 });
-        mc.enqueue(MemRequest { id: 1, loc: loc(0, 9), arrival: 0 });
+        mc.enqueue(MemRequest {
+            id: 0,
+            loc: loc(0, 5),
+            arrival: 0,
+        });
+        mc.enqueue(MemRequest {
+            id: 1,
+            loc: loc(0, 9),
+            arrival: 0,
+        });
         let conflict_done = drain_until_done(&mut mc, 1000)[1].1;
 
         assert!(
@@ -246,15 +262,30 @@ mod tests {
     fn fr_fcfs_prefers_row_hits_over_older_conflicts() {
         let mut mc = MemoryController::new(&GpuConfig::default());
         // Open row 5 on bank 0.
-        mc.enqueue(MemRequest { id: 0, loc: loc(0, 5), arrival: 0 });
+        mc.enqueue(MemRequest {
+            id: 0,
+            loc: loc(0, 5),
+            arrival: 0,
+        });
         // A conflicting request to row 9 queued *ahead of* a hit to row 5,
         // both arriving once the bank is ready again (after id 0's
         // read + tCCD), so the hit is first-ready and must win.
-        mc.enqueue(MemRequest { id: 1, loc: loc(0, 9), arrival: 20 });
-        mc.enqueue(MemRequest { id: 2, loc: loc(0, 5), arrival: 20 });
+        mc.enqueue(MemRequest {
+            id: 1,
+            loc: loc(0, 9),
+            arrival: 20,
+        });
+        mc.enqueue(MemRequest {
+            id: 2,
+            loc: loc(0, 5),
+            arrival: 20,
+        });
         let done = drain_until_done(&mut mc, 2000);
         let pos = |id| done.iter().position(|&(i, _)| i == id).unwrap();
-        assert!(pos(2) < pos(1), "row hit (id 2) should be served before conflict (id 1)");
+        assert!(
+            pos(2) < pos(1),
+            "row hit (id 2) should be served before conflict (id 1)"
+        );
         assert!(mc.row_hit_rate() > 0.3);
     }
 
@@ -263,13 +294,21 @@ mod tests {
         // Same number of row-miss requests, spread over 8 banks vs 1 bank.
         let mut spread = MemoryController::new(&GpuConfig::default());
         for i in 0..8 {
-            spread.enqueue(MemRequest { id: i, loc: loc(i as usize, 1 + i), arrival: 0 });
+            spread.enqueue(MemRequest {
+                id: i,
+                loc: loc(i as usize, 1 + i),
+                arrival: 0,
+            });
         }
         let t_spread = drain_until_done(&mut spread, 5000).last().unwrap().1;
 
         let mut serial = MemoryController::new(&GpuConfig::default());
         for i in 0..8 {
-            serial.enqueue(MemRequest { id: i, loc: loc(0, 1 + i), arrival: 0 });
+            serial.enqueue(MemRequest {
+                id: i,
+                loc: loc(0, 1 + i),
+                arrival: 0,
+            });
         }
         let t_serial = drain_until_done(&mut serial, 5000).last().unwrap().1;
         assert!(
@@ -282,7 +321,11 @@ mod tests {
     fn bus_serializes_row_hits_at_tccd() {
         let mut mc = MemoryController::new(&GpuConfig::default());
         for i in 0..10 {
-            mc.enqueue(MemRequest { id: i, loc: loc(0, 5), arrival: 0 });
+            mc.enqueue(MemRequest {
+                id: i,
+                loc: loc(0, 5),
+                arrival: 0,
+            });
         }
         let done = drain_until_done(&mut mc, 5000);
         // After the first access, row hits stream one per tCCD (=2).
@@ -314,8 +357,15 @@ mod tests {
     #[test]
     fn requests_do_not_start_before_arrival() {
         let mut mc = MemoryController::new(&GpuConfig::default());
-        mc.enqueue(MemRequest { id: 0, loc: loc(0, 5), arrival: 100 });
+        mc.enqueue(MemRequest {
+            id: 0,
+            loc: loc(0, 5),
+            arrival: 100,
+        });
         let done = drain_until_done(&mut mc, 1000);
-        assert!(done[0].1 >= 126, "cold access takes 26 cycles after arrival at 100");
+        assert!(
+            done[0].1 >= 126,
+            "cold access takes 26 cycles after arrival at 100"
+        );
     }
 }

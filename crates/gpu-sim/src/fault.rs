@@ -107,7 +107,10 @@ impl FaultPlan {
 
     /// An empty plan whose fault stream is driven by `seed`.
     pub fn seeded(seed: u64) -> Self {
-        FaultPlan { seed, ..Self::none() }
+        FaultPlan {
+            seed,
+            ..Self::none()
+        }
     }
 
     /// Applies `jitter` to every controller without a dedicated profile.
@@ -394,7 +397,10 @@ mod tests {
             .with_jitter(ReplyJitter::Gaussian { sigma: f64::NAN })
             .validate()
             .is_err());
-        assert!(FaultPlan::seeded(0).with_backpressure(-0.1, 4).validate().is_err());
+        assert!(FaultPlan::seeded(0)
+            .with_backpressure(-0.1, 4)
+            .validate()
+            .is_err());
         assert!(FaultPlan::seeded(0)
             .with_mc_drop(1, 2.0, 0)
             .validate()

@@ -1,4 +1,3 @@
-
 /// One instruction of a warp's dynamic trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceInstr {
@@ -169,10 +168,7 @@ mod tests {
 
     #[test]
     fn instr_constructors() {
-        assert_eq!(
-            TraceInstr::compute(4),
-            TraceInstr::Compute { cycles: 4 }
-        );
+        assert_eq!(TraceInstr::compute(4), TraceInstr::Compute { cycles: 4 });
         assert_eq!(
             TraceInstr::load_tagged(vec![None], 10),
             TraceInstr::Load {

@@ -8,9 +8,9 @@ use crate::{
     TraceInstr,
 };
 use rcoal_core::{Coalescer, CoalescingPolicy, PolicyError};
-use rcoal_telemetry::Severity;
 use rcoal_rng::SeedableRng;
 use rcoal_rng::StdRng;
+use rcoal_telemetry::Severity;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
@@ -228,8 +228,7 @@ impl GpuSimulator {
         let mut fault = plan.state();
         let cfg = &self.config;
         let mapper = AddressMapper::new(cfg);
-        let coalescer =
-            Coalescer::with_block_size(cfg.block_size).map_err(SimError::Policy)?;
+        let coalescer = Coalescer::with_block_size(cfg.block_size).map_err(SimError::Policy)?;
         let mut rng = StdRng::seed_from_u64(seed);
 
         // Launch: distribute warps round-robin over SMs, each drawing its
@@ -249,9 +248,11 @@ impl GpuSimulator {
             } else {
                 vulnerable_policy.assignment(width, &mut rng)?
             };
-            sms[w % cfg.num_sms]
-                .warps
-                .push(WarpCtx::new(kernel.trace(w), assignment, vulnerable_assignment));
+            sms[w % cfg.num_sms].warps.push(WarpCtx::new(
+                kernel.trace(w),
+                assignment,
+                vulnerable_assignment,
+            ));
         }
 
         let mut stats = SimStats {
@@ -288,8 +289,7 @@ impl GpuSimulator {
         let mut req_meta: Vec<ReqMeta> = Vec::new();
         // Per-SM MSHR: in-flight block -> (primary request id, waiting
         // (warp, lanes) entries to release on the primary's reply).
-        let mut mshrs: Vec<HashMap<u64, (u64, Vec<usize>)>> =
-            vec![HashMap::new(); cfg.num_sms];
+        let mut mshrs: Vec<HashMap<u64, (u64, Vec<usize>)>> = vec![HashMap::new(); cfg.num_sms];
         // Optional per-SM L1 data caches.
         let mut l1s: Vec<Option<L1Cache>> = (0..cfg.num_sms)
             .map(|_| (cfg.l1_sets > 0).then(|| L1Cache::new(cfg.l1_sets, cfg.l1_ways)))
@@ -358,8 +358,7 @@ impl GpuSimulator {
                                 };
                                 let result = coalescer.coalesce(assignment, addrs);
                                 let n = result.num_accesses() as u64;
-                                let active =
-                                    addrs.iter().filter(|a| a.is_some()).count() as u64;
+                                let active = addrs.iter().filter(|a| a.is_some()).count() as u64;
                                 stats.total_requests += active;
                                 stats.record_tagged_accesses(tag, n);
                                 if tel.is_enabled() {
@@ -400,11 +399,8 @@ impl GpuSimulator {
                                         block_addr: access.block_addr,
                                         issued_at: now,
                                     });
-                                    if cfg.mshr_entries > 0
-                                        && mshrs[s].len() < cfg.mshr_entries
-                                    {
-                                        mshrs[s]
-                                            .insert(access.block_addr, (id, Vec::new()));
+                                    if cfg.mshr_entries > 0 && mshrs[s].len() < cfg.mshr_entries {
+                                        mshrs[s].insert(access.block_addr, (id, Vec::new()));
                                     }
                                     req_net.inject(s, loc.mc, id);
                                 }
@@ -491,7 +487,14 @@ impl GpuSimulator {
                     ReplyFate::Retransmit => {
                         stats.dropped_replies += 1;
                         stats.fault_retries += 1;
-                        tel.event(now, Severity::Warn, "fault", "reply_retransmit", mc as u64, id);
+                        tel.event(
+                            now,
+                            Severity::Warn,
+                            "fault",
+                            "reply_retransmit",
+                            mc as u64,
+                            id,
+                        );
                         mcs[mc].enqueue(MemRequest {
                             id,
                             loc: req_meta[id as usize].loc,
@@ -558,7 +561,14 @@ impl GpuSimulator {
                     let gid = l * cfg.num_sms + s;
                     if stats.warp_finish_cycle[gid] == 0 && warp.done(now) {
                         stats.warp_finish_cycle[gid] = now + 1;
-                        tel.event(now, Severity::Info, "sm", "warp_finished", gid as u64, s as u64);
+                        tel.event(
+                            now,
+                            Severity::Info,
+                            "sm",
+                            "warp_finished",
+                            gid as u64,
+                            s as u64,
+                        );
                     }
                     any_busy |= warp.busy_until > now;
                 }
@@ -671,9 +681,9 @@ impl GpuSimulator {
             }
         }
         let mut diagnostic = match stuck {
-            Some((s, w, out, pc)) => format!(
-                "sm {s} warp {w} is stuck at pc {pc} waiting on {out} replies"
-            ),
+            Some((s, w, out, pc)) => {
+                format!("sm {s} warp {w} is stuck at pc {pc} waiting on {out} replies")
+            }
             None => "no warp is runnable".to_string(),
         };
         if stats.replies_lost > 0 {
@@ -737,10 +747,7 @@ mod tests {
 
     #[test]
     fn compute_only_kernel_time_matches_trace() {
-        let k = one_warp_kernel(
-            vec![TraceInstr::compute(10), TraceInstr::compute(10)],
-            4,
-        );
+        let k = one_warp_kernel(vec![TraceInstr::compute(10), TraceInstr::compute(10)], 4);
         let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
         assert!(stats.total_cycles >= 20);
         assert!(stats.total_cycles < 40);
@@ -750,7 +757,12 @@ mod tests {
     #[test]
     fn single_load_counts_accesses_and_costs_memory_latency() {
         let k = one_warp_kernel(
-            vec![TraceInstr::load(vec![Some(0), Some(16), Some(4096), Some(8192)])],
+            vec![TraceInstr::load(vec![
+                Some(0),
+                Some(16),
+                Some(4096),
+                Some(8192),
+            ])],
             4,
         );
         let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
@@ -785,7 +797,10 @@ mod tests {
         let stats = sim().run(&k, CoalescingPolicy::Baseline, 0).unwrap();
         let after1 = stats.cycles_after_round(1);
         let after2 = stats.cycles_after_round(2);
-        assert!(after1 > 100 && after1 < 120, "round 2 takes ~100 cycles, got {after1}");
+        assert!(
+            after1 > 100 && after1 < 120,
+            "round 2 takes ~100 cycles, got {after1}"
+        );
         assert!(after2 <= 2);
     }
 
@@ -808,8 +823,7 @@ mod tests {
     fn more_memory_traffic_takes_more_time() {
         let spread: Vec<Option<u64>> = (0..4).map(|i| Some(i * 4096)).collect();
         let k_light = one_warp_kernel(vec![TraceInstr::load(spread.clone())], 4);
-        let heavy: Vec<TraceInstr> =
-            (0..8).map(|_| TraceInstr::load(spread.clone())).collect();
+        let heavy: Vec<TraceInstr> = (0..8).map(|_| TraceInstr::load(spread.clone())).collect();
         let k_heavy = one_warp_kernel(heavy, 4);
         let light = sim().run(&k_light, CoalescingPolicy::Baseline, 0).unwrap();
         let heavy = sim().run(&k_heavy, CoalescingPolicy::Baseline, 0).unwrap();
@@ -864,7 +878,10 @@ mod tests {
         assert!(stats.warp_finish_cycle[0] > 0);
         assert!(stats.warp_finish_cycle[0] <= stats.total_cycles);
         // Two accesses, each with a full round trip through icnt + DRAM.
-        assert!(stats.avg_mem_latency() > 2.0 * 8.0, "at least the crossbar latency");
+        assert!(
+            stats.avg_mem_latency() > 2.0 * 8.0,
+            "at least the crossbar latency"
+        );
         assert!(stats.mem_latency_sum > 0);
     }
 
@@ -875,8 +892,13 @@ mod tests {
             TraceInstr::compute(20),
         ]);
         let k = TraceKernel::new(vec![trace; 5], 4);
-        let cfg = GpuConfig { num_sms: 2, ..GpuConfig::tiny() };
-        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let cfg = GpuConfig {
+            num_sms: 2,
+            ..GpuConfig::tiny()
+        };
+        let stats = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
         assert_eq!(stats.warp_finish_cycle.len(), 5);
         for &f in &stats.warp_finish_cycle {
             assert!(f > 0 && f <= stats.total_cycles);
@@ -903,8 +925,12 @@ mod tests {
             mshr_entries: 64,
             ..GpuConfig::tiny()
         };
-        let stats_off = GpuSimulator::new(off).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
-        let stats_on = GpuSimulator::new(on).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let stats_off = GpuSimulator::new(off)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
+        let stats_on = GpuSimulator::new(on)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
         assert_eq!(stats_off.mshr_merged, 0);
         assert_eq!(stats_on.mshr_merged, 1, "second warp's access piggybacks");
         // Coalesced-access accounting is unchanged (it is pre-MSHR).
@@ -935,10 +961,16 @@ mod tests {
             mshr_entries: 1,
             ..GpuConfig::tiny()
         };
-        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let stats = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
         // 3 warps x 2 blocks = 6 accesses; block 0 is tracked, so up to 2
         // of the 4 same-block repeats merge (while in flight).
-        assert!(stats.mshr_merged >= 1 && stats.mshr_merged <= 3, "merged {}", stats.mshr_merged);
+        assert!(
+            stats.mshr_merged >= 1 && stats.mshr_merged <= 3,
+            "merged {}",
+            stats.mshr_merged
+        );
     }
 
     #[test]
@@ -955,7 +987,9 @@ mod tests {
             l1_sets: 16,
             ..GpuConfig::tiny()
         };
-        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let stats = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
         assert_eq!(stats.l1_hits, 1);
         assert_eq!(stats.total_accesses, 2, "coalescer accounting is pre-L1");
 
@@ -982,7 +1016,9 @@ mod tests {
             l1_ways: 4,
             ..GpuConfig::tiny()
         };
-        let stats = GpuSimulator::new(cfg).run(&k, CoalescingPolicy::Baseline, 0).unwrap();
+        let stats = GpuSimulator::new(cfg)
+            .run(&k, CoalescingPolicy::Baseline, 0)
+            .unwrap();
         // 16 compulsory misses, everything else hits.
         assert_eq!(stats.l1_hits, 32 - 16);
     }
@@ -1019,10 +1055,7 @@ mod tests {
         // FSS with 8 subwarps cannot split a 4-thread warp.
         let k = one_warp_kernel(vec![TraceInstr::compute(1)], 4);
         let p = CoalescingPolicy::fss(8).unwrap();
-        assert!(matches!(
-            sim().run(&k, p, 0),
-            Err(SimError::Policy(_))
-        ));
+        assert!(matches!(sim().run(&k, p, 0), Err(SimError::Policy(_))));
     }
 
     fn memory_kernel() -> TraceKernel {
@@ -1105,10 +1138,8 @@ mod tests {
     fn reply_jitter_slows_the_run_but_not_the_access_counts() {
         let k = memory_kernel();
         let clean = sim().run(&k, CoalescingPolicy::Baseline, 1).unwrap();
-        let plan = crate::FaultPlan::seeded(7).with_jitter(crate::ReplyJitter::Uniform {
-            min: 200,
-            max: 400,
-        });
+        let plan = crate::FaultPlan::seeded(7)
+            .with_jitter(crate::ReplyJitter::Uniform { min: 200, max: 400 });
         let faulted = sim()
             .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
             .unwrap();
@@ -1144,7 +1175,9 @@ mod tests {
             .run_faulted(&k, CoalescingPolicy::Baseline, 1, &plan)
             .unwrap_err();
         match err {
-            SimError::Stalled { cycle, diagnostic, .. } => {
+            SimError::Stalled {
+                cycle, diagnostic, ..
+            } => {
                 assert!(cycle < 100_000, "detected at cycle {cycle}");
                 assert!(diagnostic.contains("req_net"), "{diagnostic}");
             }
@@ -1215,12 +1248,13 @@ mod tests {
         // Lifecycle events are present with cycle timestamps.
         assert!(tel.events.events().any(|e| e.code == "launch"));
         assert!(tel.events.events().any(|e| e.code == "done"));
-        assert!(tel
-            .events
-            .events()
-            .filter(|e| e.code == "warp_finished")
-            .count()
-            == 3);
+        assert!(
+            tel.events
+                .events()
+                .filter(|e| e.code == "warp_finished")
+                .count()
+                == 3
+        );
     }
 
     #[test]
@@ -1229,8 +1263,12 @@ mod tests {
         let p = LaunchPolicy::Uniform(CoalescingPolicy::rss_rts(2).unwrap());
         let mut ta = crate::SimTelemetry::new();
         let mut tb = crate::SimTelemetry::new();
-        let a = sim().run_instrumented(&k, p, 9, &FaultPlan::none(), &mut ta).unwrap();
-        let b = sim().run_instrumented(&k, p, 9, &FaultPlan::none(), &mut tb).unwrap();
+        let a = sim()
+            .run_instrumented(&k, p, 9, &FaultPlan::none(), &mut ta)
+            .unwrap();
+        let b = sim()
+            .run_instrumented(&k, p, 9, &FaultPlan::none(), &mut tb)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(ta.profile, tb.profile);
         assert_eq!(

@@ -1,4 +1,3 @@
-
 /// Aggregate results of one simulated kernel launch.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimStats {
@@ -138,7 +137,11 @@ mod tests {
         s.record_round_mark(9, 80); // an earlier warp finished first
         s.total_cycles = 150;
         assert_eq!(s.cycles_after_round(9), 50);
-        assert_eq!(s.cycles_after_round(3), 150, "unpassed round counts from launch");
+        assert_eq!(
+            s.cycles_after_round(3),
+            150,
+            "unpassed round counts from launch"
+        );
     }
 
     #[test]

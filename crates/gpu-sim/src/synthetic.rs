@@ -213,8 +213,14 @@ mod tests {
     #[test]
     fn pattern_display() {
         assert_eq!(AccessPattern::Streaming.to_string(), "streaming");
-        assert_eq!(AccessPattern::Strided { stride: 64 }.to_string(), "strided(64)");
-        assert_eq!(AccessPattern::Random { range: 1024 }.to_string(), "random(1024)");
+        assert_eq!(
+            AccessPattern::Strided { stride: 64 }.to_string(),
+            "strided(64)"
+        );
+        assert_eq!(
+            AccessPattern::Random { range: 1024 }.to_string(),
+            "random(1024)"
+        );
         assert_eq!(AccessPattern::Broadcast.to_string(), "broadcast");
     }
 }

@@ -159,8 +159,8 @@ impl SimTelemetry {
 
     /// Sets the minimum severity retained in the event ring.
     pub fn with_min_severity(mut self, min: Severity) -> Self {
-        self.events = std::mem::replace(&mut self.events, EventRing::with_capacity(0))
-            .with_min_severity(min);
+        self.events =
+            std::mem::replace(&mut self.events, EventRing::with_capacity(0)).with_min_severity(min);
         self
     }
 

@@ -104,8 +104,7 @@ where
         let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         return (out, PoolReport::sequential(items.len(), start.elapsed()));
     }
-    let (indexed, stats) =
-        run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None, true);
+    let (indexed, stats) = run_workers(threads, items, |i, x| Ok::<R, Never>(f(i, x)), None, true);
     let mut out = Vec::with_capacity(items.len());
     for (_, r) in indexed {
         match r {
@@ -113,7 +112,10 @@ where
             Err(never) => match never {},
         }
     }
-    (out, PoolReport::from_workers(stats, items.len(), start.elapsed()))
+    (
+        out,
+        PoolReport::from_workers(stats, items.len(), start.elapsed()),
+    )
 }
 
 /// Fallible [`parallel_map`]: maps `f` over `items` and collects
@@ -164,8 +166,7 @@ where
 {
     let start = Instant::now();
     if threads <= 1 || items.len() < 2 {
-        let out: Result<Vec<R>, E> =
-            items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let out: Result<Vec<R>, E> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         return (out, PoolReport::sequential(items.len(), start.elapsed()));
     }
     let abort = AtomicBool::new(false);
@@ -254,9 +255,7 @@ impl PoolReport {
         registry
             .counter(&format!("pool.{name}.wall_micros"))
             .add(self.wall.as_micros().min(u128::from(u64::MAX)) as u64);
-        registry
-            .counter(&format!("pool.{name}.sweeps"))
-            .inc();
+        registry.counter(&format!("pool.{name}.sweeps")).inc();
         registry
             .gauge(&format!("pool.{name}.workers"))
             .raise_to(self.workers as u64);
@@ -389,7 +388,10 @@ mod tests {
     fn try_map_collects_in_order() {
         let items: Vec<u32> = (0..100).collect();
         let out: Result<Vec<u32>, String> = try_parallel_map(4, &items, |_, &x| Ok(x * 2));
-        assert_eq!(out.unwrap(), items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            out.unwrap(),
+            items.iter().map(|x| x * 2).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -429,14 +431,8 @@ mod tests {
         // With an early error, far fewer than all items should run
         // (best effort — only check that the result is still correct).
         let items: Vec<u32> = (0..10_000).collect();
-        let err = try_parallel_map(8, &items, |i, _| {
-            if i == 0 {
-                Err("first")
-            } else {
-                Ok(i)
-            }
-        })
-        .unwrap_err();
+        let err = try_parallel_map(8, &items, |i, _| if i == 0 { Err("first") } else { Ok(i) })
+            .unwrap_err();
         assert_eq!(err, "first");
     }
 
@@ -476,13 +472,8 @@ mod tests {
     #[test]
     fn try_metered_reports_even_on_failure() {
         let items: Vec<u32> = (0..64).collect();
-        let (out, report) = try_parallel_map_metered(4, &items, |i, &x| {
-            if i == 20 {
-                Err("boom")
-            } else {
-                Ok(x)
-            }
-        });
+        let (out, report) =
+            try_parallel_map_metered(4, &items, |i, &x| if i == 20 { Err("boom") } else { Ok(x) });
         assert_eq!(out.unwrap_err(), "boom");
         assert!(report.items == 64 && report.workers >= 1);
     }

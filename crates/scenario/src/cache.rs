@@ -1,0 +1,340 @@
+//! Content-addressed run cache.
+//!
+//! A [`RunCache`] memoizes run results keyed by
+//! [`Scenario::content_hash`]: an in-memory map always, plus an optional
+//! on-disk JSON layer (one file per scenario, named by the 16-hex-digit
+//! hash). Because the key is derived from the *canonical serialized
+//! scenario* — never from addresses or process state — a cache written
+//! by one process is valid in any other, and a hit must be bit-identical
+//! to a fresh run by the workspace's determinism contract (results are a
+//! pure function of the scenario).
+//!
+//! The cache is value-generic. Disk persistence needs a codec — a pair
+//! of plain functions so the value type's crate (not this one) owns its
+//! serialization. A codec may decline to encode a particular value
+//! (e.g. runs carrying bulky telemetry) by returning `None`; such values
+//! stay memory-only.
+
+use crate::scenario::{Scenario, ScenarioError};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes a cached value to its on-disk JSON form; `None` keeps the
+/// value memory-only.
+pub type EncodeFn<V> = fn(&V) -> Option<String>;
+
+/// Parses a value back from its on-disk form.
+pub type DecodeFn<V> = fn(&str) -> Result<V, ScenarioError>;
+
+/// Cache traffic counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// The subset of `hits` served by reading a disk file.
+    pub disk_hits: u64,
+    /// Values written to disk.
+    pub disk_stores: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when there was no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// In-memory + optional on-disk memo keyed by scenario content hash.
+///
+/// All methods take `&self`; the cache is safe to share across the
+/// worker threads of a sweep.
+pub struct RunCache<V> {
+    mem: Mutex<HashMap<u64, V>>,
+    dir: Option<PathBuf>,
+    encode: EncodeFn<V>,
+    decode: Option<DecodeFn<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stores: AtomicU64,
+}
+
+impl<V> std::fmt::Debug for RunCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCache")
+            .field("len", &self.len())
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<V: Clone> Default for RunCache<V> {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl<V: Clone> RunCache<V> {
+    /// A memory-only cache.
+    pub fn in_memory() -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            dir: None,
+            encode: |_| None,
+            decode: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_stores: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by directory `dir` (created if absent): values a
+    /// codec encodes persist as `<hash>.json` files and are readable by
+    /// later processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the directory cannot be created.
+    pub fn with_disk(
+        dir: impl Into<PathBuf>,
+        encode: EncodeFn<V>,
+        decode: DecodeFn<V>,
+    ) -> Result<Self, ScenarioError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            ScenarioError::new(format!("cannot create cache dir {}: {e}", dir.display()))
+        })?;
+        let mut cache = Self::in_memory();
+        cache.dir = Some(dir);
+        cache.encode = encode;
+        cache.decode = Some(decode);
+        Ok(cache)
+    }
+
+    /// Looks `scenario` up, consulting memory first, then disk. A disk
+    /// hit is promoted into memory. Counted in [`RunCache::stats`].
+    pub fn get(&self, scenario: &Scenario) -> Option<V> {
+        let key = scenario.content_hash();
+        if let Some(v) = self.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        if let Some(v) = self.read_disk(scenario, key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Whether `scenario` is cached (memory or disk), without touching
+    /// the traffic counters.
+    pub fn contains(&self, scenario: &Scenario) -> bool {
+        let key = scenario.content_hash();
+        if self.lock().contains_key(&key) {
+            return true;
+        }
+        self.dir
+            .as_ref()
+            .is_some_and(|dir| dir.join(Self::file_name(key)).exists())
+    }
+
+    /// Stores `value` under `scenario`'s hash: into memory always, and
+    /// to disk when a directory is attached and the codec encodes it.
+    pub fn insert(&self, scenario: &Scenario, value: V) {
+        let key = scenario.content_hash();
+        if let Some(dir) = &self.dir {
+            if let Some(encoded) = (self.encode)(&value) {
+                let path = dir.join(Self::file_name(key));
+                // Write-then-rename so readers never see a torn file.
+                let tmp = dir.join(format!("{:016x}.tmp", key));
+                let ok =
+                    std::fs::write(&tmp, encoded).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+                if ok {
+                    self.disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.lock().insert(key, value);
+    }
+
+    fn read_disk(&self, _scenario: &Scenario, key: u64) -> Option<V> {
+        let dir = self.dir.as_ref()?;
+        let decode = self.decode?;
+        let text = std::fs::read_to_string(dir.join(Self::file_name(key))).ok()?;
+        let value = decode(&text).ok()?;
+        self.lock().insert(key, value.clone());
+        Some(value)
+    }
+}
+
+impl<V> RunCache<V> {
+    /// Number of values held in memory.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the in-memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every in-memory value (disk files are left alone).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_stores: self.disk_stores.load(Ordering::Relaxed),
+        }
+    }
+
+    fn file_name(key: u64) -> String {
+        format!("{key:016x}.json")
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, V>> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcoal_core::CoalescingPolicy;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(CoalescingPolicy::Baseline, 4, 32).with_seed(seed)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rcoal-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_cache_hits_after_insert() {
+        let cache: RunCache<u64> = RunCache::in_memory();
+        let s = scenario(1);
+        assert_eq!(cache.get(&s), None);
+        assert!(!cache.contains(&s));
+        cache.insert(&s, 99);
+        assert_eq!(cache.get(&s), Some(99));
+        assert!(cache.contains(&s));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.disk_hits, 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_scenarios_do_not_collide() {
+        let cache: RunCache<u64> = RunCache::in_memory();
+        cache.insert(&scenario(1), 10);
+        cache.insert(&scenario(2), 20);
+        assert_eq!(cache.get(&scenario(1)), Some(10));
+        assert_eq!(cache.get(&scenario(2)), Some(20));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn disk_layer_survives_a_fresh_cache() {
+        let dir = temp_dir("disk");
+        let encode: EncodeFn<u64> = |v| Some(v.to_string());
+        let decode: DecodeFn<u64> = |s| {
+            s.trim()
+                .parse()
+                .map_err(|e| ScenarioError::new(format!("{e}")))
+        };
+        let s = scenario(7);
+        {
+            let cache = RunCache::with_disk(&dir, encode, decode).unwrap();
+            cache.insert(&s, 1234);
+            assert_eq!(cache.stats().disk_stores, 1);
+        }
+        // A brand-new cache (empty memory) reads the file back.
+        let cache = RunCache::with_disk(&dir, encode, decode).unwrap();
+        assert!(cache.contains(&s));
+        assert_eq!(cache.get(&s), Some(1234));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.disk_hits), (1, 1));
+        // Promoted to memory: a second get is a memory hit.
+        assert_eq!(cache.get(&s), Some(1234));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let file = dir.join(format!("{}.json", s.hash_hex()));
+        assert!(file.exists(), "{file:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_values_are_not_persisted() {
+        let dir = temp_dir("memonly");
+        let encode: EncodeFn<u64> = |_| None;
+        let decode: DecodeFn<u64> = |_| Err(ScenarioError::new("never"));
+        let cache = RunCache::with_disk(&dir, encode, decode).unwrap();
+        let s = scenario(3);
+        cache.insert(&s, 5);
+        assert_eq!(cache.get(&s), Some(5));
+        assert_eq!(cache.stats().disk_stores, 0);
+        assert!(!dir.join(format!("{}.json", s.hash_hex())).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_files_fall_through_to_miss() {
+        let dir = temp_dir("corrupt");
+        let encode: EncodeFn<u64> = |v| Some(v.to_string());
+        let decode: DecodeFn<u64> = |s| {
+            s.trim()
+                .parse()
+                .map_err(|e| ScenarioError::new(format!("{e}")))
+        };
+        let cache = RunCache::with_disk(&dir, encode, decode).unwrap();
+        let s = scenario(8);
+        std::fs::write(dir.join(format!("{}.json", s.hash_hex())), "not a number").unwrap();
+        assert_eq!(cache.get(&s), None);
+        assert_eq!(cache.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache: std::sync::Arc<RunCache<u64>> = std::sync::Arc::new(RunCache::in_memory());
+        let handles: Vec<_> = (0u64..4)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        cache.insert(&scenario(i), i * 100 + t);
+                        assert!(cache.get(&scenario(i)).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 16);
+    }
+}

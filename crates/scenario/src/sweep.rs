@@ -1,0 +1,407 @@
+//! Declarative sweeps: cartesian grids and explicit scenario lists that
+//! expand to a deterministic `Vec<Scenario>`.
+//!
+//! A [`SweepSpec`] is the data form of the hand-rolled nested loops the
+//! figure generators used to carry: a `base` scenario template plus
+//! per-axis value lists (policies, workload sizes, seeds). Expansion is
+//! policy-major — `for policy { for num_plaintexts { for lines { for
+//! seed } } }` — followed by any explicitly listed scenarios, so the
+//! expanded order is a pure function of the spec.
+
+use crate::json::{ObjBuilder, Value};
+use crate::scenario::{expect_fields, Scenario, ScenarioError};
+use rcoal_core::CoalescingPolicy;
+
+/// Schema identifier written into every serialized sweep.
+pub const SWEEP_SCHEMA: &str = "rcoal-sweep/v1";
+
+/// A declarative sweep: an optional cartesian grid over a base scenario,
+/// plus explicitly listed scenarios.
+///
+/// ```
+/// use rcoal_scenario::{Scenario, SweepSpec};
+/// use rcoal_core::CoalescingPolicy;
+///
+/// let base = Scenario::new(CoalescingPolicy::Baseline, 50, 32);
+/// let sweep = SweepSpec::grid(base)
+///     .with_policies(vec![CoalescingPolicy::fss(2)?, CoalescingPolicy::fss(4)?])
+///     .with_seeds(vec![1, 2, 3]);
+/// assert_eq!(sweep.expand()?.len(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepSpec {
+    /// Grid template; `None` means the spec is an explicit list only.
+    pub base: Option<Scenario>,
+    /// Policy axis (empty = keep the base policy).
+    pub policies: Vec<CoalescingPolicy>,
+    /// Workload-size axis (empty = keep the base size).
+    pub num_plaintexts: Vec<usize>,
+    /// Lines-per-plaintext axis (empty = keep the base).
+    pub lines: Vec<usize>,
+    /// Seed axis (empty = keep the base seed).
+    pub seeds: Vec<u64>,
+    /// Scenarios appended verbatim after the grid.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl SweepSpec {
+    /// A grid sweep over `base`.
+    pub fn grid(base: Scenario) -> Self {
+        SweepSpec {
+            base: Some(base),
+            ..Self::default()
+        }
+    }
+
+    /// An explicit-list sweep with no grid.
+    pub fn list(scenarios: Vec<Scenario>) -> Self {
+        SweepSpec {
+            scenarios,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the policy axis.
+    #[must_use]
+    pub fn with_policies(mut self, policies: Vec<CoalescingPolicy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Sets the workload-size axis.
+    #[must_use]
+    pub fn with_num_plaintexts(mut self, num_plaintexts: Vec<usize>) -> Self {
+        self.num_plaintexts = num_plaintexts;
+        self
+    }
+
+    /// Sets the lines-per-plaintext axis.
+    #[must_use]
+    pub fn with_lines(mut self, lines: Vec<usize>) -> Self {
+        self.lines = lines;
+        self
+    }
+
+    /// Sets the seed axis.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Appends one explicit scenario after the grid.
+    #[must_use]
+    pub fn push(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Expands the spec into its scenario list (grid first, policy-major;
+    /// then explicit scenarios), validating every expanded scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for an empty spec, grid axes without a
+    /// base, or any invalid expanded scenario.
+    pub fn expand(&self) -> Result<Vec<Scenario>, ScenarioError> {
+        let has_axes = !(self.policies.is_empty()
+            && self.num_plaintexts.is_empty()
+            && self.lines.is_empty()
+            && self.seeds.is_empty());
+        if self.base.is_none() && has_axes {
+            return Err(ScenarioError::new(
+                "sweep axes (policies/num_plaintexts/lines/seeds) require a base scenario",
+            ));
+        }
+        let mut out = Vec::new();
+        if let Some(base) = &self.base {
+            let policies: Vec<CoalescingPolicy> = if self.policies.is_empty() {
+                vec![base.policy]
+            } else {
+                self.policies.clone()
+            };
+            let sizes = non_empty_or(&self.num_plaintexts, base.num_plaintexts);
+            let lines = non_empty_or(&self.lines, base.lines);
+            let seeds = non_empty_or(&self.seeds, base.seed);
+            for &policy in &policies {
+                for &num_plaintexts in &sizes {
+                    for &line_count in &lines {
+                        for &seed in &seeds {
+                            let mut s = base.clone();
+                            s.policy = policy;
+                            s.num_plaintexts = num_plaintexts;
+                            s.lines = line_count;
+                            s.seed = seed;
+                            out.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        out.extend(self.scenarios.iter().cloned());
+        if out.is_empty() {
+            return Err(ScenarioError::new(
+                "sweep expands to no scenarios (provide a base or explicit scenarios)",
+            ));
+        }
+        for (i, s) in out.iter().enumerate() {
+            s.validate()
+                .map_err(|e| ScenarioError::new(format!("scenario {i}: {e}")))?;
+        }
+        Ok(out)
+    }
+
+    /// Serializes the sweep (schema first; empty axes omitted).
+    pub fn to_value(&self) -> Value {
+        ObjBuilder::new()
+            .field("schema", Value::str(SWEEP_SCHEMA))
+            .opt_field("base", self.base.as_ref().map(Scenario::to_value))
+            .opt_field(
+                "policies",
+                non_empty(&self.policies, |p| Value::str(p.to_string())),
+            )
+            .opt_field(
+                "num_plaintexts",
+                non_empty(&self.num_plaintexts, |&n| Value::usize(n)),
+            )
+            .opt_field("lines", non_empty(&self.lines, |&n| Value::usize(n)))
+            .opt_field("seeds", non_empty(&self.seeds, |&s| Value::u64(s)))
+            .opt_field("scenarios", non_empty(&self.scenarios, Scenario::to_value))
+            .build()
+    }
+
+    /// Canonical JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses a sweep from its JSON form (field order free, unknown
+    /// fields rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for syntax errors, schema mismatches,
+    /// unknown or ill-typed fields.
+    pub fn from_json(input: &str) -> Result<Self, ScenarioError> {
+        let v = Value::parse(input).map_err(|e| ScenarioError::new(e.to_string()))?;
+        Self::from_value(&v)
+    }
+
+    /// Parses a sweep from an already-parsed JSON node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSpec::from_json`].
+    pub fn from_value(v: &Value) -> Result<Self, ScenarioError> {
+        expect_fields(
+            v,
+            "sweep",
+            &[
+                "schema",
+                "base",
+                "policies",
+                "num_plaintexts",
+                "lines",
+                "seeds",
+                "scenarios",
+            ],
+        )?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+        if schema != SWEEP_SCHEMA {
+            return Err(ScenarioError::new(format!(
+                "unsupported sweep schema {schema:?} (expected {SWEEP_SCHEMA:?})"
+            )));
+        }
+        let base = v.get("base").map(Scenario::from_value).transpose()?;
+        let policies = parse_axis(v, "policies", |item| {
+            item.as_str()
+                .ok_or_else(|| ScenarioError::new("policies entries must be strings"))?
+                .parse::<CoalescingPolicy>()
+                .map_err(|e| ScenarioError::new(e.to_string()))
+        })?;
+        let num_plaintexts = parse_axis(v, "num_plaintexts", |item| {
+            item.as_usize()
+                .ok_or_else(|| ScenarioError::new("num_plaintexts entries must be integers"))
+        })?;
+        let lines = parse_axis(v, "lines", |item| {
+            item.as_usize()
+                .ok_or_else(|| ScenarioError::new("lines entries must be integers"))
+        })?;
+        let seeds = parse_axis(v, "seeds", |item| {
+            item.as_u64()
+                .ok_or_else(|| ScenarioError::new("seeds entries must be u64 integers"))
+        })?;
+        let scenarios = parse_axis(v, "scenarios", Scenario::from_value)?;
+        Ok(SweepSpec {
+            base,
+            policies,
+            num_plaintexts,
+            lines,
+            seeds,
+            scenarios,
+        })
+    }
+}
+
+/// Parses a spec file that is either a single `rcoal-scenario/v1`
+/// document (wrapped into a one-element list sweep) or a full
+/// `rcoal-sweep/v1` document.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] naming the unrecognized schema, or any
+/// error of the underlying parser.
+pub fn parse_spec(input: &str) -> Result<SweepSpec, ScenarioError> {
+    let v = Value::parse(input).map_err(|e| ScenarioError::new(e.to_string()))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(crate::scenario::SCENARIO_SCHEMA) => {
+            Ok(SweepSpec::list(vec![Scenario::from_value(&v)?]))
+        }
+        Some(SWEEP_SCHEMA) => SweepSpec::from_value(&v),
+        other => Err(ScenarioError::new(format!(
+            "spec schema {:?} is neither {:?} nor {:?}",
+            other.unwrap_or("<missing>"),
+            crate::scenario::SCENARIO_SCHEMA,
+            SWEEP_SCHEMA
+        ))),
+    }
+}
+
+fn non_empty_or<T: Copy>(axis: &[T], fallback: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![fallback]
+    } else {
+        axis.to_vec()
+    }
+}
+
+fn non_empty<T>(items: &[T], f: impl Fn(&T) -> Value) -> Option<Value> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(Value::Arr(items.iter().map(f).collect()))
+    }
+}
+
+fn parse_axis<T>(
+    v: &Value,
+    key: &str,
+    f: impl Fn(&Value) -> Result<T, ScenarioError>,
+) -> Result<Vec<T>, ScenarioError> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(axis) => axis
+            .as_arr()
+            .ok_or_else(|| ScenarioError::new(format!("{key} must be an array")))?
+            .iter()
+            .map(&f)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Scenario {
+        Scenario::new(CoalescingPolicy::Baseline, 50, 32)
+    }
+
+    #[test]
+    fn grid_expansion_is_policy_major_cartesian() {
+        let sweep = SweepSpec::grid(base())
+            .with_policies(vec![
+                CoalescingPolicy::fss(2).unwrap(),
+                CoalescingPolicy::fss(4).unwrap(),
+            ])
+            .with_seeds(vec![1, 2, 3]);
+        let scenarios = sweep.expand().unwrap();
+        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios[0].policy, CoalescingPolicy::fss(2).unwrap());
+        assert_eq!(scenarios[0].seed, 1);
+        assert_eq!(scenarios[2].seed, 3);
+        assert_eq!(scenarios[3].policy, CoalescingPolicy::fss(4).unwrap());
+        // Unswept axes keep the base values.
+        assert!(scenarios.iter().all(|s| s.num_plaintexts == 50));
+        assert!(scenarios.iter().all(|s| s.lines == 32));
+    }
+
+    #[test]
+    fn empty_axes_default_to_the_base_and_explicit_list_appends() {
+        let extra = Scenario::new(CoalescingPolicy::Disabled, 7, 32);
+        let sweep = SweepSpec::grid(base()).push(extra.clone());
+        let scenarios = sweep.expand().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0], base());
+        assert_eq!(scenarios[1], extra);
+    }
+
+    #[test]
+    fn list_only_sweeps_expand_verbatim() {
+        let list = vec![base(), base().with_seed(9)];
+        let scenarios = SweepSpec::list(list.clone()).expand().unwrap();
+        assert_eq!(scenarios, list);
+    }
+
+    #[test]
+    fn expansion_rejects_degenerate_specs() {
+        assert!(SweepSpec::default().expand().is_err(), "empty spec");
+        let axes_without_base = SweepSpec::list(vec![base()]).with_seeds(vec![1]);
+        assert!(axes_without_base.expand().is_err());
+        let invalid = SweepSpec::list(vec![Scenario::new(CoalescingPolicy::Baseline, 0, 32)]);
+        let err = invalid.expand().unwrap_err().to_string();
+        assert!(err.contains("scenario 0"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let sweep = SweepSpec::grid(base().with_seed(0xfeed))
+            .with_policies(vec![
+                CoalescingPolicy::rss(4).unwrap(),
+                CoalescingPolicy::Disabled,
+            ])
+            .with_num_plaintexts(vec![10, 20])
+            .with_lines(vec![32, 1024])
+            .with_seeds(vec![u64::MAX])
+            .push(Scenario::selective(
+                CoalescingPolicy::rss_rts(8).unwrap(),
+                5,
+                32,
+            ));
+        let json = sweep.to_json();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, sweep);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn parse_spec_accepts_both_schemas() {
+        let lone = base().to_json();
+        let wrapped = parse_spec(&lone).unwrap();
+        assert_eq!(wrapped.expand().unwrap(), vec![base()]);
+        let sweep_json = SweepSpec::grid(base()).to_json();
+        assert_eq!(parse_spec(&sweep_json).unwrap(), SweepSpec::grid(base()));
+        let err = parse_spec(r#"{"schema":"rcoal-metrics/v1"}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("rcoal-metrics/v1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sweep_fields_are_rejected() {
+        let json = format!(r#"{{"schema":"{SWEEP_SCHEMA}","repeat":3}}"#);
+        let err = SweepSpec::from_json(&json).unwrap_err().to_string();
+        assert!(err.contains("repeat"), "{err}");
+    }
+
+    #[test]
+    fn expanded_scenarios_hash_distinctly() {
+        let sweep = SweepSpec::grid(base()).with_seeds(vec![1, 2, 3, 4]);
+        let scenarios = sweep.expand().unwrap();
+        let mut hashes: Vec<u64> = scenarios.iter().map(Scenario::content_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), scenarios.len());
+    }
+}

@@ -216,7 +216,12 @@ mod tests {
         let mut next = 0u64;
         for i in 0..NUM_BUCKETS {
             let (lo, hi) = Hist64::bucket_bounds(i);
-            assert_eq!(lo, next, "bucket {i} starts where {} ended", i.wrapping_sub(1));
+            assert_eq!(
+                lo,
+                next,
+                "bucket {i} starts where {} ended",
+                i.wrapping_sub(1)
+            );
             assert!(hi >= lo);
             next = hi.wrapping_add(1);
         }

@@ -93,7 +93,11 @@ impl AtomicHist {
     pub fn snapshot(&self) -> HistSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         HistSnapshot {
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),

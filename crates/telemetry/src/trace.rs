@@ -27,6 +27,24 @@ impl Severity {
     }
 }
 
+impl std::str::FromStr for Severity {
+    type Err = String;
+
+    /// Parses the lower-case serialized name back into a severity, so
+    /// scenario files and CLI flags share the trace vocabulary.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "debug" => Ok(Severity::Debug),
+            "info" => Ok(Severity::Info),
+            "warn" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            _ => Err(format!(
+                "unknown severity {s:?} (expected debug, info, warn, or error)"
+            )),
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Events are a fixed, `Copy`-able shape so recording never allocates:

@@ -42,8 +42,7 @@ mod stirling;
 pub use model::{table2, table2_for, Mechanism, SecurityModel, Table2Row};
 pub use occupancy::{occupancy_mean, Occupancy};
 pub use partitions::{
-    composition_classes, frequency_classes, partitions_at_most, partitions_exact,
-    WeightedPartition,
+    composition_classes, frequency_classes, partitions_at_most, partitions_exact, WeightedPartition,
 };
 pub use score::RCoalScore;
 pub use stirling::{binomial, factorial, stirling2, stirling2_exact};

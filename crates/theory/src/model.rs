@@ -239,10 +239,7 @@ mod tests {
             assert_eq!(MODEL.normalized_samples(Mechanism::Fss, m), 1.0);
         }
         assert_eq!(MODEL.rho(Mechanism::Fss, 32), 0.0);
-        assert_eq!(
-            MODEL.normalized_samples(Mechanism::Fss, 32),
-            f64::INFINITY
-        );
+        assert_eq!(MODEL.normalized_samples(Mechanism::Fss, 32), f64::INFINITY);
     }
 
     #[test]

@@ -79,11 +79,7 @@ impl Occupancy {
 
     /// E[𝔑].
     pub fn mean(&self) -> f64 {
-        self.pmf
-            .iter()
-            .enumerate()
-            .map(|(i, p)| i as f64 * p)
-            .sum()
+        self.pmf.iter().enumerate().map(|(i, p)| i as f64 * p).sum()
     }
 
     /// E[𝔑²].

@@ -94,8 +94,7 @@ pub fn frequency_classes(n: usize, r: usize) -> Vec<WeightedPartition> {
             // Ways to assign the k distinct-part slots to r labelled
             // blocks (remaining blocks get frequency 0):
             // r!/( (r-k)! · ∏ mult_v! ).
-            let arrangements =
-                factorial(r) / (factorial(r - k) * multiplicity_factor(&parts));
+            let arrangements = factorial(r) / (factorial(r - k) * multiplicity_factor(&parts));
             // Multinomial N! / ∏ f_i! (in log space with Rᴺ).
             let mut log_multinomial = factorial(n).ln();
             for &f in &parts {
@@ -161,10 +160,7 @@ mod tests {
     #[test]
     fn frequency_classes_sum_to_one() {
         for (n, r) in [(4, 4), (8, 16), (32, 16), (5, 2)] {
-            let total: f64 = frequency_classes(n, r)
-                .iter()
-                .map(|c| c.probability)
-                .sum();
+            let total: f64 = frequency_classes(n, r).iter().map(|c| c.probability).sum();
             assert!((total - 1.0).abs() < 1e-9, "n={n}, r={r}: {total}");
         }
     }

@@ -1,6 +1,5 @@
 //! The RCoal_Score security/performance trade-off metric (paper Eq. 7).
 
-
 /// Tunable security-vs-performance score:
 ///
 /// `RCoal_Score = Sᵃ / execution_timᵇ`

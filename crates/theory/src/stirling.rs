@@ -85,10 +85,7 @@ mod tests {
             for k in 0..=n {
                 assert_eq!(binomial(n, k), binomial(n, n - k));
                 if n > 0 && k > 0 {
-                    assert_eq!(
-                        binomial(n, k),
-                        binomial(n - 1, k - 1) + binomial(n - 1, k)
-                    );
+                    assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
                 }
             }
         }

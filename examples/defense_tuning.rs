@@ -57,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "performance-oriented pick: {} with M={}",
         best_perf.mechanism, best_perf.m
     );
-    println!(
-        "\n(the paper lands on FSS+RTS at M in {{8,16}} for security-oriented systems and"
-    );
+    println!("\n(the paper lands on FSS+RTS at M in {{8,16}} for security-oriented systems and");
     println!("RSS+RTS for performance-oriented systems; exact picks vary with sample noise)");
 
     // Theoretical cross-check from the analytical model.

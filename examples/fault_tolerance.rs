@@ -29,13 +29,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rho_clean = corr(&clean)?;
     let cycles = clean.last_round_cycles.as_ref().expect("timing run");
     let v = variance(cycles);
-    println!("byte-0 attack on a healthy GPU: corr {rho_clean:+.3} (signal sd {:.1})\n", v.sqrt());
+    println!(
+        "byte-0 attack on a healthy GPU: corr {rho_clean:+.3} (signal sd {:.1})\n",
+        v.sqrt()
+    );
 
     // Degraded DRAM: per-reply half-normal jitter. Faults perturb timing
     // only, so the channel itself is untouched -- the attacker's
     // *measurement* degrades, following rho' = rho * sqrt(v/(v+sigma^2)).
     println!("under DRAM reply jitter (Gaussian, per-reply sigma in cycles):");
-    println!("{:>6} | {:>9} | {:>13} | {:>13}", "sigma", "sigma_eff", "measured corr", "Eq.4 predict");
+    println!(
+        "{:>6} | {:>9} | {:>13} | {:>13}",
+        "sigma", "sigma_eff", "measured corr", "Eq.4 predict"
+    );
     for sigma in [2.0, 8.0, 32.0] {
         let faults = FaultPlan::seeded(7).with_jitter(ReplyJitter::Gaussian { sigma });
         let noisy = ExperimentConfig::new(CoalescingPolicy::Baseline, n, 32)

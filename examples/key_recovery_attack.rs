@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("byte | guessed | actual | corr(guess) | rank of actual");
     println!("-----+---------+--------+-------------+---------------");
     for (j, byte) in recovery.bytes.iter().enumerate() {
-        let ok = if byte.best_guess == true_k10[j] { "" } else { "  <- miss" };
+        let ok = if byte.best_guess == true_k10[j] {
+            ""
+        } else {
+            "  <- miss"
+        };
         println!(
             "  {:2} |    0x{:02x} |   0x{:02x} |      {:+.3} | {:3}{}",
             j,

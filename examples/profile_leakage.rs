@@ -38,7 +38,11 @@ fn describe(label: &str, data: &ExperimentData) {
     println!(
         "  {:<22} {:.1}% over {} reads ({} controllers)",
         "dram row-hit rate",
-        if serviced == 0 { 0.0 } else { 100.0 * hits as f64 / serviced as f64 },
+        if serviced == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / serviced as f64
+        },
         serviced,
         p.mcs.len()
     );

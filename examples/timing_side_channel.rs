@@ -7,13 +7,12 @@
 use rcoal::prelude::*;
 use rcoal_attack::pearson;
 
-fn channel_strength(policy: CoalescingPolicy, n: usize) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+fn channel_strength(
+    policy: CoalescingPolicy,
+    n: usize,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let data = ExperimentConfig::new(policy, n, 32).with_seed(11).run()?;
-    let accesses: Vec<f64> = data
-        .last_round_accesses
-        .iter()
-        .map(|&a| a as f64)
-        .collect();
+    let accesses: Vec<f64> = data.last_round_accesses.iter().map(|&a| a as f64).collect();
     let last: Vec<f64> = data
         .last_round_cycles
         .as_ref()
@@ -56,12 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         let bar = "#".repeat(1 + (mean - floor).max(0.0) as usize);
-        println!("  {bucket:4} accesses | {bar} {mean:.0} cycles (x{})", times.len());
+        println!(
+            "  {bucket:4} accesses | {bar} {mean:.0} cycles (x{})",
+            times.len()
+        );
     }
 
     // --- Channel strength per policy: corr(accesses, time).
     println!("\nchannel strength corr(last-round accesses, cycles):");
-    println!("  {:<18} {:>10} {:>12}", "policy", "last-round", "total-time");
+    println!(
+        "  {:<18} {:>10} {:>12}",
+        "policy", "last-round", "total-time"
+    );
     for policy in [
         CoalescingPolicy::Baseline,
         CoalescingPolicy::fss(8)?,

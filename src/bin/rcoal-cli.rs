@@ -9,7 +9,11 @@
 
 use rcoal::cli::{parse_policy, parse_threads, write_artifact, ParsedArgs};
 use rcoal::prelude::*;
+use rcoal_experiments::engine::{encode_run, SweepRunner};
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
+use rcoal_scenario::json::{ObjBuilder, Value};
+use rcoal_scenario::parse_spec;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -32,6 +36,21 @@ USAGE:
 
   rcoal-cli score [--samples N] [--seed S] [--threads T]
       Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
+
+  rcoal-cli sweep --spec FILE --out DIR [--threads T] [--cache false]
+      Expand a declarative rcoal-sweep/v1 (or single rcoal-scenario/v1)
+      JSON spec, run every scenario through the content-addressed run
+      cache (persisted under DIR/cache), write each run result to
+      DIR/results/<hash>.json, and emit DIR/index.json tying scenarios
+      to results. Re-running the same spec serves everything from cache.
+
+  rcoal-cli scenario validate FILE
+      Parse a scenario or sweep spec, validate every expanded scenario,
+      and print their content hashes.
+
+  rcoal-cli scenario print FILE
+      Print each expanded scenario in canonical JSON (one per line) —
+      the exact bytes its content hash is computed over.
 
 POLICY: baseline | disabled | fss:M | rss:M | fss-rts:M | rss-rts:M
         (M = number of subwarps, a divisor of 32 for fss variants)
@@ -71,6 +90,8 @@ fn run() -> Result<(), String> {
         Some("simulate") => cmd_simulate(&args),
         Some("attack") => cmd_attack(&args),
         Some("score") => cmd_score(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("scenario") => cmd_scenario(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => {
             println!("{USAGE}");
@@ -203,19 +224,30 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
 
     println!(
         "policy           : {policy}{}",
-        if selective { " (selective, last round only)" } else { "" }
+        if selective {
+            " (selective, last round only)"
+        } else {
+            ""
+        }
     );
     println!("plaintexts       : {plaintexts} x {lines} lines");
     let cycles = data.mean_total_cycles().map_err(|e| e.to_string())?;
     let base_cycles = base.mean_total_cycles().map_err(|e| e.to_string())?;
-    println!("mean cycles      : {:.0} ({:.3}x baseline)",
-        cycles, cycles / base_cycles);
-    println!("mean accesses    : {:.0} ({:.3}x baseline)",
+    println!(
+        "mean cycles      : {:.0} ({:.3}x baseline)",
+        cycles,
+        cycles / base_cycles
+    );
+    println!(
+        "mean accesses    : {:.0} ({:.3}x baseline)",
         data.mean_total_accesses(),
-        data.mean_total_accesses() / base.mean_total_accesses());
-    println!("last-round mean  : {:.0} cycles / {:.0} accesses",
+        data.mean_total_accesses() / base.mean_total_accesses()
+    );
+    println!(
+        "last-round mean  : {:.0} cycles / {:.0} accesses",
         data.mean_last_round_cycles().map_err(|e| e.to_string())?,
-        data.mean_last_round_accesses());
+        data.mean_last_round_accesses()
+    );
     if let Some(tel) = &data.telemetry {
         let p = &tel.profile;
         println!(
@@ -280,7 +312,11 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
             // to a single recover_key call.
             let mut bytes = Vec::with_capacity(16);
             for j in 0..16 {
-                bytes.push(attack.recover_byte(&samples, j).map_err(|e| e.to_string())?);
+                bytes.push(
+                    attack
+                        .recover_byte(&samples, j)
+                        .map_err(|e| e.to_string())?,
+                );
                 let guesses = registry.counter("attack.guesses").get();
                 let rate = registry.gauge("attack.correlations_per_sec").get();
                 eprintln!(
@@ -294,7 +330,11 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
         };
         let out = rec.outcome(&k10);
         for (j, b) in rec.bytes.iter().enumerate() {
-            let hit = if b.best_guess == k10[j] { "HIT " } else { "miss" };
+            let hit = if b.best_guess == k10[j] {
+                "HIT "
+            } else {
+                "miss"
+            };
             println!(
                 "byte {j:2}: guess 0x{:02x} actual 0x{:02x} [{hit}] corr {:+.3} rank {}",
                 b.best_guess,
@@ -318,7 +358,9 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
         if j >= 16 {
             return Err("--byte must be 0..=15 or 'all'".into());
         }
-        let rec = attack.recover_byte(&samples, j).map_err(|e| e.to_string())?;
+        let rec = attack
+            .recover_byte(&samples, j)
+            .map_err(|e| e.to_string())?;
         println!(
             "byte {j}: guess 0x{:02x} actual 0x{:02x} corr {:+.3} rank {}",
             rec.best_guess,
@@ -346,12 +388,135 @@ fn cmd_score(args: &ParsedArgs) -> Result<(), String> {
     scores.sort_by(|a, b| b.security_oriented.total_cmp(&a.security_oriented));
     println!("\nby security-oriented score (a = b = 1):");
     for s in scores.iter().take(5) {
-        println!("  {:>8} M={:<2} score {:.1}", s.mechanism, s.m, s.security_oriented);
+        println!(
+            "  {:>8} M={:<2} score {:.1}",
+            s.mechanism, s.m, s.security_oriented
+        );
     }
     scores.sort_by(|a, b| b.performance_oriented.total_cmp(&a.performance_oriented));
     println!("by performance-oriented score (a = 1, b = 20):");
     for s in scores.iter().take(5) {
-        println!("  {:>8} M={:<2} score {:.4}", s.mechanism, s.m, s.performance_oriented);
+        println!(
+            "  {:>8} M={:<2} score {:.4}",
+            s.mechanism, s.m, s.performance_oriented
+        );
     }
+    Ok(())
+}
+
+/// Reads and expands a scenario/sweep spec file.
+fn load_spec(path: &str) -> Result<Vec<rcoal_scenario::Scenario>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.expand().map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_scenario(args: &ParsedArgs) -> Result<(), String> {
+    let action = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("scenario needs an action: validate or print")?;
+    let path = args
+        .positional
+        .get(2)
+        .map(String::as_str)
+        .ok_or("scenario needs a FILE")?;
+    let scenarios = load_spec(path)?;
+    match action {
+        "validate" => {
+            println!("ok: {} scenario(s)", scenarios.len());
+            for s in &scenarios {
+                println!(
+                    "  {}  {}  n={} lines={}",
+                    s.hash_hex(),
+                    s.policy,
+                    s.num_plaintexts,
+                    s.lines
+                );
+            }
+            Ok(())
+        }
+        "print" => {
+            for s in &scenarios {
+                println!("{}", s.to_json());
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown scenario action {other:?} (expected validate or print)"
+        )),
+    }
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<(), String> {
+    let spec_path = args.get("spec").ok_or("sweep needs --spec FILE")?;
+    let out = PathBuf::from(args.get("out").ok_or("sweep needs --out DIR")?);
+    let caching: bool = args.get_or("cache", true)?;
+    let threads = parse_threads(args)?;
+
+    let scenarios = load_spec(spec_path)?;
+    println!("expanded {} scenario(s) from {spec_path}", scenarios.len());
+
+    let mut runner = if caching {
+        SweepRunner::with_disk_cache(out.join("cache")).map_err(|e| e.to_string())?
+    } else {
+        SweepRunner::uncached()
+    };
+    if let Some(t) = threads {
+        runner = runner.with_threads(t);
+    }
+    let results = runner
+        .run_scenarios(&scenarios)
+        .map_err(|e| e.to_string())?;
+
+    let results_dir = out.join("results");
+    std::fs::create_dir_all(&results_dir)
+        .map_err(|e| format!("cannot create {}: {e}", results_dir.display()))?;
+    let mut entries = Vec::with_capacity(scenarios.len());
+    for (s, d) in scenarios.iter().zip(&results) {
+        let hash = s.hash_hex();
+        let result_ref = match encode_run(d) {
+            Some(json) => {
+                let file = results_dir.join(format!("{hash}.json"));
+                std::fs::write(&file, json)
+                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                Value::str(format!("results/{hash}.json"))
+            }
+            // Telemetry-bearing runs stay memory-only by design.
+            None => Value::Null,
+        };
+        let mut entry = ObjBuilder::new()
+            .field("hash", Value::str(&hash))
+            .field("scenario", s.to_value())
+            .field("result", result_ref)
+            .field("mean_total_accesses", Value::f64(d.mean_total_accesses()));
+        if let Ok(cycles) = d.mean_total_cycles() {
+            entry = entry.field("mean_total_cycles", Value::f64(cycles));
+        }
+        entries.push(entry.build());
+    }
+    let index = ObjBuilder::new()
+        .field("schema", Value::str("rcoal-sweep-results/v1"))
+        .field("spec", Value::str(spec_path))
+        .field("runs", Value::Arr(entries))
+        .build();
+    let index_path = out.join("index.json");
+    let mut index_json = index.to_json();
+    index_json.push('\n');
+    std::fs::write(&index_path, index_json)
+        .map_err(|e| format!("cannot write {}: {e}", index_path.display()))?;
+
+    let report = runner.report();
+    let stats = runner.cache_stats();
+    println!(
+        "served {} run(s): {} simulated, {} from cache ({:.0}% hit rate; {} disk hits)",
+        report.served,
+        report.launched,
+        report.hits(),
+        100.0 * report.hit_rate(),
+        stats.disk_hits
+    );
+    println!("index written    : {}", index_path.display());
     Ok(())
 }

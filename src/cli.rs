@@ -2,43 +2,21 @@
 //! (`src/bin/rcoal-cli.rs`). Kept in the library so the grammar is unit
 //! tested.
 
-use rcoal_core::{CoalescingPolicy, PolicyError};
+use rcoal_core::CoalescingPolicy;
 
-/// Parses a policy spec:
+/// Parses a policy spec by delegating to `CoalescingPolicy`'s `FromStr`
+/// (which owns the grammar shared by the CLI and scenario files):
 ///
 /// * `baseline`, `disabled`
 /// * `fss:M`, `rss:M`, `fss-rts:M`, `rss-rts:M` with `M` the subwarp count
+/// * the `Display` form, e.g. `FSS(M=8)` or `RSS(M=4, skewed)`
 ///
 /// # Errors
 ///
 /// Returns a human-readable message for unknown names, missing or
 /// malformed subwarp counts, and policy validation failures.
 pub fn parse_policy(spec: &str) -> Result<CoalescingPolicy, String> {
-    let lower = spec.to_ascii_lowercase();
-    let (name, m) = match lower.split_once(':') {
-        Some((name, m_str)) => {
-            let m: usize = m_str
-                .parse()
-                .map_err(|_| format!("invalid subwarp count {m_str:?} in {spec:?}"))?;
-            (name.to_string(), Some(m))
-        }
-        None => (lower, None),
-    };
-    let fail = |e: PolicyError| format!("{spec:?}: {e}");
-    match (name.as_str(), m) {
-        ("baseline", None) => Ok(CoalescingPolicy::Baseline),
-        ("disabled" | "off" | "no-coalescing", None) => Ok(CoalescingPolicy::Disabled),
-        ("fss", Some(m)) => CoalescingPolicy::fss(m).map_err(fail),
-        ("rss", Some(m)) => CoalescingPolicy::rss(m).map_err(fail),
-        ("fss-rts" | "fss+rts", Some(m)) => CoalescingPolicy::fss_rts(m).map_err(fail),
-        ("rss-rts" | "rss+rts", Some(m)) => CoalescingPolicy::rss_rts(m).map_err(fail),
-        ("fss" | "rss" | "fss-rts" | "fss+rts" | "rss-rts" | "rss+rts", None) => Err(format!(
-            "policy {spec:?} needs a subwarp count, e.g. {name}:4"
-        )),
-        _ => Err(format!(
-            "unknown policy {spec:?} (expected baseline, disabled, fss:M, rss:M, fss-rts:M, rss-rts:M)"
-        )),
-    }
+    spec.parse::<CoalescingPolicy>().map_err(|e| e.to_string())
 }
 
 /// Parses the `--threads` option into an experiment thread count.
@@ -154,8 +132,14 @@ mod tests {
                 num_subwarps: NumSubwarps::new(8, 32).unwrap()
             })
         );
-        assert_eq!(parse_policy("rss-rts:4"), CoalescingPolicy::rss_rts(4).map_err(|_| String::new()));
-        assert_eq!(parse_policy("FSS+RTS:16"), CoalescingPolicy::fss_rts(16).map_err(|_| String::new()));
+        assert_eq!(
+            parse_policy("rss-rts:4"),
+            CoalescingPolicy::rss_rts(4).map_err(|_| String::new())
+        );
+        assert_eq!(
+            parse_policy("FSS+RTS:16"),
+            CoalescingPolicy::fss_rts(16).map_err(|_| String::new())
+        );
     }
 
     #[test]
@@ -171,8 +155,7 @@ mod tests {
     #[test]
     fn parsed_args_splits_flags_and_positionals() {
         let args = ParsedArgs::parse(
-            ["attack", "--samples", "200", "--policy", "fss:4", "extra"]
-                .map(String::from),
+            ["attack", "--samples", "200", "--policy", "fss:4", "extra"].map(String::from),
         )
         .unwrap();
         assert_eq!(args.positional, vec!["attack", "extra"]);
@@ -221,10 +204,7 @@ mod tests {
 
     #[test]
     fn later_options_override_earlier_ones() {
-        let args = ParsedArgs::parse(
-            ["--seed", "1", "--seed", "2"].map(String::from),
-        )
-        .unwrap();
+        let args = ParsedArgs::parse(["--seed", "1", "--seed", "2"].map(String::from)).unwrap();
         assert_eq!(args.get("seed"), Some("2"));
     }
 }

@@ -14,8 +14,16 @@
 //! * [`attack`] — the correlation timing attacks (baseline, FSS, RSS, and
 //!   the +RTS "corresponding attacks") used to evaluate each defense.
 //! * [`theory`] — the analytical security model reproducing Table II.
+//! * [`scenario`] — declarative run descriptions ([`Scenario`],
+//!   [`SweepSpec`]) with stable content hashes and the content-addressed
+//!   run cache behind the figure generators.
 //! * [`experiments`] — end-to-end experiment harness regenerating every
-//!   table and figure in the paper's evaluation.
+//!   table and figure in the paper's evaluation, executed through the
+//!   scenario/sweep engine ([`SweepRunner`]).
+//!
+//! [`Scenario`]: prelude::Scenario
+//! [`SweepSpec`]: prelude::SweepSpec
+//! [`SweepRunner`]: prelude::SweepRunner
 //!
 //! # Quickstart
 //!
@@ -46,6 +54,7 @@ pub use rcoal_core as core;
 pub use rcoal_experiments as experiments;
 pub use rcoal_gpu_sim as sim;
 pub use rcoal_parallel as parallel;
+pub use rcoal_scenario as scenario;
 pub use rcoal_telemetry as telemetry;
 pub use rcoal_theory as theory;
 
@@ -54,17 +63,20 @@ pub mod prelude {
     pub use rcoal_aes::{Aes128, AesGpuKernel};
     pub use rcoal_attack::{Attack, AttackError, AttackSample, KeyRecovery, RecoveryOutcome};
     pub use rcoal_core::{
-        CoalescingPolicy, Coalescer, NumSubwarps, SizeDistribution, SubwarpAssignment,
+        Coalescer, CoalescingPolicy, NumSubwarps, SizeDistribution, SubwarpAssignment,
     };
     pub use rcoal_experiments::{
         ExperimentConfig, ExperimentData, ExperimentError, ExperimentTelemetry, LaunchTrace,
-        TelemetrySpec, TimingSource,
+        RunnerReport, SweepRunner, TelemetrySpec, TimingSource,
     };
     pub use rcoal_gpu_sim::{
         FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimProfile, SimStats,
         SimTelemetry,
     };
     pub use rcoal_parallel::{parallel_map, resolve_threads, PoolReport};
+    pub use rcoal_scenario::{
+        parse_spec, GpuOverrides, RunCache, Scenario, ScenarioError, SweepSpec,
+    };
     pub use rcoal_telemetry::{
         Event, EventRing, Hist64, MetricsRegistry, MetricsSnapshot, Severity,
     };

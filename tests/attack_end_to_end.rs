@@ -22,7 +22,12 @@ fn baseline_attack_recovers_key_byte_on_vulnerable_gpu() {
     let k10 = data.true_last_round_key();
     let attack = Attack::baseline(32);
     let rec = attack
-        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
+        .recover_byte(
+            &data
+                .attack_samples(TimingSource::LastRoundAccesses)
+                .unwrap(),
+            0,
+        )
         .unwrap();
     assert_eq!(
         rec.rank_of(k10[0]),
@@ -40,7 +45,12 @@ fn disabling_coalescing_closes_the_channel() {
     assert!(data.last_round_accesses.iter().all(|&a| a == 512));
     let attack = Attack::baseline(32);
     let rec = attack
-        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
+        .recover_byte(
+            &data
+                .attack_samples(TimingSource::LastRoundAccesses)
+                .unwrap(),
+            0,
+        )
         .unwrap();
     assert_eq!(
         rec.correlation_of(k10[0]),
@@ -95,8 +105,13 @@ fn randomized_mechanisms_break_the_corresponding_attack() {
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(999);
         let rec = attack
-        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 0)
-        .unwrap();
+            .recover_byte(
+                &data
+                    .attack_samples(TimingSource::LastRoundAccesses)
+                    .unwrap(),
+                0,
+            )
+            .unwrap();
         let corr = rec.correlation_of(k10[0]);
         assert!(
             corr < max_corr,
@@ -125,7 +140,10 @@ fn defense_strength_orders_like_table_2_at_m8() {
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(7);
         let rec = attack
-            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(), 0)
+            .recover_byte(
+                &data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(),
+                0,
+            )
             .unwrap();
         rec.correlation_of(k10[0])
     };
@@ -148,7 +166,12 @@ fn multi_warp_plaintexts_still_recoverable_at_baseline() {
     let k10 = data.true_last_round_key();
     let attack = Attack::baseline(32);
     let rec = attack
-        .recover_byte(&data.attack_samples(TimingSource::LastRoundAccesses).unwrap(), 5)
+        .recover_byte(
+            &data
+                .attack_samples(TimingSource::LastRoundAccesses)
+                .unwrap(),
+            5,
+        )
         .unwrap();
     assert!(
         rec.rank_of(k10[5]) <= 1,

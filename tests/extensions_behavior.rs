@@ -21,13 +21,19 @@ fn noise_attenuates_the_attack_as_predicted() {
     let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
 
     let attack = Attack::baseline(32);
-    let clean_corr = attack.recover_byte(&clean, 0).unwrap().correlation_of(k10[0]);
+    let clean_corr = attack
+        .recover_byte(&clean, 0)
+        .unwrap()
+        .correlation_of(k10[0]);
     assert!(clean_corr > 0.99, "clean channel is exact: {clean_corr}");
 
     // 3x-signal noise: prediction says corr drops to ~1/sqrt(10).
     let sigma = 3.0 * var.sqrt();
     let noisy = GaussianNoise::new(sigma, 77).unwrap().applied(&clean);
-    let noisy_corr = attack.recover_byte(&noisy, 0).unwrap().correlation_of(k10[0]);
+    let noisy_corr = attack
+        .recover_byte(&noisy, 0)
+        .unwrap()
+        .correlation_of(k10[0]);
     let predicted = attenuated_correlation(clean_corr, var, sigma).unwrap();
     assert!(
         (noisy_corr - predicted).abs() < 0.1,
@@ -126,7 +132,10 @@ fn standalone_rss_rho_sits_between_the_analytic_columns() {
             rss > rss_rts - 0.02,
             "M={m}: standalone RSS ({rss:.3}) should not be below RSS+RTS ({rss_rts:.3})"
         );
-        assert!(rss < 0.9, "M={m}: RSS must be far from deterministic: {rss:.3}");
+        assert!(
+            rss < 0.9,
+            "M={m}: RSS must be far from deterministic: {rss:.3}"
+        );
     }
 }
 
@@ -171,7 +180,11 @@ fn mshrs_reopen_the_channel_disabled_coalescing_closed() {
 fn l1_cache_inverts_rather_than_closes_the_channel() {
     let rows = rcoal_experiments::figures::ablation_l1(250, 408).expect("simulation");
     let (no_l1, with_l1) = (&rows[0], &rows[1]);
-    assert!(no_l1.corr_correct > 0.1, "bypass config leaks: {}", no_l1.corr_correct);
+    assert!(
+        no_l1.corr_correct > 0.1,
+        "bypass config leaks: {}",
+        no_l1.corr_correct
+    );
     assert_eq!(no_l1.l1_hits_per_plaintext, 0.0);
     // With L1: argmax recovery fails ...
     assert!(with_l1.rank > 128, "rank {}", with_l1.rank);

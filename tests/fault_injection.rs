@@ -219,8 +219,7 @@ fn dram_jitter_attenuates_attacker_correlation() {
             v.sqrt()
         );
         let rho_noisy = corr(&noisy);
-        let predicted =
-            attenuated_correlation(rho_clean, v, sigma_eff).expect("positive variance");
+        let predicted = attenuated_correlation(rho_clean, v, sigma_eff).expect("positive variance");
         eprintln!(
             "attenuation sigma {sigma}: clean rho {rho_clean:.3}, noisy rho {rho_noisy:.3}, \
              predicted {predicted:.3} (signal sd {:.1}, sigma_eff {sigma_eff:.1})",

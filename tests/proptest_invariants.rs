@@ -46,7 +46,11 @@ fn assignment_always_partitions_the_warp() {
             let a = policy.assignment(32, &mut draw).expect("32-thread warp");
             assert_eq!(a.warp_size(), 32);
             let sizes = a.sizes();
-            assert_eq!(sizes.len(), policy.num_subwarps(32), "{policy:?} seed {seed}");
+            assert_eq!(
+                sizes.len(),
+                policy.num_subwarps(32),
+                "{policy:?} seed {seed}"
+            );
             assert_eq!(sizes.iter().sum::<usize>(), 32);
             assert!(sizes.iter().all(|&s| s >= 1), "no empty subwarp");
             // lanes_by_subwarp is a partition of 0..32.
@@ -72,6 +76,18 @@ fn deterministic_policies_ignore_the_rng() {
                 .expect("valid");
             assert_eq!(a, b, "FSS({}) must not consult the rng", 1 << k);
         }
+    }
+}
+
+#[test]
+fn policy_display_from_str_round_trip() {
+    // parse ∘ to_string = id over the whole policy pool, and the parsed
+    // policy renders back to the identical string.
+    for policy in policy_pool() {
+        let shown = policy.to_string();
+        let parsed: CoalescingPolicy = shown.parse().expect("display form parses");
+        assert_eq!(parsed, policy, "{shown}");
+        assert_eq!(parsed.to_string(), shown);
     }
 }
 

@@ -17,7 +17,10 @@ fn selective_matches_uniform_on_the_last_round() {
         let k10 = data.true_last_round_key();
         let attack = Attack::against(policy, 32).with_seed(5);
         attack
-            .recover_byte(&data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(), 0)
+            .recover_byte(
+                &data.attack_samples(TimingSource::ByteAccesses(0)).unwrap(),
+                0,
+            )
             .unwrap()
             .correlation_of(k10[0])
     };

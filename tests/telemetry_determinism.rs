@@ -44,7 +44,10 @@ fn event_streams_and_profiles_are_bit_identical_across_thread_counts() {
                 ref_tel.metrics_json(),
                 "{policy} metrics snapshot diverged at threads={threads}"
             );
-            assert_eq!(data, reference, "{policy} data diverged at threads={threads}");
+            assert_eq!(
+                data, reference,
+                "{policy} data diverged at threads={threads}"
+            );
         }
     }
 }
@@ -67,8 +70,13 @@ fn traces_record_the_whole_launch_lifecycle() {
     let tel = data.telemetry.expect("telemetry collected");
     assert_eq!(tel.launches.len(), 8);
     let jsonl = tel.trace_jsonl();
-    for code in ["\"code\":\"launch\"", "\"code\":\"load\"", "\"code\":\"reply\"",
-                 "\"code\":\"warp_finished\"", "\"code\":\"done\""] {
+    for code in [
+        "\"code\":\"launch\"",
+        "\"code\":\"load\"",
+        "\"code\":\"reply\"",
+        "\"code\":\"warp_finished\"",
+        "\"code\":\"done\"",
+    ] {
         assert!(jsonl.contains(code), "trace is missing {code}");
     }
     // The aggregate profile saw the memory system end to end.
@@ -86,7 +94,11 @@ fn severity_floor_thins_the_trace_deterministically() {
         .run()
         .expect("info-level run succeeds");
     let full_events = full.telemetry.as_ref().expect("telemetry").num_events();
-    let info_events = warn_only.telemetry.as_ref().expect("telemetry").num_events();
+    let info_events = warn_only
+        .telemetry
+        .as_ref()
+        .expect("telemetry")
+        .num_events();
     assert!(
         info_events < full_events,
         "raising the floor must retain fewer events ({info_events} vs {full_events})"

@@ -2,10 +2,10 @@
 //! Carlo simulation of the actual defense machinery (rcoal-core) — the
 //! same cross-check the paper makes between Table II and §VI.
 
-use rcoal_rng::StdRng;
-use rcoal_rng::{Rng, SeedableRng};
 use rcoal::prelude::*;
 use rcoal_attack::pearson;
+use rcoal_rng::StdRng;
+use rcoal_rng::{Rng, SeedableRng};
 use rcoal_theory::{Occupancy, SecurityModel};
 
 const R: usize = 16;
