@@ -1,0 +1,318 @@
+//! NIST AESAVS-style known-answer tests plus round-trip properties.
+//!
+//! The expected values come from a reference AES implemented here from
+//! first principles: the S-box is *computed* (GF(2^8) inversion by
+//! exponentiation plus the affine map) rather than tabulated, rounds use
+//! the textbook SubBytes/ShiftRows/MixColumns operations, and key
+//! expansion follows FIPS-197 §5.2 directly. The production cipher in
+//! `rcoal-aes` is T-table based — the whole point of the paper's attack
+//! surface — so agreement between the two across the AESAVS varying-key
+//! and varying-text tables is a genuine differential check, anchored to
+//! the published AESAVS/FIPS-197 vectors below.
+
+use rcoal_aes::{Aes128, Aes192, Aes256, Block};
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+
+// ---------------------------------------------------------------------------
+// Reference AES from first principles (no tables shared with the crate).
+// ---------------------------------------------------------------------------
+
+/// GF(2^8) multiplication modulo the AES polynomial x^8+x^4+x^3+x+1.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8): a^254 (0 maps to 0).
+fn ginv(a: u8) -> u8 {
+    // 254 = 0b1111_1110, square-and-multiply.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gmul(result, base);
+        }
+        base = gmul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES S-box computed from its definition: affine(x^-1).
+fn sbox(x: u8) -> u8 {
+    let b = ginv(x);
+    b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = sbox(*b);
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row `r`, column `c`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8]) {
+    for (b, k) in state.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+/// FIPS-197 §5.2 key expansion for Nk ∈ {4, 6, 8}.
+fn expand_key(key: &[u8], nk: usize, nr: usize) -> Vec<u8> {
+    let mut w = key.to_vec();
+    let mut rcon = 1u8;
+    for i in nk..4 * (nr + 1) {
+        let mut t = [
+            w[4 * (i - 1)],
+            w[4 * (i - 1) + 1],
+            w[4 * (i - 1) + 2],
+            w[4 * (i - 1) + 3],
+        ];
+        if i % nk == 0 {
+            t.rotate_left(1);
+            for b in t.iter_mut() {
+                *b = sbox(*b);
+            }
+            t[0] ^= rcon;
+            rcon = gmul(rcon, 2);
+        } else if nk > 6 && i % nk == 4 {
+            for b in t.iter_mut() {
+                *b = sbox(*b);
+            }
+        }
+        for j in 0..4 {
+            w.push(w[4 * (i - nk) + j] ^ t[j]);
+        }
+    }
+    w
+}
+
+/// Textbook AES encryption for any standard key size.
+fn reference_encrypt(key: &[u8], plaintext: Block) -> Block {
+    let (nk, nr) = match key.len() {
+        16 => (4, 10),
+        24 => (6, 12),
+        32 => (8, 14),
+        n => panic!("unsupported key length {n}"),
+    };
+    let rks = expand_key(key, nk, nr);
+    let mut state = plaintext;
+    add_round_key(&mut state, &rks[..16]);
+    for round in 1..nr {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &rks[16 * round..16 * round + 16]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &rks[16 * nr..16 * nr + 16]);
+    state
+}
+
+fn hex(block: &Block) -> String {
+    block.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// A 128-bit value with the top `bits` bits set — the AESAVS VarTxt /
+/// VarKey pattern.
+fn leading_ones(bits: usize) -> Block {
+    let mut out = [0u8; 16];
+    for i in 0..bits {
+        out[i / 8] |= 0x80 >> (i % 8);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Anchors: published vectors pin the reference itself.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reference_matches_published_vectors() {
+    // FIPS-197 Appendix C.1/C.2/C.3.
+    let pt: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+    let key128: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let key192: [u8; 24] = core::array::from_fn(|i| i as u8);
+    let key256: [u8; 32] = core::array::from_fn(|i| i as u8);
+    assert_eq!(
+        hex(&reference_encrypt(&key128, pt)),
+        "69c4e0d86a7b0430d8cdb78070b4c55a"
+    );
+    assert_eq!(
+        hex(&reference_encrypt(&key192, pt)),
+        "dda97ca4864cdfe06eaf70a0ec0d7191"
+    );
+    assert_eq!(
+        hex(&reference_encrypt(&key256, pt)),
+        "8ea2b7ca516745bfeafc49904b496089"
+    );
+    // All-zero key and plaintext (ubiquitous smoke vector).
+    assert_eq!(
+        hex(&reference_encrypt(&[0u8; 16], [0u8; 16])),
+        "66e94bd4ef8a2c3b884cfa59ca342b2e"
+    );
+    // AESAVS VarTxt-128 count 0 and VarKey-128 count 0.
+    assert_eq!(
+        hex(&reference_encrypt(&[0u8; 16], leading_ones(1))),
+        "3ad78e726c1ec02b7ebfe92b23d9ec34"
+    );
+    let mut key = [0u8; 16];
+    key[0] = 0x80;
+    assert_eq!(
+        hex(&reference_encrypt(&key, [0u8; 16])),
+        "0edd33d3c621e546455bd8ba1418bec8"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// AESAVS KAT tables: production T-table cipher vs. the reference.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn aesavs_varying_text_kat_128() {
+    // VarTxt: all-zero key, plaintexts with 1..=128 leading one bits.
+    let key = [0u8; 16];
+    let aes = Aes128::new(&key);
+    for bits in 1..=128 {
+        let pt = leading_ones(bits);
+        assert_eq!(
+            aes.encrypt_block(pt),
+            reference_encrypt(&key, pt),
+            "VarTxt count {}",
+            bits - 1
+        );
+    }
+}
+
+#[test]
+fn aesavs_varying_key_kat_128() {
+    // VarKey: all-zero plaintext, keys with 1..=128 leading one bits.
+    for bits in 1..=128 {
+        let key = leading_ones(bits);
+        let aes = Aes128::new(&key);
+        assert_eq!(
+            aes.encrypt_block([0u8; 16]),
+            reference_encrypt(&key, [0u8; 16]),
+            "VarKey count {}",
+            bits - 1
+        );
+    }
+}
+
+#[test]
+fn production_cipher_matches_published_vectors() {
+    let pt: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+    let key128: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let key192: [u8; 24] = core::array::from_fn(|i| i as u8);
+    let key256: [u8; 32] = core::array::from_fn(|i| i as u8);
+    assert_eq!(
+        hex(&Aes128::new(&key128).encrypt_block(pt)),
+        "69c4e0d86a7b0430d8cdb78070b4c55a"
+    );
+    assert_eq!(
+        hex(&Aes192::new(&key192).encrypt_block(pt)),
+        "dda97ca4864cdfe06eaf70a0ec0d7191"
+    );
+    assert_eq!(
+        hex(&Aes256::new(&key256).encrypt_block(pt)),
+        "8ea2b7ca516745bfeafc49904b496089"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random keys and blocks.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn encrypt_decrypt_round_trip_random() {
+    let mut rng = StdRng::seed_from_u64(0xae5_4e5);
+    for _ in 0..200 {
+        let mut key = [0u8; 16];
+        let mut pt = [0u8; 16];
+        rng.fill(&mut key);
+        rng.fill(&mut pt);
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(
+            aes.decrypt_block(ct),
+            pt,
+            "key {} pt {}",
+            hex(&key),
+            hex(&pt)
+        );
+        // And the ciphertext itself is the reference's.
+        assert_eq!(ct, reference_encrypt(&key, pt));
+    }
+}
+
+#[test]
+fn larger_key_sizes_match_reference_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(0x192_256);
+    for _ in 0..100 {
+        let mut key192 = [0u8; 24];
+        let mut key256 = [0u8; 32];
+        let mut pt = [0u8; 16];
+        rng.fill(&mut key192);
+        rng.fill(&mut key256);
+        rng.fill(&mut pt);
+        assert_eq!(
+            Aes192::new(&key192).encrypt_block(pt),
+            reference_encrypt(&key192, pt)
+        );
+        assert_eq!(
+            Aes256::new(&key256).encrypt_block(pt),
+            reference_encrypt(&key256, pt)
+        );
+    }
+}
+
+#[test]
+fn encryption_is_injective_over_plaintext_bits() {
+    // Flipping any single plaintext bit changes the ciphertext (a weak
+    // but table-independent diffusion property).
+    let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(37));
+    let aes = Aes128::new(&key);
+    let base = aes.encrypt_block([0u8; 16]);
+    for bit in 0..128 {
+        let mut pt = [0u8; 16];
+        pt[bit / 8] ^= 0x80 >> (bit % 8);
+        assert_ne!(aes.encrypt_block(pt), base, "bit {bit}");
+    }
+}

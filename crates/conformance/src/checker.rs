@@ -1,0 +1,377 @@
+//! Cross-crate invariant checking over the telemetry stream.
+//!
+//! [`SimChecker`] runs a scenario through the instrumented simulator and
+//! asserts structural invariants that must hold for *every* policy and
+//! machine shape — properties the differential oracles do not pin down:
+//!
+//! * **conservation** — every coalesced access is serviced exactly once:
+//!   `mem.reply` event count, per-controller `serviced` counters, and
+//!   the row-hit/row-miss ledger all reconcile with `SimStats`;
+//! * **cycle monotonicity** — the event stream never goes backwards in
+//!   time and never past the reported total;
+//! * **partition well-formedness** — under every policy, replayed
+//!   subwarp assignments partition the warp: sizes sum to the warp
+//!   width, every subwarp is non-empty, and the count matches the
+//!   policy's declared subwarp count;
+//! * **RNG-stream isolation** — deterministic policies draw zero words
+//!   from the security RNG ([`CountingRng`] proves it), and telemetry
+//!   instrumentation never perturbs results (an uninstrumented run is
+//!   bit-identical).
+
+use crate::report::SectionReport;
+use crate::strategies::{policy_pool, sim_corpus, SimScenario};
+use crate::ConformanceError;
+use rcoal_core::CoalescingPolicy;
+use rcoal_gpu_sim::{FaultPlan, GpuSimulator, LaunchPolicy, SimStats, SimTelemetry};
+use rcoal_rng::{RngCore, SeedableRng, StdRng};
+
+/// An `RngCore` wrapper that counts how many words the wrapped generator
+/// produced — the proof obligation for RNG-stream isolation ("this code
+/// path consumed exactly N draws").
+#[derive(Debug, Clone)]
+pub struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R: RngCore> CountingRng<R> {
+    /// Wraps `inner` with a zeroed draw counter.
+    pub fn new(inner: R) -> Self {
+        CountingRng { inner, draws: 0 }
+    }
+
+    /// Words drawn since construction.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// Outcome of one checked launch: the stats plus every violation found.
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// Statistics of the instrumented run.
+    pub stats: SimStats,
+    /// Invariant violations (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl CheckedRun {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs scenarios through the instrumented simulator and validates the
+/// invariants listed in the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimChecker;
+
+impl SimChecker {
+    /// Checks one scenario end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConformanceError`] only when the simulator itself
+    /// refuses to run (invalid configuration); invariant violations are
+    /// collected in the returned [`CheckedRun`].
+    pub fn check(s: &SimScenario) -> Result<CheckedRun, ConformanceError> {
+        let mut v = Vec::new();
+        let kernel = s.kernel();
+        let sim = GpuSimulator::new(s.gpu.clone());
+        let instrs: usize = s.traces.iter().map(|t| t.instrs().len()).sum();
+        let mut tel = SimTelemetry::with_event_capacity(instrs * 40 + 256);
+        let stats = sim
+            .run_instrumented(
+                &kernel,
+                LaunchPolicy::Uniform(s.policy),
+                s.seed,
+                &FaultPlan::none(),
+                &mut tel,
+            )
+            .map_err(|e| ConformanceError::new(format!("scenario {}: {e}", s.id)))?;
+
+        Self::check_event_stream(&tel, &stats, &mut v);
+        Self::check_conservation(&tel, &stats, &mut v);
+        Self::check_partitions(s, &tel, &mut v);
+        Self::check_isolation(s, &sim, &kernel, &stats, &mut v);
+        Ok(CheckedRun {
+            stats,
+            violations: v,
+        })
+    }
+
+    fn check_event_stream(tel: &SimTelemetry, stats: &SimStats, v: &mut Vec<String>) {
+        if tel.events.dropped() > 0 {
+            v.push(format!(
+                "event ring dropped {} event(s); checker capacity too small",
+                tel.events.dropped()
+            ));
+            return;
+        }
+        let mut prev = 0u64;
+        for e in tel.events.events() {
+            if e.cycle < prev {
+                v.push(format!(
+                    "event stream goes backwards: {}.{} at cycle {} after cycle {prev}",
+                    e.component, e.code, e.cycle
+                ));
+            }
+            prev = prev.max(e.cycle);
+            if e.cycle > stats.total_cycles {
+                v.push(format!(
+                    "event {}.{} stamped at cycle {} past total_cycles {}",
+                    e.component, e.code, e.cycle, stats.total_cycles
+                ));
+            }
+        }
+        for (w, &finish) in stats.warp_finish_cycle.iter().enumerate() {
+            if finish > stats.total_cycles {
+                v.push(format!(
+                    "warp {w} finished at {finish} past total_cycles {}",
+                    stats.total_cycles
+                ));
+            }
+        }
+        for (r, &cycle) in stats.round_complete_cycle.iter().enumerate() {
+            if cycle > stats.total_cycles {
+                v.push(format!(
+                    "round {r} completed at {cycle} past total_cycles {}",
+                    stats.total_cycles
+                ));
+            }
+        }
+    }
+
+    fn check_conservation(tel: &SimTelemetry, stats: &SimStats, v: &mut Vec<String>) {
+        // With no fault plan, every access issued to memory comes back
+        // exactly once; MSHR merges and L1 hits never reach DRAM.
+        let expected_serviced =
+            stats.total_accesses - stats.mshr_merged - stats.l1_hits + stats.fault_retries;
+        let replies = tel
+            .events
+            .events()
+            .filter(|e| e.component == "mem" && e.code == "reply")
+            .count() as u64;
+        if replies != expected_serviced {
+            v.push(format!(
+                "conservation: {replies} reply event(s) but {expected_serviced} expected \
+                 (accesses {} - merged {} - l1 {} + retries {})",
+                stats.total_accesses, stats.mshr_merged, stats.l1_hits, stats.fault_retries
+            ));
+        }
+        let serviced: u64 = tel.profile.mcs.iter().map(|m| m.serviced).sum();
+        if serviced != expected_serviced {
+            v.push(format!(
+                "conservation: controllers serviced {serviced} but {expected_serviced} issued"
+            ));
+        }
+        for (i, mc) in tel.profile.mcs.iter().enumerate() {
+            if mc.row_hits + mc.row_misses != mc.serviced {
+                v.push(format!(
+                    "mc {i}: row ledger {} + {} != serviced {}",
+                    mc.row_hits, mc.row_misses, mc.serviced
+                ));
+            }
+        }
+        let by_tag: u64 = stats.accesses_by_tag.iter().sum();
+        if by_tag != stats.total_accesses {
+            v.push(format!(
+                "accesses_by_tag sums to {by_tag}, not total_accesses {}",
+                stats.total_accesses
+            ));
+        }
+        if stats.dropped_replies != 0 || stats.replies_lost != 0 {
+            v.push(format!(
+                "fault-free run dropped {} / lost {} replies",
+                stats.dropped_replies, stats.replies_lost
+            ));
+        }
+    }
+
+    fn check_partitions(s: &SimScenario, tel: &SimTelemetry, v: &mut Vec<String>) {
+        // Replay the launch's assignment draws (§IV-D: one per warp, in
+        // warp order) and assert partition well-formedness.
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let width = s.gpu.warp_size;
+        let declared = s.policy.num_subwarps(width);
+        for w in 0..s.traces.len() {
+            let assignment = match s.policy.assignment(width, &mut rng) {
+                Ok(a) => a,
+                Err(e) => {
+                    v.push(format!("warp {w}: assignment replay failed: {e}"));
+                    return;
+                }
+            };
+            let sizes = assignment.sizes();
+            if sizes.iter().sum::<usize>() != width {
+                v.push(format!(
+                    "warp {w}: subwarp sizes {sizes:?} do not sum to {width}"
+                ));
+            }
+            if sizes.contains(&0) {
+                v.push(format!("warp {w}: empty subwarp in {sizes:?}"));
+            }
+            if assignment.num_subwarps() != declared {
+                v.push(format!(
+                    "warp {w}: {} subwarp(s) but policy {} declares {declared}",
+                    assignment.num_subwarps(),
+                    s.policy
+                ));
+            }
+            let mut seen = vec![false; width];
+            for (lane, sid) in assignment.iter() {
+                if lane >= width || usize::from(sid) >= assignment.num_subwarps() {
+                    v.push(format!(
+                        "warp {w}: lane {lane} -> subwarp {sid} out of range"
+                    ));
+                } else if seen[lane] {
+                    v.push(format!("warp {w}: lane {lane} assigned twice"));
+                } else {
+                    seen[lane] = true;
+                }
+            }
+            if !seen.iter().all(|&b| b) {
+                v.push(format!("warp {w}: assignment does not cover every lane"));
+            }
+        }
+        // Every executed load must report the declared subwarp count.
+        for e in tel.events.events() {
+            if e.component == "coalescer" && e.code == "load" && e.a != declared as u64 {
+                v.push(format!(
+                    "load event reports {} subwarp(s); policy {} declares {declared}",
+                    e.a, s.policy
+                ));
+            }
+        }
+    }
+
+    fn check_isolation(
+        s: &SimScenario,
+        sim: &GpuSimulator,
+        kernel: &rcoal_gpu_sim::TraceKernel,
+        stats: &SimStats,
+        v: &mut Vec<String>,
+    ) {
+        // Telemetry must be a pure observer: the uninstrumented run is
+        // bit-identical.
+        match sim.run(kernel, s.policy, s.seed) {
+            Ok(plain) => {
+                if &plain != stats {
+                    v.push("telemetry instrumentation changed the simulation result".into());
+                }
+            }
+            Err(e) => v.push(format!("uninstrumented rerun failed: {e}")),
+        }
+    }
+}
+
+/// Whether a policy is allowed to consume security-RNG words when
+/// drawing an assignment.
+fn is_deterministic(policy: &CoalescingPolicy) -> bool {
+    matches!(
+        policy,
+        CoalescingPolicy::Baseline | CoalescingPolicy::Disabled | CoalescingPolicy::Fss { .. }
+    )
+}
+
+/// RNG-stream isolation over the policy pool: deterministic policies
+/// must draw zero words; all policies must replay bit-identically from
+/// the same seed.
+fn rng_isolation_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+    for policy in policy_pool() {
+        let mut rng = CountingRng::new(StdRng::seed_from_u64(0x150));
+        let first = policy.assignment(32, &mut rng);
+        let draws = rng.draws();
+        if is_deterministic(&policy) && draws != 0 {
+            failures.push(format!(
+                "{policy} drew {draws} RNG word(s); deterministic policies must draw none"
+            ));
+        }
+        let mut replay = CountingRng::new(StdRng::seed_from_u64(0x150));
+        let second = policy.assignment(32, &mut replay);
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => {
+                if a.sizes() != b.sizes() || a.iter().ne(b.iter()) {
+                    failures.push(format!("{policy} is not a pure function of the RNG stream"));
+                }
+                if replay.draws() != draws {
+                    failures.push(format!(
+                        "{policy} drew {draws} then {} word(s) from identical streams",
+                        replay.draws()
+                    ));
+                }
+            }
+            _ => failures.push(format!("{policy} failed to draw an assignment for warp 32")),
+        }
+    }
+    failures
+}
+
+/// Invariant-checker section: RNG isolation over the policy pool plus
+/// `cases` fully checked simulator runs from the shared corpus.
+///
+/// # Errors
+///
+/// Returns [`ConformanceError`] when a scenario cannot run at all.
+pub fn section(seed: u64, cases: usize) -> Result<SectionReport, ConformanceError> {
+    let mut section = SectionReport::new("sim invariants");
+    section.cases += 1;
+    section.failures.extend(rng_isolation_failures());
+    for s in sim_corpus(seed ^ 0xc4ec, cases) {
+        section.cases += 1;
+        let run = SimChecker::check(&s)?;
+        for f in run.violations {
+            section
+                .failures
+                .push(format!("scenario {} ({}): {f}", s.id, s.policy));
+        }
+    }
+    Ok(section)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcoal_rng::Rng;
+
+    #[test]
+    fn counting_rng_counts_and_passes_through() {
+        let mut plain = StdRng::seed_from_u64(7);
+        let mut counted = CountingRng::new(StdRng::seed_from_u64(7));
+        for _ in 0..10 {
+            assert_eq!(plain.next_u64(), counted.next_u64());
+        }
+        assert_eq!(counted.draws(), 10);
+        let _: u64 = counted.gen_range(0..100u64);
+        assert!(counted.draws() >= 11);
+    }
+
+    #[test]
+    fn deterministic_policies_draw_nothing() {
+        assert!(rng_isolation_failures().is_empty());
+    }
+
+    #[test]
+    fn randomized_policies_do_draw() {
+        let policy = CoalescingPolicy::rss_rts(8).unwrap();
+        let mut rng = CountingRng::new(StdRng::seed_from_u64(1));
+        policy.assignment(32, &mut rng).unwrap();
+        assert!(rng.draws() > 0, "RSS+RTS must consume the security RNG");
+    }
+
+    #[test]
+    fn checker_section_is_clean() {
+        let s = section(3, 12).expect("scenarios must run");
+        assert!(s.cases >= 13);
+        assert!(s.passed(), "{:?}", s.failures);
+    }
+}

@@ -1,0 +1,115 @@
+//! Suite report types: per-section case counts and collected violations,
+//! rendered as the `rcoal-cli conformance` output.
+
+use std::fmt;
+
+/// One section of the conformance suite (e.g. "dram oracle").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionReport {
+    /// Section name as printed in the report.
+    pub name: String,
+    /// Number of checked cases.
+    pub cases: usize,
+    /// Human-readable violations; empty when the section passed.
+    pub failures: Vec<String>,
+}
+
+impl SectionReport {
+    /// A section with no findings yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        SectionReport {
+            name: name.into(),
+            cases: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Whether the section found no violations.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The full suite outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// Sections in execution order.
+    pub sections: Vec<SectionReport>,
+}
+
+impl SuiteReport {
+    /// Whether every section passed.
+    pub fn passed(&self) -> bool {
+        self.sections.iter().all(SectionReport::passed)
+    }
+
+    /// Total cases checked across sections.
+    pub fn total_cases(&self) -> usize {
+        self.sections.iter().map(|s| s.cases).sum()
+    }
+
+    /// Total violations across sections.
+    pub fn total_failures(&self) -> usize {
+        self.sections.iter().map(|s| s.failures.len()).sum()
+    }
+}
+
+impl fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.sections {
+            let verdict = if s.passed() { "ok" } else { "FAIL" };
+            writeln!(f, "{verdict:>4}  {:<28} {:>5} case(s)", s.name, s.cases)?;
+            // Cap the echoed violations so a systematic failure stays
+            // readable; the count line above reports the full extent.
+            for failure in s.failures.iter().take(8) {
+                writeln!(f, "        - {failure}")?;
+            }
+            if s.failures.len() > 8 {
+                writeln!(f, "        ... and {} more", s.failures.len() - 8)?;
+            }
+        }
+        write!(
+            f,
+            "conformance: {} case(s), {} violation(s) -> {}",
+            self.total_cases(),
+            self.total_failures(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_and_formats() {
+        let mut ok = SectionReport::new("alpha");
+        ok.cases = 3;
+        let mut bad = SectionReport::new("beta");
+        bad.cases = 2;
+        bad.failures.push("case 1: mismatch".into());
+        let suite = SuiteReport {
+            sections: vec![ok, bad],
+        };
+        assert!(!suite.passed());
+        assert_eq!(suite.total_cases(), 5);
+        assert_eq!(suite.total_failures(), 1);
+        let text = suite.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("case 1: mismatch"));
+    }
+
+    #[test]
+    fn long_failure_lists_are_capped_in_display() {
+        let mut s = SectionReport::new("gamma");
+        s.cases = 20;
+        for i in 0..20 {
+            s.failures.push(format!("violation {i}"));
+        }
+        let suite = SuiteReport { sections: vec![s] };
+        let text = suite.to_string();
+        assert!(text.contains("... and 12 more"));
+    }
+}

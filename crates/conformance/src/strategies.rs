@@ -1,0 +1,303 @@
+//! The shared scenario corpus: seeded, proptest-style generators over
+//! policies, address streams, kernel traces, and `rcoal-scenario`
+//! documents.
+//!
+//! Every conformance section (and any crate's property tests) draws
+//! from these generators, so the whole workspace exercises one input
+//! space and failures reproduce from `(generator, seed, index)` alone.
+
+use crate::report::SectionReport;
+use rcoal_core::{CoalescingPolicy, NumSubwarps, SizeDistribution};
+use rcoal_gpu_sim::{GpuConfig, TraceInstr, TraceKernel, WarpTrace};
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+use rcoal_scenario::Scenario;
+
+/// Stable key identifying a policy *variant* (mechanism + distribution,
+/// ignoring the subwarp count) — used to assert corpus coverage.
+pub fn variant_key(policy: &CoalescingPolicy) -> &'static str {
+    match policy {
+        CoalescingPolicy::Baseline => "baseline",
+        CoalescingPolicy::Disabled => "disabled",
+        CoalescingPolicy::Fss { .. } => "fss",
+        CoalescingPolicy::Rss {
+            dist: SizeDistribution::Skewed,
+            ..
+        } => "rss-skewed",
+        CoalescingPolicy::Rss {
+            dist: SizeDistribution::Normal,
+            ..
+        } => "rss-normal",
+        CoalescingPolicy::FssRts { .. } => "fss-rts",
+        CoalescingPolicy::RssRts { .. } => "rss-rts",
+    }
+}
+
+/// Every policy-variant key a covering corpus must touch.
+pub const ALL_VARIANTS: [&str; 7] = [
+    "baseline",
+    "disabled",
+    "fss",
+    "rss-skewed",
+    "rss-normal",
+    "fss-rts",
+    "rss-rts",
+];
+
+/// Deterministic policy pool for a `warp_size`-thread warp covering
+/// every [`CoalescingPolicy`] variant, including both RSS size
+/// distributions, with a spread of valid subwarp counts.
+pub fn policy_pool_for(warp_size: usize) -> Vec<CoalescingPolicy> {
+    let mut pool = vec![CoalescingPolicy::Baseline, CoalescingPolicy::Disabled];
+    let mut k = 1usize;
+    while k <= warp_size {
+        if warp_size.is_multiple_of(k) {
+            if let Ok(m) = NumSubwarps::new(k, warp_size) {
+                pool.push(CoalescingPolicy::Fss { num_subwarps: m });
+                pool.push(CoalescingPolicy::FssRts { num_subwarps: m });
+            }
+        }
+        k *= 2;
+    }
+    for m in [1usize, 2, 3, warp_size / 2, warp_size] {
+        if let Ok(m) = NumSubwarps::new_unaligned(m, warp_size) {
+            pool.push(CoalescingPolicy::Rss {
+                num_subwarps: m,
+                dist: SizeDistribution::Skewed,
+            });
+            pool.push(CoalescingPolicy::Rss {
+                num_subwarps: m,
+                dist: SizeDistribution::Normal,
+            });
+            pool.push(CoalescingPolicy::RssRts {
+                num_subwarps: m,
+                dist: SizeDistribution::Skewed,
+            });
+        }
+    }
+    pool
+}
+
+/// [`policy_pool_for`] over the paper's 32-thread warp.
+pub fn policy_pool() -> Vec<CoalescingPolicy> {
+    policy_pool_for(32)
+}
+
+/// One warp's worth of optional addresses: `warp_size` lanes, ~4/5
+/// active, spread over `addr_space` bytes.
+pub fn arb_addrs(rng: &mut StdRng, warp_size: usize, addr_space: u64) -> Vec<Option<u64>> {
+    (0..warp_size)
+        .map(|_| rng.gen_bool(0.8).then(|| rng.gen_range(0u64..addr_space)))
+        .collect()
+}
+
+/// A random warp trace: a mix of compute bubbles, tagged loads (tags
+/// 0..4, lanes possibly inactive or even fully empty), and round marks.
+pub fn arb_trace(rng: &mut StdRng, warp_size: usize) -> WarpTrace {
+    let n = rng.gen_range(1usize..10);
+    let instrs = (0..n)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => TraceInstr::compute(rng.gen_range(1u32..16)),
+            3 => TraceInstr::RoundMark {
+                round: rng.gen_range(1u16..4),
+            },
+            _ => {
+                let addrs = arb_addrs(rng, warp_size, 1 << 14);
+                TraceInstr::load_tagged(addrs, rng.gen_range(0u16..4))
+            }
+        })
+        .collect();
+    WarpTrace::from_instrs(instrs)
+}
+
+/// One differential-test scenario for the cycle-level simulator: a
+/// policy, a GPU configuration, a set of warp traces, and the launch
+/// seed. Everything needed to rerun the case is in the struct.
+#[derive(Debug, Clone)]
+pub struct SimScenario {
+    /// Index in the generated corpus (for failure messages).
+    pub id: usize,
+    /// Policy every warp launches under ([`rcoal_gpu_sim::LaunchPolicy::Uniform`]).
+    pub policy: CoalescingPolicy,
+    /// The simulated machine.
+    pub gpu: GpuConfig,
+    /// Per-warp traces (also the replay input for the oracle).
+    pub traces: Vec<WarpTrace>,
+    /// Launch seed driving assignment draws.
+    pub seed: u64,
+}
+
+impl SimScenario {
+    /// The kernel the simulator executes.
+    pub fn kernel(&self) -> TraceKernel {
+        TraceKernel::new(self.traces.clone(), self.gpu.warp_size)
+    }
+}
+
+/// Smallest corpus size at which [`sim_corpus`] guarantees every
+/// [`ALL_VARIANTS`] key appears (one per variant per warp size).
+pub const FULL_COVERAGE_CASES: usize = ALL_VARIANTS.len() * 4;
+
+/// The seeded simulator corpus: `n` scenarios cycling warp sizes
+/// {4, 8, 16, 32} and, per warp size, the full covering policy pool.
+/// The first [`FULL_COVERAGE_CASES`] scenarios enumerate one
+/// representative of every policy variant at every warp size, so any
+/// corpus at least that large covers all variants by construction; the
+/// remainder walks each pool exhaustively with varying kernels.
+pub fn sim_corpus(seed: u64, n: usize) -> Vec<SimScenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let warp_sizes = [32usize, 8, 16, 4];
+    let pools: Vec<Vec<CoalescingPolicy>> =
+        warp_sizes.iter().map(|&w| policy_pool_for(w)).collect();
+    (0..n)
+        .map(|id| {
+            let wi = id % warp_sizes.len();
+            let warp_size = warp_sizes[wi];
+            let pool = &pools[wi];
+            let policy = if id < FULL_COVERAGE_CASES {
+                let want = ALL_VARIANTS[id / warp_sizes.len()];
+                pool.iter()
+                    .copied()
+                    .find(|p| variant_key(p) == want)
+                    .unwrap_or(CoalescingPolicy::Baseline)
+            } else {
+                pool[(id / warp_sizes.len()) % pool.len()]
+            };
+            let mut gpu = GpuConfig::tiny();
+            gpu.warp_size = warp_size;
+            // A slice of the corpus runs on a multi-SM, multi-controller
+            // machine so crossbar routing and per-MC accounting are part
+            // of the differential surface.
+            if id % 5 == 0 {
+                gpu.num_sms = 2;
+                gpu.num_mem_controllers = 2;
+                gpu.banks_per_mc = 8;
+            }
+            let traces = (0..rng.gen_range(1usize..4))
+                .map(|_| arb_trace(&mut rng, warp_size))
+                .collect();
+            SimScenario {
+                id,
+                policy,
+                gpu,
+                traces,
+                seed: rng.gen_range(0u64..u64::MAX),
+            }
+        })
+        .collect()
+}
+
+/// A seeded corpus of `rcoal-scenario` documents: every crate that
+/// property-tests against scenario JSON should draw from here.
+pub fn scenario_corpus(seed: u64, n: usize) -> Vec<Scenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = policy_pool();
+    (0..n)
+        .map(|i| {
+            let policy = pool[i % pool.len()];
+            let mut s = Scenario::new(policy, rng.gen_range(1usize..4), rng.gen_range(4usize..33))
+                .with_seed(rng.gen_range(0u64..u64::MAX));
+            if rng.gen_bool(0.7) {
+                s = s.functional_only();
+            }
+            if rng.gen_bool(0.3) {
+                let mut key = [0u8; 16];
+                rng.fill(&mut key);
+                s = s.with_key(key);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Scenario-document invariants over the corpus: canonical JSON
+/// round-trips losslessly, the content hash is a pure function of the
+/// canonical form, and the experiment-layer lowering preserves the
+/// fields that determine results.
+pub fn scenario_section(seed: u64, n: usize) -> SectionReport {
+    let mut section = SectionReport::new("scenario documents");
+    for (i, s) in scenario_corpus(seed, n).iter().enumerate() {
+        section.cases += 1;
+        let json = s.to_json();
+        match Scenario::from_json(&json) {
+            Ok(back) => {
+                if &back != s {
+                    section.failures.push(format!(
+                        "scenario {i}: JSON round-trip changed the document"
+                    ));
+                }
+                if back.content_hash() != s.content_hash() {
+                    section
+                        .failures
+                        .push(format!("scenario {i}: content hash not canonical"));
+                }
+            }
+            Err(e) => section
+                .failures
+                .push(format!("scenario {i}: canonical JSON failed to parse: {e}")),
+        }
+        let cfg = rcoal_experiments::scenario_config(s);
+        if cfg.policy != s.policy || cfg.seed != s.seed || cfg.num_plaintexts != s.num_plaintexts {
+            section.failures.push(format!(
+                "scenario {i}: experiment lowering dropped a result-determining field"
+            ));
+        }
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn policy_pool_covers_every_variant_at_every_warp_size() {
+        for w in [4usize, 8, 16, 32] {
+            let keys: BTreeSet<&str> = policy_pool_for(w).iter().map(variant_key).collect();
+            for v in ALL_VARIANTS {
+                assert!(keys.contains(v), "warp {w} pool missing {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_corpus_is_deterministic_and_covering() {
+        let a = sim_corpus(9, 200);
+        let b = sim_corpus(9, 200);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.traces, y.traces);
+        }
+        let keys: BTreeSet<&str> = a.iter().map(|s| variant_key(&s.policy)).collect();
+        for v in ALL_VARIANTS {
+            assert!(keys.contains(v), "200-case corpus missing {v}");
+        }
+    }
+
+    #[test]
+    fn minimal_corpus_covers_every_variant_for_any_seed() {
+        for seed in [0u64, 1, 0xdead] {
+            let corpus = sim_corpus(seed, FULL_COVERAGE_CASES);
+            let keys: BTreeSet<&str> = corpus.iter().map(|s| variant_key(&s.policy)).collect();
+            for v in ALL_VARIANTS {
+                assert!(keys.contains(v), "seed {seed}: minimal corpus missing {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_corpus_documents_validate() {
+        for s in scenario_corpus(3, 40) {
+            s.validate().expect("generated scenarios are valid");
+        }
+    }
+
+    #[test]
+    fn scenario_section_passes_on_the_default_corpus() {
+        let section = scenario_section(11, 48);
+        assert_eq!(section.cases, 48);
+        assert!(section.passed(), "{:?}", section.failures);
+    }
+}

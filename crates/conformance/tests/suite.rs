@@ -1,0 +1,32 @@
+//! The full conformance suite as a test: differential oracles over a
+//! 240-scenario corpus, invariant checks, scenario round-trips, and the
+//! committed golden masters.
+//!
+//! Regenerate fixtures after an intentional behaviour change with
+//! `RCOAL_UPDATE_GOLDENS=1 cargo test -p rcoal-conformance`.
+
+use rcoal_conformance::{run_suite, SuiteOptions};
+
+#[test]
+fn full_suite_passes_with_committed_goldens() {
+    let opts = SuiteOptions::default();
+    assert!(
+        opts.cases >= 200,
+        "acceptance floor: at least 200 simulator differential scenarios"
+    );
+    let report = run_suite(&opts).expect("suite must run");
+    assert!(report.total_cases() > opts.cases, "{report}");
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn suite_is_deterministic_for_a_fixed_seed() {
+    let opts = SuiteOptions {
+        cases: 24,
+        update_goldens: false,
+        ..SuiteOptions::default()
+    };
+    let a = run_suite(&opts).expect("suite must run");
+    let b = run_suite(&opts).expect("suite must run");
+    assert_eq!(a, b, "identical options must give identical reports");
+}

@@ -73,6 +73,16 @@ pub fn scenario_config(scenario: &Scenario) -> ExperimentConfig {
 /// Returns `None` for telemetry-bearing runs, which stay memory-only
 /// (see the module docs); every other run encodes losslessly.
 pub fn encode_run(data: &ExperimentData) -> Option<String> {
+    run_to_value(data).map(|doc| doc.to_json())
+}
+
+/// Conformance hook: the `rcoal-run/v1` document of a run as a JSON
+/// [`Value`] tree (the exact structure [`encode_run`] serializes).
+///
+/// Golden-master fixtures snapshot this value so drift diffs can point
+/// at individual fields instead of one long JSON line. Returns `None`
+/// for telemetry-bearing runs, like [`encode_run`].
+pub fn run_to_value(data: &ExperimentData) -> Option<Value> {
     if data.telemetry.is_some() {
         return None;
     }
@@ -103,7 +113,7 @@ pub fn encode_run(data: &ExperimentData) -> Option<String> {
         )
         .opt_field("total_cycles", data.total_cycles.as_deref().map(u64_arr))
         .build();
-    Some(doc.to_json())
+    Some(doc)
 }
 
 /// Parses a run result back from its `rcoal-run/v1` form.

@@ -37,7 +37,9 @@ mod run;
 mod telemetry;
 mod workload;
 
-pub use engine::{decode_run, encode_run, scenario_config, RunnerReport, SweepRunner, RUN_SCHEMA};
+pub use engine::{
+    decode_run, encode_run, run_to_value, scenario_config, RunnerReport, SweepRunner, RUN_SCHEMA,
+};
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
 pub use telemetry::{ExperimentTelemetry, LaunchTrace, TelemetrySpec};

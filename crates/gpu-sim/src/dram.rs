@@ -71,6 +71,27 @@ impl MemoryController {
         self.queue.push_back(req);
     }
 
+    /// Conformance hook: enqueues a request by its raw coordinates.
+    ///
+    /// Exposes the controller to external differential testing (the
+    /// `rcoal-conformance` DRAM oracle replays request streams through
+    /// this entry point); the simulator itself uses the internal queue
+    /// path. `arrival` is in memory cycles, and requests must arrive in
+    /// non-decreasing queue order just as the simulator delivers them.
+    pub fn inject(&mut self, id: u64, loc: PhysLoc, arrival: u64) {
+        self.enqueue(MemRequest { id, loc, arrival });
+    }
+
+    /// Conformance hook: advances the controller to memory cycle `now`,
+    /// draining finished requests into `completed` as
+    /// `(request id, finish mem-cycle)` pairs.
+    ///
+    /// Public mirror of the simulator's per-cycle tick so oracles can
+    /// drive a controller in isolation.
+    pub fn advance(&mut self, now: u64, completed: &mut Vec<(u64, u64)>) {
+        self.tick(now, completed);
+    }
+
     /// Number of requests waiting or in flight.
     pub fn pending(&self) -> usize {
         self.queue.len() + self.completions.len()

@@ -52,6 +52,14 @@ USAGE:
       Print each expanded scenario in canonical JSON (one per line) —
       the exact bytes its content hash is computed over.
 
+  rcoal-cli conformance [--cases N] [--seed S] [--goldens DIR] [--update-goldens true]
+      Run the conformance suite: differential oracles for the coalescer
+      and the FR-FCFS DRAM scheduler over N random scenarios (default
+      240), telemetry invariant checks, scenario round-trips, and the
+      golden-master fixtures under tests/goldens/. With
+      --update-goldens true (or RCOAL_UPDATE_GOLDENS=1) drifted
+      fixtures are rewritten instead of failing.
+
 POLICY: baseline | disabled | fss:M | rss:M | fss-rts:M | rss-rts:M
         (M = number of subwarps, a divisor of 32 for fss variants)
 
@@ -92,6 +100,7 @@ fn run() -> Result<(), String> {
         Some("score") => cmd_score(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("scenario") => cmd_scenario(&args),
+        Some("conformance") => cmd_conformance(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => {
             println!("{USAGE}");
@@ -402,6 +411,37 @@ fn cmd_score(args: &ParsedArgs) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_conformance(args: &ParsedArgs) -> Result<(), String> {
+    let mut opts = SuiteOptions::default();
+    opts.cases = args.get_or("cases", opts.cases)?;
+    opts.seed = args.get_or("seed", opts.seed)?;
+    if let Some(dir) = args.get("goldens") {
+        opts.goldens_dir = PathBuf::from(dir);
+    }
+    if args.get_or("update-goldens", false)? {
+        opts.update_goldens = true;
+    }
+    println!(
+        "conformance suite: {} simulator scenario(s), seed {:#x}, goldens at {}{}",
+        opts.cases,
+        opts.seed,
+        opts.goldens_dir.display(),
+        if opts.update_goldens {
+            " (update mode)"
+        } else {
+            ""
+        }
+    );
+    let report = run_suite(&opts).map_err(|e| e.to_string())?;
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        // Violations were already printed in full; skip the usage text.
+        std::process::exit(1);
+    }
 }
 
 /// Reads and expands a scenario/sweep spec file.

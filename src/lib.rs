@@ -20,6 +20,9 @@
 //! * [`experiments`] — end-to-end experiment harness regenerating every
 //!   table and figure in the paper's evaluation, executed through the
 //!   scenario/sweep engine ([`SweepRunner`]).
+//! * [`conformance`] — the validation layer for all of the above:
+//!   differential oracles for the coalescer and DRAM scheduler,
+//!   golden-master fixtures, and telemetry-driven invariant checking.
 //!
 //! [`Scenario`]: prelude::Scenario
 //! [`SweepSpec`]: prelude::SweepSpec
@@ -50,6 +53,7 @@ pub mod cli;
 
 pub use rcoal_aes as aes;
 pub use rcoal_attack as attack;
+pub use rcoal_conformance as conformance;
 pub use rcoal_core as core;
 pub use rcoal_experiments as experiments;
 pub use rcoal_gpu_sim as sim;
@@ -62,6 +66,7 @@ pub use rcoal_theory as theory;
 pub mod prelude {
     pub use rcoal_aes::{Aes128, AesGpuKernel};
     pub use rcoal_attack::{Attack, AttackError, AttackSample, KeyRecovery, RecoveryOutcome};
+    pub use rcoal_conformance::{run_suite, SuiteOptions, SuiteReport};
     pub use rcoal_core::{
         Coalescer, CoalescingPolicy, NumSubwarps, SizeDistribution, SubwarpAssignment,
     };

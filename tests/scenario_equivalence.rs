@@ -19,12 +19,16 @@ use rcoal_experiments::figures::{
 };
 use rcoal_experiments::{ExperimentConfig, ExperimentError, SweepRunner, TimingSource};
 use rcoal_gpu_sim::GpuConfig;
-use rcoal_parallel::{resolve_threads, try_parallel_map};
+use rcoal_parallel::try_parallel_map;
 
 // The pinned operating point: small enough for debug-mode CI, large
 // enough that correlations and ranks are non-degenerate.
 const PLAINTEXTS: usize = 10;
 const SEED: u64 = 0x90_1d;
+
+// Pinned worker count for the legacy generators: the comparison must
+// not depend on the host's core count.
+const LEGACY_THREADS: usize = 4;
 
 fn legacy_fig05(num_plaintexts: usize, seed: u64) -> Result<Fig5Data, ExperimentError> {
     let data = ExperimentConfig::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
@@ -76,7 +80,7 @@ fn legacy_fig06(num_plaintexts: usize, seed: u64) -> Result<Fig6Data, Experiment
 
 fn legacy_fig07(num_plaintexts: usize, seed: u64) -> Result<Vec<Fig7Row>, ExperimentError> {
     let ms = [1usize, 2, 4, 8, 16, 32];
-    try_parallel_map(resolve_threads(None), &ms, |_, &m| {
+    try_parallel_map(LEGACY_THREADS, &ms, |_, &m| {
         let policy = CoalescingPolicy::fss(m)?;
         let data = ExperimentConfig::new(policy, num_plaintexts, 32)
             .with_seed(seed)
@@ -112,7 +116,7 @@ fn legacy_ablation_mshr(num_plaintexts: usize, seed: u64) -> Result<Vec<MshrRow>
         ),
     ];
     try_parallel_map(
-        resolve_threads(None),
+        LEGACY_THREADS,
         &configs,
         |_, &(label, policy, mshr_entries)| {
             let gpu = GpuConfig {
