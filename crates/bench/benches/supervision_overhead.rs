@@ -1,0 +1,131 @@
+//! Cost of worker supervision on the sweep hot path.
+//!
+//! Runs the same scenario grid through the strict path
+//! (`run_scenarios`) and the supervised path
+//! (`run_scenarios_supervised`: catch_unwind isolation, retry
+//! bookkeeping, typed outcomes) on uncached runners, so every scenario
+//! simulates in both legs. Legs are interleaved and the per-leg minimum
+//! over several reps is compared, which filters scheduler noise out of
+//! the overhead estimate. The supervised rows must be bit-identical to
+//! the strict rows (supervision decides *whether* a result exists,
+//! never *which* result wins) and the overhead must stay under 2% —
+//! the robustness machinery is free when nothing goes wrong. Numbers
+//! land in `BENCH_robustness.json` at the repository root.
+
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::{encode_run, SweepRunner};
+use rcoal_scenario::Scenario;
+use std::time::Instant;
+
+/// Interleaved reps per leg; the minimum is reported.
+const REPS: usize = 5;
+/// Wall-clock overhead bar from the acceptance criteria.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+fn grid() -> Result<Vec<Scenario>, String> {
+    let mut scenarios = Vec::new();
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::fss(8).map_err(|e| e.to_string())?,
+        CoalescingPolicy::rss(4).map_err(|e| e.to_string())?,
+        CoalescingPolicy::rss_rts(4).map_err(|e| e.to_string())?,
+    ] {
+        for seed in 0..3u64 {
+            scenarios.push(Scenario::new(policy, 4, 24).with_seed(BENCH_SEED + seed));
+        }
+    }
+    Ok(scenarios)
+}
+
+/// One strict leg: every scenario simulated, rows returned encoded.
+fn strict_leg(scenarios: &[Scenario]) -> Result<(f64, Vec<String>), String> {
+    let runner = SweepRunner::uncached().with_threads(1);
+    let start = Instant::now();
+    let rows = runner.run_scenarios(scenarios).map_err(|e| e.to_string())?;
+    let seconds = start.elapsed().as_secs_f64();
+    let encoded = rows
+        .iter()
+        .map(|r| encode_run(r).ok_or_else(|| "row failed to encode".to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((seconds, encoded))
+}
+
+/// One supervised leg on the same grid, also uncached.
+fn supervised_leg(scenarios: &[Scenario]) -> Result<(f64, Vec<String>), String> {
+    let runner = SweepRunner::uncached().with_threads(1);
+    let start = Instant::now();
+    let outcome = runner.run_scenarios_supervised(scenarios);
+    let seconds = start.elapsed().as_secs_f64();
+    if !outcome.is_complete() {
+        return Err(format!(
+            "supervised leg quarantined {} scenario(s) with no chaos armed",
+            outcome.quarantined.len()
+        ));
+    }
+    let encoded = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .and_then(encode_run)
+                .ok_or_else(|| "row failed to encode".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((seconds, encoded))
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("supervision_overhead bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let scenarios = grid()?;
+    println!(
+        "supervision_overhead: {} scenarios x {REPS} interleaved reps, strict vs supervised",
+        scenarios.len()
+    );
+
+    // Warm-up rep of each leg (page-in, allocator steady state).
+    let (_, strict_rows) = strict_leg(&scenarios)?;
+    let (_, supervised_rows) = supervised_leg(&scenarios)?;
+    if strict_rows != supervised_rows {
+        return Err("supervised rows differ from strict rows".into());
+    }
+
+    let mut strict_best = f64::INFINITY;
+    let mut supervised_best = f64::INFINITY;
+    for rep in 0..REPS {
+        let (strict_s, rows_a) = strict_leg(&scenarios)?;
+        let (supervised_s, rows_b) = supervised_leg(&scenarios)?;
+        if rows_a != strict_rows || rows_b != strict_rows {
+            return Err(format!("rep {rep}: rows drifted between reps"));
+        }
+        strict_best = strict_best.min(strict_s);
+        supervised_best = supervised_best.min(supervised_s);
+        println!("  rep {rep}: strict {strict_s:.3} s, supervised {supervised_s:.3} s");
+    }
+
+    let overhead_pct = 100.0 * (supervised_best - strict_best) / strict_best;
+    println!(
+        "  best      : strict {strict_best:.3} s, supervised {supervised_best:.3} s \
+         ({overhead_pct:+.2}% overhead, rows bit-identical)"
+    );
+    if !overhead_pct.is_finite() || overhead_pct >= MAX_OVERHEAD_PCT {
+        return Err(format!(
+            "supervised overhead {overhead_pct:.2}% breaches the {MAX_OVERHEAD_PCT}% bar"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"supervision_overhead\",\n  \"workload\": \"{} scenarios (baseline/FSS/RSS/RSS+RTS x 3 seeds), min of {REPS} interleaved reps, 1 thread\",\n  \"strict_seconds\": {strict_best:.6},\n  \"supervised_seconds\": {supervised_best:.6},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"overhead_bar_pct\": {MAX_OVERHEAD_PCT:.1},\n  \"rows_identical\": true\n}}\n",
+        scenarios.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robustness.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_robustness.json");
+    Ok(())
+}

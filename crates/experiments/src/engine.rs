@@ -33,13 +33,26 @@ use crate::run::{ExperimentConfig, ExperimentData};
 use crate::telemetry::TelemetrySpec;
 use rcoal_aes::Block;
 use rcoal_core::CoalescingPolicy;
-use rcoal_parallel::{resolve_threads, try_parallel_map};
+use rcoal_parallel::{resolve_threads, supervised_map, try_parallel_map, SupervisorPolicy};
 use rcoal_scenario::json::{ObjBuilder, Value};
-use rcoal_scenario::{CacheStats, RunCache, Scenario, ScenarioError, SweepSpec};
+use rcoal_scenario::{
+    CacheStats, ChaosPlan, RunCache, Scenario, ScenarioError, SweepJournal, SweepSpec,
+};
+use rcoal_telemetry::MetricsRegistry;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// File name of the sweep journal inside a runner's store directory.
+/// The `.jsonl` extension keeps it out of the cache's `*.json` entry
+/// namespace (and out of [`RunCache::verify`] audits).
+pub const JOURNAL_FILE: &str = "sweep-journal.jsonl";
+
+/// Journal records between fsync checkpoints on the supervised path
+/// (every record is flushed to the OS immediately; the checkpoint is
+/// the power-loss bound).
+const CHECKPOINT_EVERY: u64 = 8;
 
 /// Schema identifier of one serialized run result.
 pub const RUN_SCHEMA: &str = "rcoal-run/v1";
@@ -199,11 +212,21 @@ pub struct RunnerReport {
     pub served: u64,
     /// Fresh simulations performed.
     pub launched: u64,
+    /// Supervised tasks that succeeded only after retrying.
+    pub retried: u64,
+    /// Supervised tasks that exhausted their retry budget and were
+    /// quarantined (their rows are `None` in the [`SweepOutcome`]).
+    pub quarantined: u64,
+    /// Distinct scenarios served from the store that a previous
+    /// process's journal had recorded as completed — the work a resume
+    /// did *not* redo.
+    pub journal_replayed: u64,
 }
 
 impl RunnerReport {
-    /// Occurrences answered without a fresh simulation — by the cache or
-    /// by in-batch deduplication.
+    /// Occurrences answered without a fresh simulation — by the cache,
+    /// by in-batch deduplication, or (on the supervised path) left
+    /// unresolved by quarantine.
     pub fn hits(&self) -> u64 {
         self.served - self.launched
     }
@@ -215,6 +238,50 @@ impl RunnerReport {
         } else {
             self.hits() as f64 / self.served as f64
         }
+    }
+}
+
+/// A scenario the supervised path gave up on: its task exhausted the
+/// retry budget (panic, error, or deadline overrun on every attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedScenario {
+    /// First index of this scenario in the input list.
+    pub index: usize,
+    /// The scenario's content hash.
+    pub hash: u64,
+    /// Attempts consumed (first try + retries).
+    pub attempts: u32,
+    /// Human-readable failure description (last attempt's).
+    pub reason: String,
+}
+
+/// What a supervised sweep produced: one row per input scenario
+/// (`None` where the scenario was quarantined), the quarantine details,
+/// and the runner's cumulative report.
+///
+/// A partially-failed sweep is a *result*, not an error — callers
+/// decide whether `quarantined` is fatal. This is the difference from
+/// [`SweepRunner::run_scenarios`], which fails the whole batch on the
+/// first broken scenario.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Results in input order; `None` marks a quarantined scenario.
+    pub rows: Vec<Option<ExperimentData>>,
+    /// One entry per distinct quarantined scenario, in input order.
+    pub quarantined: Vec<QuarantinedScenario>,
+    /// The runner's cumulative report after this batch.
+    pub report: RunnerReport,
+}
+
+impl SweepOutcome {
+    /// Whether every input scenario produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Rows that resolved to a result.
+    pub fn completed(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
     }
 }
 
@@ -239,8 +306,20 @@ pub struct SweepRunner {
     cache: RunCache<ExperimentData>,
     caching: bool,
     threads: Option<usize>,
+    supervision: SupervisorPolicy,
+    chaos: ChaosPlan,
+    journal: Option<SweepJournal>,
+    /// Hashes the journal proved complete before this process started.
+    replayed: HashSet<u64>,
+    metrics: Option<MetricsRegistry>,
     served: AtomicU64,
     launched: AtomicU64,
+    retried: AtomicU64,
+    quarantined: AtomicU64,
+    journal_served: AtomicU64,
+    /// Monotonic op counter for chaos panic injection: retries draw
+    /// fresh ops, so an injected panic is transient, not permanent.
+    chaos_ops: AtomicU64,
 }
 
 impl Default for SweepRunner {
@@ -256,8 +335,17 @@ impl SweepRunner {
             cache: RunCache::in_memory(),
             caching: true,
             threads: None,
+            supervision: SupervisorPolicy::default(),
+            chaos: ChaosPlan::inert(),
+            journal: None,
+            replayed: HashSet::new(),
+            metrics: None,
             served: AtomicU64::new(0),
             launched: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            journal_served: AtomicU64::new(0),
+            chaos_ops: AtomicU64::new(0),
         }
     }
 
@@ -281,10 +369,59 @@ impl SweepRunner {
         Ok(runner)
     }
 
+    /// A runner with the full crash-safe store under `dir`: the disk
+    /// cache plus an append-only sweep journal ([`JOURNAL_FILE`]).
+    ///
+    /// Opening the store replays the journal of any previous process —
+    /// a sweep killed mid-flight picks up where it crashed, serving the
+    /// journaled runs from the cache bit-identically and re-simulating
+    /// only the remainder. [`RunnerReport::journal_replayed`] counts
+    /// the runs a resume did not redo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Scenario`] if the directory or
+    /// journal cannot be created/recovered.
+    pub fn with_store(dir: impl AsRef<Path>) -> Result<Self, ExperimentError> {
+        let dir = dir.as_ref();
+        let mut runner = Self::with_disk_cache(dir)?;
+        let journal = SweepJournal::open(dir.join(JOURNAL_FILE))?;
+        runner.replayed = journal.replay().completed_set();
+        runner.journal = Some(journal);
+        Ok(runner)
+    }
+
     /// Pins the worker-thread count for sweeps (`1` = sequential).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the supervision policy (retry budget, backoff, deadline)
+    /// used by [`SweepRunner::run_scenarios_supervised`].
+    #[must_use]
+    pub fn with_supervision(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervision = policy;
+        self
+    }
+
+    /// Arms seeded fault injection: worker panics and the abort switch
+    /// fire in the supervised execution path, write-path faults in the
+    /// cache. Test-only by intent; the default plan is inert.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
+        self.cache.set_chaos(plan);
+        self
+    }
+
+    /// Mirrors runner and cache failure counters into `registry`
+    /// (`pool.sweep.*` and `cache.*`).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.cache.set_metrics(registry.clone());
+        self.metrics = Some(registry);
         self
     }
 
@@ -298,7 +435,37 @@ impl SweepRunner {
         RunnerReport {
             served: self.served.load(Ordering::Relaxed),
             launched: self.launched.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            journal_replayed: self.journal_served.load(Ordering::Relaxed),
         }
+    }
+
+    /// Drains the cache's warning events (write failures, quarantined
+    /// entries) accumulated so far.
+    pub fn take_cache_events(&self) -> Vec<rcoal_telemetry::Event> {
+        self.cache.take_events()
+    }
+
+    /// Audits every on-disk store entry without modifying anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Scenario`] if the runner has no disk
+    /// store or it cannot be listed.
+    pub fn verify_store(&self) -> Result<rcoal_scenario::StoreAudit, ExperimentError> {
+        Ok(self.cache.verify()?)
+    }
+
+    /// Audits the store, quarantining corrupt entries to `.corrupt`
+    /// sidecars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Scenario`] if the runner has no disk
+    /// store or it cannot be listed.
+    pub fn repair_store(&self) -> Result<rcoal_scenario::StoreAudit, ExperimentError> {
+        Ok(self.cache.repair()?)
     }
 
     /// Expands `spec` and runs the expansion in order.
@@ -392,6 +559,146 @@ impl SweepRunner {
                     .ok_or_else(|| ExperimentError::MissingData("unresolved scenario".into()))
             })
             .collect()
+    }
+
+    /// Expands `spec` and runs the expansion through the supervised,
+    /// crash-safe path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion errors only; execution failures land in the
+    /// outcome's quarantine list.
+    pub fn run_sweep_supervised(&self, spec: &SweepSpec) -> Result<SweepOutcome, ExperimentError> {
+        let scenarios = spec.expand()?;
+        Ok(self.run_scenarios_supervised(&scenarios))
+    }
+
+    /// Runs a scenario list under worker supervision, with per-run
+    /// persistence and journaling.
+    ///
+    /// This is the crash-safe sibling of [`SweepRunner::run_scenarios`],
+    /// differing in three ways:
+    ///
+    /// * **Isolation** — a panicking, failing, or overrunning task is
+    ///   retried per the [`SupervisorPolicy`] and, if it keeps failing,
+    ///   *quarantined*: its row comes back `None` and the sweep keeps
+    ///   going. Nothing short of expansion errors fails the batch.
+    /// * **Per-completion persistence** — each fresh result is written
+    ///   to the cache and journaled *as it completes*, inside the
+    ///   worker, not at batch end. A process killed mid-sweep has
+    ///   durably recorded every finished run; re-running under
+    ///   [`SweepRunner::with_store`] serves them back bit-identically.
+    /// * **Checkpointing** — every journal append is flushed, and every
+    ///   [`CHECKPOINT_EVERY`]-th is fsync'd (plus a final sync), so even
+    ///   power loss loses at most one checkpoint window of bookkeeping
+    ///   (never results: the cache entries themselves are fsync'd).
+    ///
+    /// The strict path's determinism contract still holds: rows are
+    /// bit-identical at any thread count, because supervision only
+    /// decides *whether* a result exists, never *which* result wins.
+    pub fn run_scenarios_supervised(&self, scenarios: &[Scenario]) -> SweepOutcome {
+        let mut resolved: HashMap<u64, ExperimentData> = HashMap::new();
+        let mut missing: Vec<&Scenario> = Vec::new();
+        let mut missing_keys: HashSet<u64> = HashSet::new();
+        let mut first_index: HashMap<u64, usize> = HashMap::new();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let key = scenario.content_hash();
+            first_index.entry(key).or_insert(i);
+            if resolved.contains_key(&key) || missing_keys.contains(&key) {
+                continue;
+            }
+            if self.caching {
+                if let Some(data) = self.cache.get(scenario) {
+                    if self.replayed.contains(&key) {
+                        self.journal_served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    resolved.insert(key, data);
+                    continue;
+                }
+            }
+            missing.push(scenario);
+            missing_keys.insert(key);
+        }
+
+        let inner_threads = if missing.len() > 1 { Some(1) } else { None };
+        let (results, pool_report) = supervised_map(
+            resolve_threads(self.threads),
+            &self.supervision,
+            &missing,
+            |_i, scenario| -> Result<ExperimentData, ExperimentError> {
+                let op = self.chaos_ops.fetch_add(1, Ordering::Relaxed);
+                if self.chaos.panics_on(op) {
+                    panic!("injected chaos panic (op {op})");
+                }
+                let mut cfg = scenario_config(scenario);
+                cfg.threads = inner_threads.or(self.threads);
+                let data = cfg.run()?;
+                // Persist *inside* the worker: a crash after this point
+                // cannot lose the completed run.
+                if self.caching {
+                    self.cache.insert(scenario, data.clone());
+                }
+                if let Some(journal) = &self.journal {
+                    // Journal loss is recoverable (the store stays
+                    // authoritative; a lost line costs one re-run), so
+                    // an append error must not fail the task.
+                    if journal.record_completed(scenario.content_hash()).is_ok() {
+                        let appended = journal.appended();
+                        if appended.is_multiple_of(CHECKPOINT_EVERY) {
+                            let _ = journal.sync();
+                        }
+                        if self.chaos.abort_after.is_some_and(|n| appended >= n) {
+                            // The honest crash: no unwinding, no
+                            // destructors, nothing saved by a landing
+                            // pad. What the store has is what survives.
+                            std::process::abort();
+                        }
+                    }
+                }
+                Ok(data)
+            },
+        );
+
+        let mut quarantined = Vec::new();
+        let mut fresh = 0u64;
+        for (scenario, result) in missing.iter().zip(results) {
+            let key = scenario.content_hash();
+            match result {
+                Ok(data) => {
+                    resolved.insert(key, data);
+                    fresh += 1;
+                }
+                Err(failure) => quarantined.push(QuarantinedScenario {
+                    index: first_index.get(&key).copied().unwrap_or(0),
+                    hash: key,
+                    attempts: failure.attempts,
+                    reason: failure.to_string(),
+                }),
+            }
+        }
+        if let Some(journal) = &self.journal {
+            let _ = journal.sync();
+        }
+        self.launched.fetch_add(fresh, Ordering::Relaxed);
+        self.served
+            .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
+        self.retried
+            .fetch_add(pool_report.outcomes.retried, Ordering::Relaxed);
+        self.quarantined
+            .fetch_add(pool_report.outcomes.failed(), Ordering::Relaxed);
+        if let Some(registry) = &self.metrics {
+            pool_report.record_into(registry, "sweep");
+        }
+
+        let rows = scenarios
+            .iter()
+            .map(|s| resolved.get(&s.content_hash()).cloned())
+            .collect();
+        SweepOutcome {
+            rows,
+            quarantined,
+            report: self.report(),
+        }
     }
 }
 
@@ -621,6 +928,120 @@ mod tests {
             runner.run_sweep(&bad),
             Err(ExperimentError::Scenario(_))
         ));
+    }
+
+    /// A scenario the simulator rejects (FSS subwarps not dividing the
+    /// warp), for exercising failure paths.
+    fn broken() -> Scenario {
+        Scenario::new(CoalescingPolicy::fss(32).unwrap(), 1, 32)
+            .with_gpu(GpuOverrides {
+                warp_size: Some(8),
+                ..GpuOverrides::default()
+            })
+            .functional_only()
+    }
+
+    #[test]
+    fn supervised_sweep_quarantines_instead_of_failing() {
+        let runner = SweepRunner::new();
+        let good = tiny(CoalescingPolicy::Baseline, 1).functional_only();
+        let batch = vec![good.clone(), broken(), good.clone()];
+        let outcome = runner.run_scenarios_supervised(&batch);
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.rows.len(), 3);
+        assert!(outcome.rows[0].is_some());
+        assert!(outcome.rows[1].is_none(), "broken row is None, not fatal");
+        assert_eq!(outcome.rows[0], outcome.rows[2], "dedup still applies");
+        assert_eq!(outcome.completed(), 2);
+        assert_eq!(outcome.quarantined.len(), 1);
+        let q = &outcome.quarantined[0];
+        assert_eq!((q.index, q.hash), (1, broken().content_hash()));
+        assert!(q.attempts >= 1);
+        assert_eq!(outcome.report.quarantined, 1);
+        // The runner stays usable: the good scenario now serves from
+        // cache and a fresh batch succeeds outright.
+        let again = runner.run_scenarios_supervised(std::slice::from_ref(&good));
+        assert!(again.is_complete());
+        assert_eq!(again.report.launched, 1, "good run was cached");
+    }
+
+    #[test]
+    fn supervised_rows_match_the_strict_path_bit_identically() {
+        let scenarios = vec![
+            tiny(CoalescingPolicy::Baseline, 2).functional_only(),
+            tiny(CoalescingPolicy::fss(8).unwrap(), 2).functional_only(),
+            tiny(CoalescingPolicy::rss(4).unwrap(), 2).functional_only(),
+        ];
+        let strict = SweepRunner::new().run_scenarios(&scenarios).unwrap();
+        let supervised = SweepRunner::new()
+            .with_threads(2)
+            .run_scenarios_supervised(&scenarios);
+        assert!(supervised.is_complete());
+        let rows: Vec<ExperimentData> = supervised.rows.into_iter().flatten().collect();
+        assert_eq!(rows, strict);
+    }
+
+    #[test]
+    fn store_resume_serves_journaled_runs_bit_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("rcoal-engine-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenarios = vec![
+            tiny(CoalescingPolicy::Baseline, 1).functional_only(),
+            tiny(CoalescingPolicy::Disabled, 1).functional_only(),
+        ];
+        let first = {
+            let runner = SweepRunner::with_store(&dir).unwrap();
+            let outcome = runner.run_scenarios_supervised(&scenarios);
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.report.launched, 2);
+            assert_eq!(outcome.report.journal_replayed, 0);
+            outcome.rows
+        };
+        assert!(dir.join(super::JOURNAL_FILE).exists());
+        // A second process (fresh runner, same store) re-simulates
+        // nothing: the journal proves completion, the cache serves the
+        // exact bytes.
+        let runner = SweepRunner::with_store(&dir).unwrap();
+        let outcome = runner.run_scenarios_supervised(&scenarios);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.launched, 0, "nothing re-simulated");
+        assert_eq!(outcome.report.journal_replayed, 2);
+        assert_eq!(outcome.rows, first, "resume is bit-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_panics_never_lose_tasks() {
+        use rcoal_scenario::ChaosPlan;
+        // Aggressive panic injection, single-threaded for a
+        // deterministic op schedule. Every input must end as a result
+        // or an accounted quarantine — never silently vanish.
+        let runner = SweepRunner::new()
+            .with_threads(1)
+            .with_chaos(ChaosPlan::seeded(11).with_panics(2));
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                tiny(CoalescingPolicy::Baseline, 1)
+                    .with_seed(0x1000 + i)
+                    .functional_only()
+            })
+            .collect();
+        let outcome = runner.run_scenarios_supervised(&scenarios);
+        assert_eq!(outcome.rows.len(), 6);
+        assert_eq!(
+            outcome.completed() + outcome.quarantined.len(),
+            6,
+            "every task accounted for"
+        );
+        for q in &outcome.quarantined {
+            assert!(q.reason.contains("panic"), "{}", q.reason);
+        }
+        let report = outcome.report;
+        assert!(
+            report.retried > 0 || report.quarantined > 0,
+            "period-2 injection must have fired: {report:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,8 @@ mod telemetry;
 mod workload;
 
 pub use engine::{
-    decode_run, encode_run, run_to_value, scenario_config, RunnerReport, SweepRunner, RUN_SCHEMA,
+    decode_run, encode_run, run_to_value, scenario_config, QuarantinedScenario, RunnerReport,
+    SweepOutcome, SweepRunner, JOURNAL_FILE, RUN_SCHEMA,
 };
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};

@@ -1,0 +1,337 @@
+//! Append-only sweep journal (`rcoal-journal/v1`).
+//!
+//! The journal is the sweep runner's crash-safe progress record: one
+//! JSON line per completed scenario, appended (and flushed) the moment
+//! the run's result has been persisted to the store. A process killed
+//! mid-sweep leaves a journal whose lines name exactly the work that
+//! does not need to be redone; re-opening the journal replays them and
+//! resumes appending.
+//!
+//! Recovery semantics are deliberately boring:
+//!
+//! * A **torn tail** — a final line cut short by the crash — is
+//!   expected, detected, and truncated away on open (the record it
+//!   described was never acknowledged, so dropping it is safe: the
+//!   worst case is re-running one scenario whose result the store most
+//!   likely already serves).
+//! * **Malformed interior lines** are counted and skipped, never
+//!   propagated: the journal is an optimization over the
+//!   content-addressed store, so losing a line costs one redundant
+//!   simulation, not correctness.
+//! * The journal never *decides* what a result is — results live in the
+//!   checksummed store; the journal only proves completion, which is
+//!   why replaying it can never corrupt a sweep.
+
+use crate::json::Value;
+use crate::scenario::ScenarioError;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Schema identifier written into every journal line.
+pub const JOURNAL_SCHEMA: &str = "rcoal-journal/v1";
+
+/// What re-opening a journal found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Completed scenario content hashes, in append order (duplicates
+    /// preserved — a hash may complete again in a later sweep).
+    pub completed: Vec<u64>,
+    /// Whether a torn (crash-truncated) final line was dropped.
+    pub torn_tail: bool,
+    /// Interior lines that failed to parse and were skipped.
+    pub malformed: u64,
+}
+
+impl JournalReplay {
+    /// The distinct completed hashes, for membership tests.
+    pub fn completed_set(&self) -> HashSet<u64> {
+        self.completed.iter().copied().collect()
+    }
+}
+
+/// An append-only, crash-tolerant record of completed scenario hashes.
+///
+/// All methods take `&self`; the journal is safe to share across the
+/// worker threads of a sweep (appends are serialized by a mutex and
+/// each record is written with a single `write_all` + flush).
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+    appended: AtomicU64,
+    replay: JournalReplay,
+}
+
+impl SweepJournal {
+    /// Opens (creating if absent) the journal at `path`, replaying any
+    /// existing records and truncating a torn tail left by a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the file cannot be read, repaired,
+    /// or opened for append.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, ScenarioError> {
+        let path = path.into();
+        let mut replay = JournalReplay::default();
+        if path.exists() {
+            let mut file = File::open(&path)
+                .map_err(|e| ScenarioError::new(format!("cannot read {}: {e}", path.display())))?;
+            let mut text = String::new();
+            file.read_to_string(&mut text)
+                .map_err(|e| ScenarioError::new(format!("cannot read {}: {e}", path.display())))?;
+            drop(file);
+            let keep_bytes = replay_lines(&text, &mut replay);
+            if keep_bytes < text.len() {
+                // Drop the torn tail so future appends start on a clean
+                // line boundary.
+                let f = OpenOptions::new().write(true).open(&path).map_err(|e| {
+                    ScenarioError::new(format!("cannot repair {}: {e}", path.display()))
+                })?;
+                f.set_len(keep_bytes as u64).map_err(|e| {
+                    ScenarioError::new(format!("cannot truncate {}: {e}", path.display()))
+                })?;
+                f.sync_all().ok();
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ScenarioError::new(format!("cannot open {}: {e}", path.display())))?;
+        // Defensive: append mode positions at EOF already; make it
+        // explicit so a platform quirk can't interleave records.
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| ScenarioError::new(format!("cannot seek {}: {e}", path.display())))?;
+        Ok(SweepJournal {
+            path,
+            file: Mutex::new(file),
+            appended: AtomicU64::new(0),
+            replay,
+        })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// What opening this journal replayed from previous processes.
+    pub fn replay(&self) -> &JournalReplay {
+        &self.replay
+    }
+
+    /// Records this process has journaled (excludes replayed ones).
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Appends a completed-scenario record and flushes it to the OS.
+    ///
+    /// Durability note: flush pushes the record into the page cache
+    /// (surviving a process kill); [`SweepJournal::sync`] is the
+    /// checkpoint that survives power loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the append or flush fails.
+    pub fn record_completed(&self, hash: u64) -> Result<(), ScenarioError> {
+        let line =
+            format!("{{\"schema\":\"{JOURNAL_SCHEMA}\",\"event\":\"completed\",\"hash\":\"{hash:016x}\"}}\n");
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| {
+                ScenarioError::new(format!("cannot append to {}: {e}", self.path.display()))
+            })?;
+        drop(file);
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Checkpoints the journal: fsyncs everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the fsync fails.
+    pub fn sync(&self) -> Result<(), ScenarioError> {
+        self.file
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sync_all()
+            .map_err(|e| ScenarioError::new(format!("cannot sync {}: {e}", self.path.display())))
+    }
+}
+
+/// Parses journal text into `replay`, returning the byte length of the
+/// well-formed prefix (anything past it is a torn tail to truncate).
+fn replay_lines(text: &str, replay: &mut JournalReplay) -> usize {
+    let mut keep = 0usize;
+    let mut pos = 0usize;
+    for line in text.split_inclusive('\n') {
+        let complete = line.ends_with('\n');
+        pos += line.len();
+        let trimmed = line.trim_end_matches('\n');
+        if trimmed.is_empty() {
+            keep = pos;
+            continue;
+        }
+        match parse_line(trimmed) {
+            Some(hash) => {
+                if complete {
+                    replay.completed.push(hash);
+                    keep = pos;
+                } else {
+                    // A parseable but unterminated record: treat as torn
+                    // (the trailing newline is part of the commit).
+                    replay.torn_tail = true;
+                }
+            }
+            None if complete => {
+                replay.malformed += 1;
+                keep = pos;
+            }
+            None => {
+                replay.torn_tail = true;
+            }
+        }
+    }
+    keep
+}
+
+/// Parses one journal line to its completed hash; `None` if the line is
+/// not a well-formed completed record (malformed, wrong schema, or an
+/// event this version does not know).
+fn parse_line(line: &str) -> Option<u64> {
+    let v = Value::parse(line).ok()?;
+    if v.get("schema").and_then(Value::as_str) != Some(JOURNAL_SCHEMA) {
+        return None;
+    }
+    if v.get("event").and_then(Value::as_str) != Some("completed") {
+        return None;
+    }
+    let hex = v.get("hash").and_then(Value::as_str)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rcoal-journal-test-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = SweepJournal::open(&path).unwrap();
+            assert!(journal.replay().completed.is_empty());
+            journal.record_completed(0xdead).unwrap();
+            journal.record_completed(0xbeef).unwrap();
+            journal.record_completed(0xdead).unwrap();
+            journal.sync().unwrap();
+            assert_eq!(journal.appended(), 3);
+        }
+        let journal = SweepJournal::open(&path).unwrap();
+        let replay = journal.replay();
+        assert_eq!(replay.completed, vec![0xdead, 0xbeef, 0xdead]);
+        assert_eq!(replay.completed_set().len(), 2);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.malformed, 0);
+        assert_eq!(journal.appended(), 0, "replayed records are not appends");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = SweepJournal::open(&path).unwrap();
+            journal.record_completed(1).unwrap();
+            journal.record_completed(2).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated final record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":\"rcoal-journal/v1\",\"event\":\"comp");
+        std::fs::write(&path, &text).unwrap();
+
+        let journal = SweepJournal::open(&path).unwrap();
+        assert_eq!(journal.replay().completed, vec![1, 2]);
+        assert!(journal.replay().torn_tail);
+        // The tail was physically truncated, so a new append starts on a
+        // clean boundary and a third open sees three clean records.
+        journal.record_completed(3).unwrap();
+        drop(journal);
+        let third = SweepJournal::open(&path).unwrap();
+        assert_eq!(third.replay().completed, vec![1, 2, 3]);
+        assert!(!third.replay().torn_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parseable_but_unterminated_tail_counts_as_torn() {
+        let path = temp_path("unterminated");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "{\"schema\":\"rcoal-journal/v1\",\"event\":\"completed\",\"hash\":\"0000000000000001\"}\n{\"schema\":\"rcoal-journal/v1\",\"event\":\"completed\",\"hash\":\"0000000000000002\"}",
+        )
+        .unwrap();
+        let journal = SweepJournal::open(&path).unwrap();
+        assert_eq!(journal.replay().completed, vec![1], "no newline, no commit");
+        assert!(journal.replay().torn_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_interior_lines_are_counted_and_skipped() {
+        let path = temp_path("malformed");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "not json at all\n{\"schema\":\"rcoal-journal/v1\",\"event\":\"completed\",\"hash\":\"00000000000000aa\"}\n{\"schema\":\"rcoal-metrics/v1\"}\n",
+        )
+        .unwrap();
+        let journal = SweepJournal::open(&path).unwrap();
+        assert_eq!(journal.replay().completed, vec![0xaa]);
+        assert_eq!(journal.replay().malformed, 2);
+        assert!(!journal.replay().torn_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        let path = temp_path("concurrent");
+        let _ = std::fs::remove_file(&path);
+        let journal = std::sync::Arc::new(SweepJournal::open(&path).unwrap());
+        let handles: Vec<_> = (0u64..4)
+            .map(|t| {
+                let journal = std::sync::Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        journal.record_completed(t * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(journal.appended(), 100);
+        drop(journal);
+        let replay = SweepJournal::open(&path).unwrap();
+        assert_eq!(replay.replay().completed.len(), 100);
+        assert_eq!(replay.replay().malformed, 0, "no interleaved lines");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

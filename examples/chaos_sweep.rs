@@ -1,0 +1,102 @@
+//! Crash-safe sweeps under host-level chaos: supervised workers,
+//! journaled persistence, and kill-and-resume.
+//!
+//! ```text
+//! cargo run --release --example chaos_sweep
+//! ```
+//!
+//! PR 1 injected faults into the *simulated* GPU; this demo injects
+//! them into the *host* that runs it: worker panics, failed disk
+//! writes, and payload corruption, all from one seeded [`ChaosPlan`].
+//! The supervised sweep path retries panicking workers, quarantines
+//! the incurable, counts every lost disk write, and journals each
+//! completed run as it finishes — so a killed process resumes where it
+//! crashed, serving finished work bit-identically from the store.
+
+use rcoal::prelude::*;
+use rcoal_experiments::SweepRunner;
+use rcoal_scenario::{ChaosPlan, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = std::env::temp_dir().join(format!("rcoal-chaos-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // A small grid: 3 policies x 4 seeds, functional-only for speed.
+    let mut scenarios = Vec::new();
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::fss(8)?,
+        CoalescingPolicy::rss_rts(4)?,
+    ] {
+        for seed in 0..4u64 {
+            scenarios.push(
+                Scenario::new(policy, 4, 32)
+                    .with_seed(0xc0de + seed)
+                    .functional_only(),
+            );
+        }
+    }
+
+    // Phase 1: a hostile host. Roughly every 3rd worker op panics and
+    // every 4th disk write fails; the supervisor retries panics (fresh
+    // ops, so retries usually land) and the store counts every loss.
+    println!("phase 1: sweep under chaos (panic period 3, io-failure period 4)");
+    let chaos = ChaosPlan::seeded(0xbad).with_panics(3).with_io_failures(4);
+    let runner = SweepRunner::with_store(&store)?.with_chaos(chaos);
+    // The injected panics are the point of the demo; keep their
+    // default-hook spew out of the output (the supervisor still sees
+    // and reports every one).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = runner.run_scenarios_supervised(&scenarios);
+    std::panic::set_hook(default_hook);
+    let stats = runner.cache_stats();
+    println!(
+        "  {} of {} runs completed, {} quarantined, {} retried",
+        outcome.completed(),
+        scenarios.len(),
+        outcome.quarantined.len(),
+        outcome.report.retried,
+    );
+    println!(
+        "  store: {} persisted, {} writes failed (counted, not swallowed)",
+        stats.disk_stores, stats.write_failures
+    );
+    for q in &outcome.quarantined {
+        println!("  quarantined {:016x}: {}", q.hash, q.reason);
+    }
+    for event in runner.take_cache_events() {
+        println!("  [telemetry] {}", event.to_line());
+    }
+    drop(runner);
+
+    // Phase 2: the "next process" — same store, no chaos. The journal
+    // replays what phase 1 completed; only lost or quarantined work
+    // re-simulates, and every replayed row is bit-identical.
+    println!("\nphase 2: resume from the journal, chaos disarmed");
+    let runner = SweepRunner::with_store(&store)?;
+    let resumed = runner.run_scenarios_supervised(&scenarios);
+    assert!(resumed.is_complete(), "clean host, complete sweep");
+    println!(
+        "  {} runs served: {} replayed from the journal, {} re-simulated",
+        resumed.rows.len(),
+        resumed.report.journal_replayed,
+        resumed.report.launched,
+    );
+    for (row, prev) in resumed.rows.iter().zip(&outcome.rows) {
+        if let (Some(now), Some(before)) = (row.as_ref(), prev.as_ref()) {
+            assert_eq!(now, before, "replayed results are bit-identical");
+        }
+    }
+    println!("  replayed rows verified bit-identical to phase 1");
+
+    // Phase 3: audit the store like CI does (`rcoal-cli cache verify`).
+    let audit = runner.verify_store()?;
+    println!(
+        "\nphase 3: store audit — {} entries, {} ok, {} corrupt",
+        audit.entries, audit.ok, audit.corrupt
+    );
+
+    std::fs::remove_dir_all(&store)?;
+    Ok(())
+}

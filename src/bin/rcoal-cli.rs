@@ -9,10 +9,10 @@
 
 use rcoal::cli::{parse_policy, parse_threads, write_artifact, ParsedArgs};
 use rcoal::prelude::*;
-use rcoal_experiments::engine::{encode_run, SweepRunner};
+use rcoal_experiments::engine::{decode_run, encode_run, SweepRunner};
 use rcoal_experiments::figures::{fig15_16_comparison, fig17_rcoal_score};
 use rcoal_scenario::json::{ObjBuilder, Value};
-use rcoal_scenario::parse_spec;
+use rcoal_scenario::{parse_spec, ChaosPlan, RunCache};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -37,12 +37,30 @@ USAGE:
   rcoal-cli score [--samples N] [--seed S] [--threads T]
       Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
 
-  rcoal-cli sweep --spec FILE --out DIR [--threads T] [--cache false]
+  rcoal-cli sweep --spec FILE --out DIR [--threads T] [--cache false] [--resume true]
+                  [--chaos-seed S] [--chaos-panic-period N] [--chaos-abort-after N]
       Expand a declarative rcoal-sweep/v1 (or single rcoal-scenario/v1)
       JSON spec, run every scenario through the content-addressed run
       cache (persisted under DIR/cache), write each run result to
       DIR/results/<hash>.json, and emit DIR/index.json tying scenarios
       to results. Re-running the same spec serves everything from cache.
+      With --resume true the sweep runs on the crash-safe supervised
+      path: every completed run is persisted and journaled as it
+      finishes, a killed sweep resumes from DIR/cache without redoing
+      completed work, and failing scenarios are quarantined (reported,
+      row skipped) instead of failing the sweep. The --chaos-* flags
+      arm seeded fault injection (worker panics / process abort after N
+      journal records) for crash testing; they imply the supervised
+      path.
+
+  rcoal-cli cache verify DIR
+      Audit every rcoal-cache-entry/v1 file under DIR (checksums, hash
+      and length checks) without modifying anything. Exits 1 if any
+      entry is corrupt.
+
+  rcoal-cli cache repair DIR
+      Same audit, but move corrupt entries aside to .corrupt sidecar
+      files so future sweeps re-simulate them cleanly.
 
   rcoal-cli scenario validate FILE
       Parse a scenario or sweep spec, validate every expanded scenario,
@@ -99,6 +117,7 @@ fn run() -> Result<(), String> {
         Some("attack") => cmd_attack(&args),
         Some("score") => cmd_score(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("cache") => cmd_cache(&args),
         Some("scenario") => cmd_scenario(&args),
         Some("conformance") => cmd_conformance(&args),
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -489,16 +508,37 @@ fn cmd_scenario(args: &ParsedArgs) -> Result<(), String> {
     }
 }
 
+/// Parses an optional `--name N` u64 flag.
+fn opt_u64(args: &ParsedArgs, name: &str) -> Result<Option<u64>, String> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{name} must be a non-negative integer, got {s:?}")),
+    }
+}
+
 fn cmd_sweep(args: &ParsedArgs) -> Result<(), String> {
     let spec_path = args.get("spec").ok_or("sweep needs --spec FILE")?;
     let out = PathBuf::from(args.get("out").ok_or("sweep needs --out DIR")?);
     let caching: bool = args.get_or("cache", true)?;
     let threads = parse_threads(args)?;
+    let resume: bool = args.get_or("resume", false)?;
+    let chaos_seed: u64 = args.get_or("chaos-seed", 0)?;
+    let panic_period = opt_u64(args, "chaos-panic-period")?;
+    let abort_after = opt_u64(args, "chaos-abort-after")?;
+    let supervised = resume || panic_period.is_some() || abort_after.is_some();
+    if supervised && !caching {
+        return Err("--resume / --chaos-* need the cache (drop --cache false)".into());
+    }
 
     let scenarios = load_spec(spec_path)?;
     println!("expanded {} scenario(s) from {spec_path}", scenarios.len());
 
-    let mut runner = if caching {
+    let mut runner = if supervised {
+        SweepRunner::with_store(out.join("cache")).map_err(|e| e.to_string())?
+    } else if caching {
         SweepRunner::with_disk_cache(out.join("cache")).map_err(|e| e.to_string())?
     } else {
         SweepRunner::uncached()
@@ -506,33 +546,62 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), String> {
     if let Some(t) = threads {
         runner = runner.with_threads(t);
     }
-    let results = runner
-        .run_scenarios(&scenarios)
-        .map_err(|e| e.to_string())?;
+    if panic_period.is_some() || abort_after.is_some() {
+        let mut plan = ChaosPlan::seeded(chaos_seed);
+        if let Some(p) = panic_period {
+            plan = plan.with_panics(p);
+        }
+        if let Some(n) = abort_after {
+            plan = plan.with_abort_after(n);
+        }
+        runner = runner.with_chaos(plan);
+    }
+
+    // The supervised path quarantines broken scenarios (row = None);
+    // the strict path fails the whole sweep on the first one.
+    let (rows, quarantined) = if supervised {
+        let outcome = runner.run_scenarios_supervised(&scenarios);
+        (outcome.rows, outcome.quarantined)
+    } else {
+        let results = runner
+            .run_scenarios(&scenarios)
+            .map_err(|e| e.to_string())?;
+        (results.into_iter().map(Some).collect(), Vec::new())
+    };
 
     let results_dir = out.join("results");
     std::fs::create_dir_all(&results_dir)
         .map_err(|e| format!("cannot create {}: {e}", results_dir.display()))?;
     let mut entries = Vec::with_capacity(scenarios.len());
-    for (s, d) in scenarios.iter().zip(&results) {
+    for (s, row) in scenarios.iter().zip(&rows) {
         let hash = s.hash_hex();
-        let result_ref = match encode_run(d) {
-            Some(json) => {
-                let file = results_dir.join(format!("{hash}.json"));
-                std::fs::write(&file, json)
-                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-                Value::str(format!("results/{hash}.json"))
-            }
-            // Telemetry-bearing runs stay memory-only by design.
-            None => Value::Null,
-        };
         let mut entry = ObjBuilder::new()
             .field("hash", Value::str(&hash))
-            .field("scenario", s.to_value())
-            .field("result", result_ref)
-            .field("mean_total_accesses", Value::f64(d.mean_total_accesses()));
-        if let Ok(cycles) = d.mean_total_cycles() {
-            entry = entry.field("mean_total_cycles", Value::f64(cycles));
+            .field("scenario", s.to_value());
+        match row {
+            Some(d) => {
+                let result_ref = match encode_run(d) {
+                    Some(json) => {
+                        let file = results_dir.join(format!("{hash}.json"));
+                        std::fs::write(&file, json)
+                            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                        Value::str(format!("results/{hash}.json"))
+                    }
+                    // Telemetry-bearing runs stay memory-only by design.
+                    None => Value::Null,
+                };
+                entry = entry
+                    .field("result", result_ref)
+                    .field("mean_total_accesses", Value::f64(d.mean_total_accesses()));
+                if let Ok(cycles) = d.mean_total_cycles() {
+                    entry = entry.field("mean_total_cycles", Value::f64(cycles));
+                }
+            }
+            None => {
+                entry = entry
+                    .field("result", Value::Null)
+                    .field("quarantined", Value::Bool(true));
+            }
         }
         entries.push(entry.build());
     }
@@ -557,6 +626,70 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<(), String> {
         100.0 * report.hit_rate(),
         stats.disk_hits
     );
+    if supervised {
+        println!(
+            "journal          : {} run(s) replayed from a previous sweep, {} retried",
+            report.journal_replayed, report.retried
+        );
+    }
+    if !quarantined.is_empty() {
+        eprintln!("warning: {} scenario(s) quarantined:", quarantined.len());
+        for q in &quarantined {
+            eprintln!(
+                "  {:016x} after {} attempt(s): {}",
+                q.hash, q.attempts, q.reason
+            );
+        }
+    }
     println!("index written    : {}", index_path.display());
+    Ok(())
+}
+
+fn cmd_cache(args: &ParsedArgs) -> Result<(), String> {
+    let action = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("cache needs an action: verify or repair")?;
+    let dir = args
+        .positional
+        .get(2)
+        .map(String::as_str)
+        .ok_or("cache needs a DIR")?;
+    // Opening a store creates its directory; an audit must not
+    // conjure an empty-but-clean store out of a typo'd path.
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("cache directory {dir:?} does not exist"));
+    }
+    let cache: RunCache<ExperimentData> =
+        RunCache::with_disk(dir, encode_run, decode_run).map_err(|e| e.to_string())?;
+    let (audit, repaired) = match action {
+        "verify" => (cache.verify().map_err(|e| e.to_string())?, false),
+        "repair" => (cache.repair().map_err(|e| e.to_string())?, true),
+        other => {
+            return Err(format!(
+                "unknown cache action {other:?} (expected verify or repair)"
+            ))
+        }
+    };
+    println!(
+        "{dir}: {} entr{} checked, {} ok, {} corrupt{}",
+        audit.entries,
+        if audit.entries == 1 { "y" } else { "ies" },
+        audit.ok,
+        audit.corrupt,
+        if repaired {
+            format!(", {} moved to .corrupt", audit.repaired)
+        } else {
+            String::new()
+        }
+    );
+    for path in &audit.corrupt_paths {
+        println!("  corrupt: {}", path.display());
+    }
+    if !repaired && !audit.is_clean() {
+        // Verification failures must be visible to scripts/CI.
+        std::process::exit(1);
+    }
     Ok(())
 }

@@ -1,0 +1,211 @@
+//! End-to-end kill-and-resume test of `rcoal-cli sweep`.
+//!
+//! Drives the real binary as a subprocess: an uninterrupted reference
+//! sweep establishes the expected result bytes; a chaos sweep is then
+//! aborted mid-flight (`--chaos-abort-after`, a `std::process::abort`
+//! with no unwinding) and resumed with `--resume true`. The resumed
+//! sweep must serve every journaled run without re-simulating it and
+//! produce result files byte-identical to the reference — the
+//! acceptance criterion for the crash-safe store.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcoal-cli"))
+}
+
+fn spec_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/sweep_smoke.json"
+    )
+    .to_string()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcoal-cli-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("failed to launch rcoal-cli");
+    assert!(
+        out.status.success(),
+        "rcoal-cli failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Result files by name, as raw bytes.
+fn result_files(out_dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let dir = out_dir.join("results");
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        files.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read(&path).unwrap(),
+        );
+    }
+    files
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically() {
+    let reference_dir = temp_dir("reference");
+    let chaos_dir = temp_dir("interrupted");
+    let spec = spec_path();
+
+    // Reference: the sweep uninterrupted.
+    run_ok(cli().args([
+        "sweep",
+        "--spec",
+        &spec,
+        "--out",
+        reference_dir.to_str().unwrap(),
+        "--threads",
+        "1",
+    ]));
+    let reference = result_files(&reference_dir);
+    assert_eq!(reference.len(), 3, "smoke spec expands to 3 scenarios");
+
+    // Interrupted: abort the process after one journaled completion.
+    let killed = cli()
+        .args([
+            "sweep",
+            "--spec",
+            &spec,
+            "--out",
+            chaos_dir.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--chaos-abort-after",
+            "1",
+        ])
+        .output()
+        .expect("failed to launch rcoal-cli");
+    assert!(
+        !killed.status.success(),
+        "the chaos abort must kill the process"
+    );
+    let store = chaos_dir.join("cache");
+    assert!(
+        store.join("sweep-journal.jsonl").exists(),
+        "the journal survives the abort"
+    );
+    let journaled = std::fs::read_dir(&store)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "json")
+        })
+        .count();
+    assert!(
+        journaled >= 1,
+        "at least the aborting run's entry was persisted"
+    );
+
+    // The store must audit clean even after a hard abort.
+    run_ok(cli().args(["cache", "verify", store.to_str().unwrap()]));
+
+    // Resume: completes the sweep, re-simulating only the remainder.
+    let resumed = run_ok(cli().args([
+        "sweep",
+        "--spec",
+        &spec,
+        "--out",
+        chaos_dir.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--resume",
+        "true",
+    ]));
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("1 run(s) replayed from a previous sweep"),
+        "the resume must serve the journaled run without redoing it:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("served 3 run(s): 2 simulated"),
+        "only the un-journaled remainder simulates:\n{stdout}"
+    );
+
+    // The acceptance bar: resumed results byte-identical to reference.
+    let resumed_files = result_files(&chaos_dir);
+    assert_eq!(
+        resumed_files.keys().collect::<Vec<_>>(),
+        reference.keys().collect::<Vec<_>>(),
+        "same result set"
+    );
+    for (name, bytes) in &reference {
+        assert_eq!(
+            &resumed_files[name], bytes,
+            "{name} differs between reference and resumed sweep"
+        );
+    }
+
+    // A second resume is a pure replay: zero simulations.
+    let replay = run_ok(cli().args([
+        "sweep",
+        "--spec",
+        &spec,
+        "--out",
+        chaos_dir.to_str().unwrap(),
+        "--resume",
+        "true",
+    ]));
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(
+        stdout.contains("served 3 run(s): 0 simulated"),
+        "fully-journaled sweep must not simulate:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&reference_dir).unwrap();
+    std::fs::remove_dir_all(&chaos_dir).unwrap();
+}
+
+#[test]
+fn chaos_panic_sweep_never_loses_runs() {
+    let out_dir = temp_dir("panics");
+    let spec = spec_path();
+
+    // Panic injection at period 2 with the default retry budget: the
+    // sweep must finish (exit 0) with every scenario either resolved or
+    // explicitly quarantined in the index — nothing missing.
+    let out = run_ok(cli().args([
+        "sweep",
+        "--spec",
+        &spec,
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--chaos-seed",
+        "11",
+        "--chaos-panic-period",
+        "2",
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 3 run(s)"), "{stdout}");
+
+    let index = std::fs::read_to_string(out_dir.join("index.json")).unwrap();
+    let runs = index.matches("\"hash\"").count();
+    assert_eq!(runs, 3, "every scenario appears in the index:\n{index}");
+    let quarantined = index.matches("\"quarantined\"").count();
+    let with_result = index.matches("\"result\":\"results/").count();
+    assert_eq!(
+        with_result + quarantined,
+        3,
+        "each run resolved or quarantined, none lost:\n{index}"
+    );
+
+    std::fs::remove_dir_all(&out_dir).unwrap();
+}
