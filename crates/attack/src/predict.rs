@@ -19,6 +19,18 @@ pub struct AccessPredictor {
     coalescer: Coalescer,
     rng: StdRng,
     mc_samples: usize,
+    /// Memoized per-guess address table: `addr_table[b]` is the
+    /// pseudo-address of ciphertext byte `b` under the current guess.
+    /// The 256-guess sweep calls the predictor with one guess many
+    /// times (once per sample), so the inverse-SBox walk runs 256 times
+    /// per guess instead of `samples × lines` times.
+    addr_table: Vec<u64>,
+    addr_table_guess: Option<u8>,
+    /// Per-warp lane-address scratch, reused across every prediction so
+    /// the sweep's hot loop allocates nothing.
+    addrs_scratch: Vec<Option<u64>>,
+    /// Ciphertext byte-column scratch backing [`AccessPredictor::predict`].
+    bytes_scratch: Vec<u8>,
 }
 
 impl AccessPredictor {
@@ -32,6 +44,10 @@ impl AccessPredictor {
             coalescer: Coalescer::new(),
             rng: StdRng::seed_from_u64(seed),
             mc_samples: 1,
+            addr_table: Vec::new(),
+            addr_table_guess: None,
+            addrs_scratch: Vec::new(),
+            bytes_scratch: Vec::new(),
         }
     }
 
@@ -52,22 +68,46 @@ impl AccessPredictor {
     /// are `ciphertexts` (threads are mapped to lines sequentially,
     /// `warp_size` per warp).
     pub fn predict(&mut self, ciphertexts: &[Block], j: usize, guess: u8) -> f64 {
+        let mut bytes = std::mem::take(&mut self.bytes_scratch);
+        bytes.clear();
+        bytes.extend(ciphertexts.iter().map(|ct| ct[j]));
+        let total = self.predict_bytes(&bytes, guess);
+        self.bytes_scratch = bytes;
+        total
+    }
+
+    /// Like [`AccessPredictor::predict`], but takes the ciphertext byte
+    /// column `ciphertexts[..][j]` directly — the form the 256-guess
+    /// sweep uses, so the column is extracted once per byte position
+    /// instead of once per (sample, guess) pair. Bit-identical to
+    /// `predict` on the same column: the RNG draw order and the
+    /// floating-point accumulation order are unchanged.
+    pub fn predict_bytes(&mut self, bytes: &[u8], guess: u8) -> f64 {
+        if self.addr_table_guess != Some(guess) {
+            // Per-lane pseudo-addresses: the block index of the thread's
+            // T4 lookup, scaled to the coalescing granularity. Only
+            // block identity matters for the count, and it depends only
+            // on (ciphertext byte, guess) — 256 possible values.
+            let block_size = self.coalescer.block_size();
+            self.addr_table.clear();
+            self.addr_table.extend(
+                (0..=255u8).map(|b| u64::from(last_round_index(b, guess) >> 4) * block_size),
+            );
+            self.addr_table_guess = Some(guess);
+        }
         let mut total = 0.0;
-        for warp in ciphertexts.chunks(self.warp_size) {
-            // Per-lane pseudo-addresses: the block index of each thread's
-            // T4 lookup, scaled to the coalescing granularity. Only block
-            // identity matters for the count.
-            let addrs: Vec<Option<u64>> = warp
-                .iter()
-                .map(|ct| {
-                    let t = last_round_index(ct[j], guess);
-                    Some(u64::from(t >> 4) * self.coalescer.block_size())
-                })
-                .collect();
+        for warp in bytes.chunks(self.warp_size) {
+            let table = &self.addr_table;
+            self.addrs_scratch.clear();
+            self.addrs_scratch
+                .extend(warp.iter().map(|&b| Some(table[usize::from(b)])));
             for _ in 0..self.mc_samples {
                 match self.policy.assignment(warp.len(), &mut self.rng) {
                     Ok(assignment) => {
-                        total += self.coalescer.count_accesses(&assignment, &addrs) as f64
+                        total += self
+                            .coalescer
+                            .count_accesses(&assignment, &self.addrs_scratch)
+                            as f64
                             / self.mc_samples as f64;
                     }
                     Err(_) => {
@@ -203,6 +243,28 @@ mod tests {
             preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / preds.len() as f64
         };
         assert!(spread(16, 1) < spread(1, 1000));
+    }
+
+    #[test]
+    fn predict_bytes_is_bit_identical_to_predict() {
+        // The memoized byte-column path must replay the same RNG stream
+        // and the same f64 accumulation as the Block-based path, across
+        // guess switches (which rebuild the address table).
+        let (cts, k10) = ciphertexts(96, b"0123456789abcdef");
+        let column: Vec<u8> = cts.iter().map(|ct| ct[5]).collect();
+        for policy in [
+            CoalescingPolicy::Baseline,
+            CoalescingPolicy::fss(4).unwrap(),
+            CoalescingPolicy::rss_rts(4).unwrap(),
+        ] {
+            let mut a = AccessPredictor::new(policy, 32, 7).with_mc_samples(3);
+            let mut b = AccessPredictor::new(policy, 32, 7).with_mc_samples(3);
+            for guess in [0u8, k10[5], 255, k10[5]] {
+                let va = a.predict(&cts, 5, guess);
+                let vb = b.predict_bytes(&column, guess);
+                assert_eq!(va.to_bits(), vb.to_bits(), "guess {guess} {policy:?}");
+            }
+        }
     }
 
     #[test]

@@ -218,15 +218,24 @@ impl Attack {
         // Resolve the progress counter once; its clone-free atomic handle
         // is safe to tick from every worker thread.
         let guess_counter = self.metrics.as_ref().map(|m| m.counter("attack.guesses"));
+        // Hoist the byte-`j` ciphertext columns out of the sweep: every
+        // guess reads the same column, so extracting them per guess
+        // would redo `256 × samples × lines` block indexing. Together
+        // with the predictor's per-guess address table this memoizes
+        // everything about a plaintext that the 256 guesses share.
+        let columns: Vec<Vec<u8>> = samples
+            .iter()
+            .map(|s| s.ciphertexts.iter().map(|ct| ct[j]).collect())
+            .collect();
         // Each guess derives its predictor seed from the guess value, so
         // the 256 correlation computations are independent and sweep in
         // parallel with bit-identical results.
         let guesses: Vec<u8> = (0..=255u8).collect();
         let correlations = parallel_map(resolve_threads(self.threads), &guesses, |_, &m| {
             let mut predictor = self.predictor_for_guess(m);
-            let predicted: Vec<f64> = samples
+            let predicted: Vec<f64> = columns
                 .iter()
-                .map(|s| predictor.predict(&s.ciphertexts, j, m))
+                .map(|col| predictor.predict_bytes(col, m))
                 .collect();
             let r = pearson(&predicted, &times);
             if let Some(c) = &guess_counter {

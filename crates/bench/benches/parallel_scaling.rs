@@ -7,15 +7,27 @@
 //! the wall-clock numbers to `BENCH_parallel.json` at the repository
 //! root so the perf trajectory is tracked across PRs.
 //!
+//! Beyond end-to-end wall clock, the artifact breaks each leg into its
+//! pipeline stages — trace generation, simulation sweeps, attack — and
+//! records the peak live-heap transient of each leg (measured by a
+//! counting allocator) plus a per-concurrent-run share, so "it got
+//! faster" can't silently mean "it allocates 10x more".
+//!
 //! The speedup this records is bounded by the machine: on a box pinned
 //! to one core the parallel run cannot beat the sequential one, which is
 //! why the artifact also records `available_parallelism`.
 
+use rcoal_aes::AesGpuKernel;
 use rcoal_attack::Attack;
-use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{PeakAlloc, BENCH_SEED};
 use rcoal_core::CoalescingPolicy;
 use rcoal_experiments::{ExperimentConfig, ExperimentData, TimingSource};
+use rcoal_gpu_sim::GpuConfig;
+use rcoal_rng::{Rng, SeedableRng, StdRng};
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
 
 /// Plaintexts per experiment; enough launches for the fan-out to
 /// amortize thread startup while keeping the bench under a minute.
@@ -29,6 +41,13 @@ struct WorkloadResult {
     key_bytes: Vec<u8>,
     ranks: Vec<usize>,
     seconds: f64,
+    experiments_seconds: f64,
+    attack_seconds: f64,
+    /// Peak live-heap growth over the leg (bytes above the heap level at
+    /// entry), and that transient divided by the number of concurrent
+    /// runs — an estimate of what one in-flight launch costs.
+    peak_heap_bytes: usize,
+    per_run_heap_bytes: usize,
 }
 
 /// One multi-figure-style workload at a fixed thread count: two timing
@@ -38,6 +57,8 @@ fn run_workload(threads: usize) -> Result<WorkloadResult, String> {
         CoalescingPolicy::Baseline,
         CoalescingPolicy::rss_rts(8).map_err(|e| e.to_string())?,
     ];
+    let heap_floor = PeakAlloc::current_bytes();
+    PeakAlloc::reset_peak();
     let start = Instant::now();
     let mut data = Vec::new();
     for policy in policies {
@@ -49,13 +70,17 @@ fn run_workload(threads: usize) -> Result<WorkloadResult, String> {
                 .map_err(|e| e.to_string())?,
         );
     }
+    let experiments_seconds = start.elapsed().as_secs_f64();
     let baseline = &data[0];
+    let attack_start = Instant::now();
     let samples = baseline
         .attack_samples(TimingSource::LastRoundCycles)
         .map_err(|e| e.to_string())?;
     let attack = Attack::baseline(32).with_threads(Some(threads));
     let recovered = attack.recover_key(&samples).map_err(|e| e.to_string())?;
+    let attack_seconds = attack_start.elapsed().as_secs_f64();
     let seconds = start.elapsed().as_secs_f64();
+    let peak_heap_bytes = PeakAlloc::peak_bytes().saturating_sub(heap_floor);
 
     let k10 = baseline.true_last_round_key();
     let key_bytes = recovered.bytes.iter().map(|b| b.best_guess).collect();
@@ -67,7 +92,32 @@ fn run_workload(threads: usize) -> Result<WorkloadResult, String> {
         key_bytes,
         ranks,
         seconds,
+        experiments_seconds,
+        attack_seconds,
+        peak_heap_bytes,
+        per_run_heap_bytes: peak_heap_bytes / threads.max(1),
     })
+}
+
+/// Times a representative trace-generation pass: the same number of AES
+/// kernels (precomputed per-warp traces included) the experiment sweeps
+/// build internally per policy.
+fn time_trace_gen() -> f64 {
+    let gpu = GpuConfig::paper();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let key = *b"parallel-bench-k";
+    let start = Instant::now();
+    for _ in 0..PLAINTEXTS {
+        let lines = (0..32)
+            .map(|_| {
+                let mut pt = [0u8; 16];
+                rng.fill(&mut pt);
+                pt
+            })
+            .collect();
+        std::hint::black_box(AesGpuKernel::new(&key, lines, gpu.warp_size));
+    }
+    start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -89,10 +139,26 @@ fn run() -> Result<(), String> {
          ({cores} cores available)"
     );
 
+    let trace_gen_seconds = time_trace_gen();
+    println!("  trace-gen : {trace_gen_seconds:.3} s ({PLAINTEXTS} kernels, single thread)");
     let seq = run_workload(1)?;
-    println!("  threads=1 : {:.3} s", seq.seconds);
+    println!(
+        "  threads=1 : {:.3} s (experiments {:.3} s + attack {:.3} s, peak heap {:.1} MiB)",
+        seq.seconds,
+        seq.experiments_seconds,
+        seq.attack_seconds,
+        seq.peak_heap_bytes as f64 / (1024.0 * 1024.0)
+    );
     let par = run_workload(parallel_threads)?;
-    println!("  threads={parallel_threads} : {:.3} s", par.seconds);
+    println!(
+        "  threads={parallel_threads} : {:.3} s (experiments {:.3} s + attack {:.3} s, \
+         peak heap {:.1} MiB, ~{:.1} MiB/run)",
+        par.seconds,
+        par.experiments_seconds,
+        par.attack_seconds,
+        par.peak_heap_bytes as f64 / (1024.0 * 1024.0),
+        par.per_run_heap_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     // The whole point of the deterministic layer: the thread count must
     // be unobservable in the numbers.
@@ -116,8 +182,16 @@ fn run() -> Result<(), String> {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {speedup_field},\n  \"speedup_meaningful\": {speedup_meaningful},\n  \"outputs_identical\": true\n}}\n",
-        seq.seconds, par.seconds
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"parallel_scaling\",\n  \"workload\": \"2 timing experiments x {PLAINTEXTS} plaintexts + 16-byte key recovery\",\n  \"available_parallelism\": {cores},\n  \"threads_sequential\": 1,\n  \"threads_parallel\": {parallel_threads},\n  \"trace_gen_seconds\": {trace_gen_seconds:.6},\n  \"sequential_seconds\": {:.6},\n  \"sequential_experiments_seconds\": {:.6},\n  \"sequential_attack_seconds\": {:.6},\n  \"sequential_peak_heap_bytes\": {},\n  \"parallel_seconds\": {:.6},\n  \"parallel_experiments_seconds\": {:.6},\n  \"parallel_attack_seconds\": {:.6},\n  \"parallel_peak_heap_bytes\": {},\n  \"parallel_per_run_heap_bytes\": {},\n  \"speedup\": {speedup_field},\n  \"speedup_meaningful\": {speedup_meaningful},\n  \"outputs_identical\": true\n}}\n",
+        seq.seconds,
+        seq.experiments_seconds,
+        seq.attack_seconds,
+        seq.peak_heap_bytes,
+        par.seconds,
+        par.experiments_seconds,
+        par.attack_seconds,
+        par.peak_heap_bytes,
+        par.per_run_heap_bytes
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;

@@ -1,0 +1,234 @@
+//! Single-thread throughput of the event-driven simulator core.
+//!
+//! Two legs, each run through both simulator cores — the event-driven
+//! skip-ahead loop behind `run_instrumented` and the retained
+//! cycle-accurate reference behind `run_instrumented_reference` — with
+//! a bit-identity check on the `SimStats`:
+//!
+//! * **paper-config AES** (32-line plaintexts on the Table I machine):
+//!   the attack workload. Dense — the interconnect serializes ~13
+//!   packets per load at injection rate 1, so most cycles carry a
+//!   genuine event and the skip-ahead win is bounded by event density,
+//!   not by loop overhead.
+//! * **idle-heavy trace** (long compute bursts between strided loads):
+//!   the regime skip-ahead is built for — the event core jumps each
+//!   compute gap in one step while the reference walks it cycle by
+//!   cycle.
+//!
+//! Results (simulated-cycles/sec, kernels/sec, speedup per leg) are
+//! recorded to `BENCH_sim.json` at the repository root so the speedup
+//! is a tracked artifact.
+//!
+//! With `RCOAL_MIN_CYCLES_PER_SEC` set (the CI throughput smoke), the
+//! bench fails if the event core's simulated-cycles/sec on the AES leg
+//! drops below that floor.
+
+use rcoal_aes::AesGpuKernel;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_gpu_sim::{
+    FaultPlan, GpuConfig, GpuSimulator, Kernel, LaunchPolicy, SimStats, SimTelemetry, TraceInstr,
+    TraceKernel, WarpTrace,
+};
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+use std::time::Instant;
+
+/// Plaintexts per leg: enough kernels for stable wall-clock numbers on
+/// the slow reference leg while keeping the bench under a minute.
+const PLAINTEXTS: usize = 8;
+/// Lines per plaintext — one full warp, the paper's attack workload.
+const LINES: usize = 32;
+/// Timed repetitions (after one warmup rep).
+const REPS: usize = 3;
+/// Idle-heavy leg: core cycles of ALU work between successive loads.
+/// Long enough that the reference's O(cycles) walk dominates its cost
+/// while the event core's O(events) cost stays flat.
+const IDLE_BURST: u32 = 20_000;
+/// Idle-heavy leg: loads per warp.
+const IDLE_LOADS: usize = 12;
+
+struct Leg {
+    stats: Vec<SimStats>,
+    simulated_cycles: u64,
+    kernels: usize,
+    seconds: f64,
+}
+
+/// Runs every (kernel, policy) pair `REPS` times through one core and
+/// returns the last rep's stats plus aggregate throughput numbers.
+fn run_leg<K: Kernel>(
+    sim: &GpuSimulator,
+    kernels: &[K],
+    policies: &[CoalescingPolicy],
+    reference: bool,
+) -> Result<Leg, String> {
+    let run_one = |kernel: &K, policy: CoalescingPolicy, seed: u64| {
+        let launch = LaunchPolicy::Uniform(policy);
+        let mut tel = SimTelemetry::off();
+        if reference {
+            sim.run_instrumented_reference(kernel, launch, seed, &FaultPlan::none(), &mut tel)
+        } else {
+            sim.run_instrumented(kernel, launch, seed, &FaultPlan::none(), &mut tel)
+        }
+    };
+    // Warmup rep (untimed), also collects the stats used for the
+    // bit-identity check — every rep of a (kernel, policy, seed) triple
+    // produces the same result, so which rep is recorded is arbitrary.
+    let mut stats = Vec::new();
+    for (i, kernel) in kernels.iter().enumerate() {
+        for (p, &policy) in policies.iter().enumerate() {
+            let seed = BENCH_SEED.wrapping_add((i * policies.len() + p) as u64);
+            stats.push(run_one(kernel, policy, seed).map_err(|e| e.to_string())?);
+        }
+    }
+    let simulated_cycles: u64 = stats.iter().map(|s| s.total_cycles * REPS as u64).sum();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for (i, kernel) in kernels.iter().enumerate() {
+            for (p, &policy) in policies.iter().enumerate() {
+                let seed = BENCH_SEED.wrapping_add((i * policies.len() + p) as u64);
+                run_one(kernel, policy, seed).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(Leg {
+        stats,
+        simulated_cycles,
+        kernels: kernels.len() * policies.len() * REPS,
+        seconds,
+    })
+}
+
+/// Times one workload through both cores, checks bit-identity, and
+/// returns `(event, reference, speedup)`.
+fn both_cores<K: Kernel>(
+    sim: &GpuSimulator,
+    kernels: &[K],
+    policies: &[CoalescingPolicy],
+    label: &str,
+) -> Result<(Leg, Leg, f64), String> {
+    let event = run_leg(sim, kernels, policies, false)?;
+    let event_cps = event.simulated_cycles as f64 / event.seconds;
+    let event_kps = event.kernels as f64 / event.seconds;
+    println!(
+        "  {label} event core : {:.3} s  ({:.3e} simulated cycles/sec, {:.1} kernels/sec)",
+        event.seconds, event_cps, event_kps
+    );
+    let reference = run_leg(sim, kernels, policies, true)?;
+    let ref_cps = reference.simulated_cycles as f64 / reference.seconds;
+    let ref_kps = reference.kernels as f64 / reference.seconds;
+    println!(
+        "  {label} reference  : {:.3} s  ({:.3e} simulated cycles/sec, {:.1} kernels/sec)",
+        reference.seconds, ref_cps, ref_kps
+    );
+    if event.stats != reference.stats {
+        return Err(format!(
+            "{label}: SimStats differ between the event core and the reference loop"
+        ));
+    }
+    let speedup = reference.seconds / event.seconds;
+    println!("  {label} speedup    : {speedup:.1}x (stats bit-identical)");
+    Ok((event, reference, speedup))
+}
+
+/// Builds the idle-heavy trace kernels: one warp per SM, each
+/// alternating a strided 32-lane load with a long compute burst.
+fn idle_kernels(gpu: &GpuConfig, count: usize) -> Vec<TraceKernel> {
+    (0..count)
+        .map(|k| {
+            let traces = (0..gpu.num_sms)
+                .map(|w| {
+                    let mut instrs = Vec::new();
+                    for l in 0..IDLE_LOADS {
+                        let base = ((k * gpu.num_sms + w) * IDLE_LOADS + l) as u64 * 0x1_0000;
+                        let addrs = (0..gpu.warp_size)
+                            .map(|lane| Some(base + lane as u64 * 128))
+                            .collect();
+                        instrs.push(TraceInstr::Load { addrs, tag: 0 });
+                        instrs.push(TraceInstr::Compute { cycles: IDLE_BURST });
+                    }
+                    WarpTrace::from_instrs(instrs)
+                })
+                .collect();
+            TraceKernel::new(traces, gpu.warp_size)
+        })
+        .collect()
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("sim_throughput bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let gpu = GpuConfig::paper();
+    let sim = GpuSimulator::new(gpu.clone());
+    let policies = [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::rss_rts(8).map_err(|e| e.to_string())?,
+    ];
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let key = *b"sim-throughput-k";
+    let kernels: Vec<AesGpuKernel> = (0..PLAINTEXTS)
+        .map(|_| {
+            let lines = (0..LINES)
+                .map(|_| {
+                    let mut pt = [0u8; 16];
+                    rng.fill(&mut pt);
+                    pt
+                })
+                .collect();
+            AesGpuKernel::new(&key, lines, gpu.warp_size)
+        })
+        .collect();
+    println!(
+        "sim_throughput: paper-config AES, {PLAINTEXTS} plaintexts x {} policies x {REPS} reps, \
+         event core vs cycle-accurate reference",
+        policies.len()
+    );
+    let (event, reference, speedup) = both_cores(&sim, &kernels, &policies, "aes ")?;
+    let event_cps = event.simulated_cycles as f64 / event.seconds;
+    let event_kps = event.kernels as f64 / event.seconds;
+    let ref_cps = reference.simulated_cycles as f64 / reference.seconds;
+    let ref_kps = reference.kernels as f64 / reference.seconds;
+
+    println!(
+        "sim_throughput: idle-heavy trace, {} kernels x {} warps, {IDLE_LOADS} loads with \
+         {IDLE_BURST}-cycle compute bursts",
+        2, gpu.num_sms
+    );
+    let idle = idle_kernels(&gpu, 2);
+    let (idle_event, idle_ref, idle_speedup) = both_cores(&sim, &idle, &policies, "idle")?;
+
+    if let Ok(floor) = std::env::var("RCOAL_MIN_CYCLES_PER_SEC") {
+        let floor: f64 = floor
+            .parse()
+            .map_err(|e| format!("RCOAL_MIN_CYCLES_PER_SEC: {e}"))?;
+        if event_cps < floor {
+            return Err(format!(
+                "event core at {event_cps:.3e} simulated cycles/sec, below the floor {floor:.3e}"
+            ));
+        }
+        println!("  floor      : {floor:.3e} cycles/sec ok");
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"sim_throughput\",\n  \"workload\": \"paper-config AES, {PLAINTEXTS} plaintexts x {} policies x {REPS} reps, single thread\",\n  \"event_seconds\": {:.6},\n  \"event_cycles_per_sec\": {event_cps:.1},\n  \"event_kernels_per_sec\": {event_kps:.3},\n  \"reference_seconds\": {:.6},\n  \"reference_cycles_per_sec\": {ref_cps:.1},\n  \"reference_kernels_per_sec\": {ref_kps:.3},\n  \"simulated_cycles\": {},\n  \"speedup\": {speedup:.4},\n  \"idle_workload\": \"idle-heavy trace, 2 kernels x {} warps, {IDLE_LOADS} loads with {IDLE_BURST}-cycle compute bursts\",\n  \"idle_event_seconds\": {:.6},\n  \"idle_event_cycles_per_sec\": {:.1},\n  \"idle_reference_seconds\": {:.6},\n  \"idle_reference_cycles_per_sec\": {:.1},\n  \"idle_speedup\": {idle_speedup:.4},\n  \"stats_identical\": true\n}}\n",
+        policies.len(),
+        event.seconds,
+        reference.seconds,
+        event.simulated_cycles,
+        gpu.num_sms,
+        idle_event.seconds,
+        idle_event.simulated_cycles as f64 / idle_event.seconds,
+        idle_ref.seconds,
+        idle_ref.simulated_cycles as f64 / idle_ref.seconds,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_sim.json");
+    Ok(())
+}

@@ -11,14 +11,21 @@
 //! generators: fig06's baseline timing run is the same scenario as the
 //! paper-default rows of the MSHR and L1 ablations, so the cached leg
 //! must report hits > 0 or the content-addressing is broken.
+//!
+//! A counting allocator also records each leg's peak live-heap
+//! transient and its per-simulated-run share, so cache and runner
+//! changes that trade speed for memory show up in the artifact.
 
-use rcoal_bench::BENCH_SEED;
+use rcoal_bench::{PeakAlloc, BENCH_SEED};
 use rcoal_experiments::figures::{
     ablation_l1_with, ablation_mshr_with, fig05_last_vs_total_with, fig06_coalescing_onoff_with,
     Fig5Data, Fig6Data, L1Row, MshrRow,
 };
 use rcoal_experiments::SweepRunner;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
 
 /// Plaintexts per generator; shared by every figure in the slice so
 /// the baseline scenario is literally the same run in all of them.
@@ -32,10 +39,15 @@ struct SuiteResult {
     seconds: f64,
     served: u64,
     launched: u64,
+    /// Peak live-heap growth over the suite (bytes above the heap level
+    /// at entry).
+    peak_heap_bytes: usize,
 }
 
 /// The figure slice, end to end, on one runner.
 fn run_suite(runner: &SweepRunner) -> Result<SuiteResult, String> {
+    let heap_floor = PeakAlloc::current_bytes();
+    PeakAlloc::reset_peak();
     let start = Instant::now();
     let fig05 =
         fig05_last_vs_total_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
@@ -44,6 +56,7 @@ fn run_suite(runner: &SweepRunner) -> Result<SuiteResult, String> {
     let mshr = ablation_mshr_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
     let l1 = ablation_l1_with(runner, PLAINTEXTS, BENCH_SEED).map_err(|e| e.to_string())?;
     let seconds = start.elapsed().as_secs_f64();
+    let peak_heap_bytes = PeakAlloc::peak_bytes().saturating_sub(heap_floor);
     let report = runner.report();
     Ok(SuiteResult {
         fig05,
@@ -53,6 +66,7 @@ fn run_suite(runner: &SweepRunner) -> Result<SuiteResult, String> {
         seconds,
         served: report.served,
         launched: report.launched,
+        peak_heap_bytes,
     })
 }
 
@@ -71,14 +85,24 @@ fn run() -> Result<(), String> {
 
     let cold = run_suite(&SweepRunner::uncached())?;
     println!(
-        "  cache off : {:.3} s ({} runs served, {} simulated)",
-        cold.seconds, cold.served, cold.launched
+        "  cache off : {:.3} s ({} runs served, {} simulated, peak heap {:.1} MiB)",
+        cold.seconds,
+        cold.served,
+        cold.launched,
+        cold.peak_heap_bytes as f64 / (1024.0 * 1024.0)
     );
     let warm = run_suite(&SweepRunner::new())?;
     let hits = warm.served - warm.launched;
+    let per_run_heap = warm.peak_heap_bytes / warm.launched.max(1) as usize;
     println!(
-        "  cache on  : {:.3} s ({} runs served, {} simulated, {} hits)",
-        warm.seconds, warm.served, warm.launched, hits
+        "  cache on  : {:.3} s ({} runs served, {} simulated, {} hits, \
+         peak heap {:.1} MiB, ~{:.2} MiB/run)",
+        warm.seconds,
+        warm.served,
+        warm.launched,
+        hits,
+        warm.peak_heap_bytes as f64 / (1024.0 * 1024.0),
+        per_run_heap as f64 / (1024.0 * 1024.0)
     );
 
     // The cache must be invisible in the science and visible in the
@@ -100,8 +124,14 @@ fn run() -> Result<(), String> {
     println!("  saved     : {runs_saved_pct:.0}% of scenario runs (rows bit-identical)");
 
     let json = format!(
-        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"sweep_cache\",\n  \"workload\": \"fig05 + fig06 + MSHR/L1 ablations x {PLAINTEXTS} plaintexts, shared runner\",\n  \"uncached_seconds\": {:.6},\n  \"uncached_runs\": {},\n  \"cached_seconds\": {:.6},\n  \"cached_runs_served\": {},\n  \"cached_runs_simulated\": {},\n  \"cache_hits\": {hits},\n  \"runs_saved_pct\": {runs_saved_pct:.1},\n  \"rows_identical\": true\n}}\n",
-        cold.seconds, cold.served, warm.seconds, warm.served, warm.launched
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"sweep_cache\",\n  \"workload\": \"fig05 + fig06 + MSHR/L1 ablations x {PLAINTEXTS} plaintexts, shared runner\",\n  \"uncached_seconds\": {:.6},\n  \"uncached_runs\": {},\n  \"cached_seconds\": {:.6},\n  \"cached_runs_served\": {},\n  \"cached_runs_simulated\": {},\n  \"cache_hits\": {hits},\n  \"runs_saved_pct\": {runs_saved_pct:.1},\n  \"uncached_peak_heap_bytes\": {},\n  \"cached_peak_heap_bytes\": {},\n  \"cached_per_run_heap_bytes\": {per_run_heap},\n  \"rows_identical\": true\n}}\n",
+        cold.seconds,
+        cold.served,
+        warm.seconds,
+        warm.served,
+        warm.launched,
+        cold.peak_heap_bytes,
+        warm.peak_heap_bytes
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;

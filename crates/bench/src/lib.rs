@@ -6,11 +6,66 @@
 //! paper's §VI scale (100 plaintexts of 32 lines) unless noted.
 
 use rcoal_experiments::figures::ScatterData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Canonical seed used by the benches so printed numbers are reproducible
 /// run to run.
 pub const BENCH_SEED: u64 = 0xbe_c4;
+
+/// A counting wrapper around the system allocator for benches that
+/// report peak heap usage alongside wall-clock numbers.
+///
+/// Opt-in per bench binary (so perf-only benches pay nothing):
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: rcoal_bench::PeakAlloc = rcoal_bench::PeakAlloc;
+/// ```
+///
+/// Tracking is two relaxed atomics per (de)allocation — negligible next
+/// to simulation work, but it *is* a measurement probe: record heap
+/// numbers and timings from the same run only when that overhead is
+/// acceptable.
+pub struct PeakAlloc;
+
+static HEAP_CURRENT: AtomicUsize = AtomicUsize::new(0);
+static HEAP_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every allocation verbatim to `System`; the atomics
+// only observe sizes and never affect pointer validity.
+unsafe impl std::alloc::GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = unsafe { std::alloc::System.alloc(layout) };
+        if !p.is_null() {
+            let c = HEAP_CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            HEAP_PEAK.fetch_max(c, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) };
+        HEAP_CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+impl PeakAlloc {
+    /// Restarts the peak-tracking window at the current live heap size.
+    pub fn reset_peak() {
+        HEAP_PEAK.store(HEAP_CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Peak live heap bytes since the last [`PeakAlloc::reset_peak`].
+    pub fn peak_bytes() -> usize {
+        HEAP_PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Live heap bytes right now.
+    pub fn current_bytes() -> usize {
+        HEAP_CURRENT.load(Ordering::Relaxed)
+    }
+}
 
 /// Minimal Criterion-compatible benchmark driver.
 ///

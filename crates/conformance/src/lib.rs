@@ -38,6 +38,7 @@ use std::fmt;
 pub mod checker;
 pub mod dram_oracle;
 pub mod golden;
+pub mod lockstep;
 pub mod oracle;
 pub mod report;
 pub mod strategies;
@@ -48,6 +49,7 @@ pub use golden::{
     builtin_goldens, check_value, default_goldens_dir, update_requested, GoldenOutcome,
     GOLDEN_SCHEMA,
 };
+pub use lockstep::{check_lockstep_case, idle_corpus};
 pub use oracle::{check_sim_case, reference_coalesce, RefAccess};
 pub use report::{SectionReport, SuiteReport};
 pub use strategies::{policy_pool, policy_pool_for, scenario_corpus, sim_corpus, SimScenario};
@@ -116,6 +118,7 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, ConformanceError> {
         dram_oracle::section(opts.seed, (opts.cases / 4).max(16)),
         checker::section(opts.seed, (opts.cases / 10).max(12))?,
         strategies::scenario_section(opts.seed, 64),
+        lockstep::section(opts.seed, (opts.cases / 4).max(24)),
         golden::section(&opts.goldens_dir, opts.update_goldens)?,
     ];
     Ok(SuiteReport { sections })

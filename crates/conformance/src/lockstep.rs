@@ -1,0 +1,207 @@
+//! The event-core lockstep differential.
+//!
+//! The skip-ahead simulator core jumps the clock over cycles it proves
+//! are dead; an event-queue bug (a component under-reporting its next
+//! state change) would silently diverge *only* on workloads where the
+//! skip distance is large. This section generates exactly those
+//! workloads — idle-heavy machines with huge interconnect latencies,
+//! slow DRAM, single warps, and serialized crossbars — and runs each
+//! one through both [`GpuSimulator::run_instrumented`] (event-driven)
+//! and [`GpuSimulator::run_instrumented_reference`] (the retained
+//! cycle-accurate loop), demanding bit-identical results: the full
+//! `Result<SimStats, SimError>` (including stall diagnostics and their
+//! event trails), the telemetry profile, and the complete event stream
+//! with cycle stamps.
+
+use crate::report::SectionReport;
+use crate::strategies::{arb_trace, policy_pool_for, SimScenario};
+use rcoal_gpu_sim::{FaultPlan, GpuConfig, GpuSimulator, LaunchPolicy, ReplyJitter, SimTelemetry};
+use rcoal_rng::{Rng, SeedableRng, StdRng};
+
+/// Event capacity for lockstep telemetry rings: big enough that the
+/// tiny idle kernels never evict, so the full streams are compared.
+const LOCKSTEP_EVENT_CAPACITY: usize = 1 << 14;
+
+/// The idle-heavy corpus: `n` scenarios engineered so that most core
+/// cycles are dead ticks (maximal skip-ahead distance). Cycling through
+/// the corpus varies, per case:
+///
+/// * interconnect latency from tens to thousands of cycles;
+/// * DRAM timing scaled up to ~16× the paper values, plus a
+///   faster-than-core memory clock slice (multiple mem ticks per core
+///   cycle — the catch-up loop's fast-forward path);
+/// * one to two warps only, so schedulers mostly starve;
+/// * serialized crossbars (injection/ejection rate 1);
+/// * a small-watchdog slice where the starvation backstop fires inside
+///   a skippable gap.
+pub fn idle_corpus(seed: u64, n: usize) -> Vec<SimScenario> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1d7e);
+    let warp_sizes = [4usize, 8];
+    let pools: Vec<_> = warp_sizes.iter().map(|&w| policy_pool_for(w)).collect();
+    (0..n)
+        .map(|id| {
+            let wi = id % warp_sizes.len();
+            let warp_size = warp_sizes[wi];
+            let pool = &pools[wi];
+            let policy = pool[(id / warp_sizes.len()) % pool.len()];
+            let mut gpu = GpuConfig::tiny();
+            gpu.warp_size = warp_size;
+            gpu.icnt_latency = rng.gen_range(50u32..2_000);
+            gpu.icnt_injection_rate = 1;
+            gpu.icnt_ejection_rate = 1;
+            // Slow DRAM: scale every timing parameter so completions
+            // land hundreds of mem ticks out.
+            let scale = rng.gen_range(2u32..16);
+            gpu.dram_timing.t_cl *= scale;
+            gpu.dram_timing.t_rp *= scale;
+            gpu.dram_timing.t_rc *= scale;
+            gpu.dram_timing.t_ras *= scale;
+            gpu.dram_timing.t_rcd *= scale;
+            gpu.burst_cycles *= scale;
+            if id % 7 == 3 {
+                // Memory clock faster than core: several mem ticks per
+                // visited core cycle, exercising the catch-up loop's
+                // fast-forward against multi-tick windows.
+                gpu.core_clock_mhz = 700;
+                gpu.mem_clock_mhz = 2_000;
+            }
+            if id % 5 == 4 {
+                // The starvation backstop must fire at the identical
+                // cycle whether the gap to it was walked or skipped.
+                gpu.watchdog_window = rng.gen_range(40u64..200);
+            }
+            let num_warps = if id % 3 == 0 { 2 } else { 1 };
+            let traces = (0..num_warps)
+                .map(|_| arb_trace(&mut rng, warp_size))
+                .collect();
+            SimScenario {
+                id,
+                policy,
+                gpu,
+                traces,
+                seed: rng.gen_range(0u64..u64::MAX),
+            }
+        })
+        .collect()
+}
+
+/// The fault plan a lockstep case runs under, cycled by id: mostly
+/// fault-free, with slices of reply jitter and drop/retransmit (both
+/// skip-safe — their RNG streams must replay exactly across skips) and
+/// of backpressure (which must force the event core into bit-identical
+/// single-stepping).
+fn plan_for(id: usize) -> FaultPlan {
+    match id % 6 {
+        1 => FaultPlan::seeded(id as u64).with_jitter(ReplyJitter::Uniform {
+            min: 100,
+            max: 1_000,
+        }),
+        3 => FaultPlan::seeded(id as u64).with_drop(0.3, 4),
+        5 => FaultPlan::seeded(id as u64).with_backpressure(0.02, 64),
+        _ => FaultPlan::none(),
+    }
+}
+
+/// Runs one scenario through both cores in lockstep and returns
+/// human-readable divergences (empty = bit-identical).
+pub fn check_lockstep_case(s: &SimScenario, plan: &FaultPlan) -> Vec<String> {
+    let mut failures = Vec::new();
+    let kernel = s.kernel();
+    let sim = GpuSimulator::new(s.gpu.clone());
+    let launch = LaunchPolicy::Uniform(s.policy);
+    let mut tel_event = SimTelemetry::with_event_capacity(LOCKSTEP_EVENT_CAPACITY);
+    let mut tel_ref = SimTelemetry::with_event_capacity(LOCKSTEP_EVENT_CAPACITY);
+    let event = sim.run_instrumented(&kernel, launch, s.seed, plan, &mut tel_event);
+    let reference = sim.run_instrumented_reference(&kernel, launch, s.seed, plan, &mut tel_ref);
+    if event != reference {
+        failures.push(format!(
+            "scenario {} ({}): results diverge: event {:?} vs reference {:?}",
+            s.id, s.policy, event, reference
+        ));
+    }
+    if tel_event.profile != tel_ref.profile {
+        failures.push(format!(
+            "scenario {} ({}): telemetry profiles diverge",
+            s.id, s.policy
+        ));
+    }
+    let ev: Vec<_> = tel_event.events.events().collect();
+    let rv: Vec<_> = tel_ref.events.events().collect();
+    if ev != rv {
+        let first = ev
+            .iter()
+            .zip(&rv)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| ev.len().min(rv.len()));
+        failures.push(format!(
+            "scenario {} ({}): event streams diverge at index {first} ({} vs {} events)",
+            s.id,
+            s.policy,
+            ev.len(),
+            rv.len()
+        ));
+    }
+    failures
+}
+
+/// The lockstep section over the idle-heavy corpus.
+pub fn section(seed: u64, cases: usize) -> SectionReport {
+    let mut section = SectionReport::new("event-core lockstep");
+    for s in &idle_corpus(seed, cases) {
+        section.cases += 1;
+        section
+            .failures
+            .extend(check_lockstep_case(s, &plan_for(s.id)));
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_corpus_is_deterministic() {
+        let a = idle_corpus(3, 24);
+        let b = idle_corpus(3, 24);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.traces, y.traces);
+            assert_eq!(x.gpu.icnt_latency, y.gpu.icnt_latency);
+        }
+    }
+
+    #[test]
+    fn idle_corpus_is_actually_idle_heavy() {
+        let corpus = idle_corpus(3, 24);
+        assert!(corpus.iter().all(|s| s.gpu.icnt_injection_rate == 1));
+        assert!(corpus.iter().any(|s| s.gpu.icnt_latency > 500));
+        assert!(corpus
+            .iter()
+            .any(|s| s.gpu.mem_clock_mhz > s.gpu.core_clock_mhz));
+        assert!(corpus.iter().any(|s| s.gpu.watchdog_window < 1_000));
+        assert!(corpus.iter().all(|s| s.traces.len() <= 2));
+    }
+
+    #[test]
+    fn corpus_exercises_every_fault_slice() {
+        let plans: Vec<FaultPlan> = (0..12).map(plan_for).collect();
+        assert!(plans.iter().any(|p| p.perturbs_per_cycle()));
+        assert!(plans.iter().any(|p| !p.is_active()));
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.is_active() && !p.perturbs_per_cycle()),
+            "skip-safe active plans must be covered"
+        );
+    }
+
+    #[test]
+    fn lockstep_section_is_clean() {
+        let s = section(0xc0f0_24a1, 36);
+        assert_eq!(s.cases, 36);
+        assert!(s.passed(), "{:?}", s.failures);
+    }
+}

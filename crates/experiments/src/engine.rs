@@ -550,12 +550,11 @@ impl SweepRunner {
         self.served
             .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
 
+        let mut remaining = occurrence_counts(scenarios);
         scenarios
             .iter()
             .map(|s| {
-                resolved
-                    .get(&s.content_hash())
-                    .cloned()
+                take_or_clone(&mut resolved, &mut remaining, s.content_hash())
                     .ok_or_else(|| ExperimentError::MissingData("unresolved scenario".into()))
             })
             .collect()
@@ -690,15 +689,45 @@ impl SweepRunner {
             pool_report.record_into(registry, "sweep");
         }
 
+        let mut remaining = occurrence_counts(scenarios);
         let rows = scenarios
             .iter()
-            .map(|s| resolved.get(&s.content_hash()).cloned())
+            .map(|s| take_or_clone(&mut resolved, &mut remaining, s.content_hash()))
             .collect();
         SweepOutcome {
             rows,
             quarantined,
             report: self.report(),
         }
+    }
+}
+
+/// Occurrences of each content hash in `scenarios`, so result assembly
+/// knows when it is serving a hash for the last time.
+fn occurrence_counts(scenarios: &[Scenario]) -> HashMap<u64, usize> {
+    let mut counts: HashMap<u64, usize> = HashMap::with_capacity(scenarios.len());
+    for s in scenarios {
+        *counts.entry(s.content_hash()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Serves one occurrence of `key` from `resolved`: the last occurrence
+/// takes the entry by move, earlier ones clone. [`ExperimentData`]'s
+/// per-plaintext vectors are the dominant per-run allocation, so for
+/// the common all-distinct sweep this halves the assembly footprint —
+/// every row is moved, never deep-copied.
+fn take_or_clone(
+    resolved: &mut HashMap<u64, ExperimentData>,
+    remaining: &mut HashMap<u64, usize>,
+    key: u64,
+) -> Option<ExperimentData> {
+    let n = remaining.get_mut(&key)?;
+    *n -= 1;
+    if *n == 0 {
+        resolved.remove(&key)
+    } else {
+        resolved.get(&key).cloned()
     }
 }
 

@@ -127,6 +127,42 @@ impl MemoryController {
         }
     }
 
+    /// The next memory cycle (>= `now`) at which ticking this
+    /// controller can do anything, or `None` if it is idle.
+    ///
+    /// A queued request becomes issuable at its arrival cycle (FR-FCFS
+    /// always picks *something* once any request has arrived, so the
+    /// earliest arrival is exact, and with the queue non-empty each
+    /// subsequent tick keeps issuing — hence the clamp to `now`); a
+    /// completion drains at its finish cycle. Every tick strictly
+    /// before the reported cycle is a no-op: `issue` returns without
+    /// touching bank state and the completion heap stays unpopped.
+    /// Callers enqueue in non-decreasing arrival order (the simulator's
+    /// delivery and retransmit stamps are monotone) and FR-FCFS removal
+    /// from the middle preserves that order, so the front of the queue
+    /// holds the earliest arrival and this is O(1).
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        // min(max(a, now), max(b, now)) == max(min(a, b), now), so the
+        // clamp distributes over the raw minimum.
+        self.next_event_raw().map(|t| t.max(now))
+    }
+
+    /// [`MemoryController::next_event`] without the `now` clamp: the raw
+    /// earliest of the head-of-queue arrival and the earliest completion.
+    /// Pure in the controller's state, so callers may memoize it and
+    /// clamp at the point of use.
+    pub fn next_event_raw(&self) -> Option<u64> {
+        let mut next = u64::MAX;
+        if let Some(front) = self.queue.front() {
+            debug_assert!(self.queue.iter().all(|r| r.arrival >= front.arrival));
+            next = next.min(front.arrival);
+        }
+        if let Some(&Reverse((done, _))) = self.completions.peek() {
+            next = next.min(done);
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
     /// Advances the controller to memory cycle `now`: possibly issues one
     /// transaction and drains finished requests into `completed` as
     /// `(request id, finish mem-cycle)` pairs.

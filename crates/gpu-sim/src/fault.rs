@@ -181,6 +181,17 @@ impl FaultPlan {
             || (self.backpressure.stall_rate > 0.0 && self.backpressure.stall_cycles > 0)
     }
 
+    /// Whether this plan consumes fault randomness on every simulated
+    /// core cycle.
+    ///
+    /// Interconnect backpressure samples its burst process per cycle,
+    /// so such plans pin the simulator to cycle-accurate stepping; all
+    /// other faults (reply jitter, drops) draw once per memory event
+    /// and are safe to carry across skipped idle cycles.
+    pub fn perturbs_per_cycle(&self) -> bool {
+        self.backpressure.stall_rate > 0.0 && self.backpressure.stall_cycles > 0
+    }
+
     /// Validates probabilities and jitter parameters.
     ///
     /// # Errors

@@ -1,62 +1,37 @@
 use crate::{SchedulerPolicy, TraceInstr, WarpTrace};
 use rcoal_core::SubwarpAssignment;
 
-/// Execution state of one warp resident on an SM. Borrows its trace
-/// from the launched [`crate::Kernel`], so warp state is a few machine
-/// words and launching copies no instruction streams.
-#[derive(Debug, Clone)]
-pub(crate) struct WarpCtx<'k> {
-    pub trace: &'k WarpTrace,
-    pub pc: usize,
-    /// Core cycle until which the warp is occupied by compute.
-    pub busy_until: u64,
-    /// Memory replies still outstanding for the current load.
-    pub outstanding: u32,
-    /// Subwarp assignment for ordinary loads.
-    pub assignment: SubwarpAssignment,
-    /// Subwarp assignment for loads tagged vulnerable by a selective
-    /// launch policy (identical to `assignment` for uniform launches).
-    pub vulnerable_assignment: SubwarpAssignment,
-}
-
-impl<'k> WarpCtx<'k> {
-    pub fn new(
-        trace: &'k WarpTrace,
-        assignment: SubwarpAssignment,
-        vulnerable_assignment: SubwarpAssignment,
-    ) -> Self {
-        WarpCtx {
-            trace,
-            pc: 0,
-            busy_until: 0,
-            outstanding: 0,
-            assignment,
-            vulnerable_assignment,
-        }
-    }
-
-    pub fn done(&self, now: u64) -> bool {
-        self.pc >= self.trace.len() && self.outstanding == 0 && self.busy_until <= now
-    }
-
-    pub fn ready(&self, now: u64) -> bool {
-        self.pc < self.trace.len() && self.outstanding == 0 && self.busy_until <= now
-    }
-
-    /// The instruction at the warp's pc. The returned reference borrows
-    /// the *kernel's* trace (lifetime `'k`), not the warp context, so
-    /// the issue stage can hold it while mutating warp state.
-    pub fn current_instr(&self) -> Option<&'k TraceInstr> {
-        self.trace.instrs().get(self.pc)
-    }
-}
-
-/// One streaming multiprocessor: a set of resident warps and a
-/// configurable warp scheduler with `warp_schedulers` issue slots per
-/// cycle.
+/// One streaming multiprocessor: the resident warps and a configurable
+/// warp scheduler with `schedulers` issue slots per cycle.
+///
+/// Warp state is kept as a structure of arrays: the three fields every
+/// scheduling decision scans (`pc`, `busy_until`, `outstanding`) live in
+/// their own dense vectors, so a "who is ready at cycle T" pass touches
+/// three contiguous arrays instead of striding over per-warp structs
+/// that also carry trace pointers and subwarp assignments. The cold
+/// per-warp data (borrowed traces, assignments) sits in parallel
+/// vectors indexed by the same warp index.
+///
+/// Traces are borrowed from the launched [`crate::Kernel`] (lifetime
+/// `'k`), so launching copies no instruction streams.
 #[derive(Debug, Clone)]
 pub(crate) struct Sm<'k> {
-    pub warps: Vec<WarpCtx<'k>>,
+    /// Instruction trace of each warp (borrowed from the kernel).
+    traces: Vec<&'k WarpTrace>,
+    /// Cached `traces[i].len()`, so readiness scans stay in SoA arrays.
+    trace_len: Vec<usize>,
+    /// Next instruction index of each warp.
+    pub pc: Vec<usize>,
+    /// Core cycle until which each warp is occupied by compute.
+    pub busy_until: Vec<u64>,
+    /// Memory replies still outstanding for each warp's current load.
+    pub outstanding: Vec<u32>,
+    /// Subwarp assignment for ordinary loads.
+    assignments: Vec<SubwarpAssignment>,
+    /// Subwarp assignment for loads tagged vulnerable by a selective
+    /// launch policy (identical to the ordinary one for uniform
+    /// launches).
+    vulnerable_assignments: Vec<SubwarpAssignment>,
     pub schedulers: usize,
     policy: SchedulerPolicy,
     /// GTO: warp granted an issue slot most recently.
@@ -73,12 +48,72 @@ impl<'k> Sm<'k> {
 
     pub fn with_policy(schedulers: usize, policy: SchedulerPolicy) -> Self {
         Sm {
-            warps: Vec::new(),
+            traces: Vec::new(),
+            trace_len: Vec::new(),
+            pc: Vec::new(),
+            busy_until: Vec::new(),
+            outstanding: Vec::new(),
+            assignments: Vec::new(),
+            vulnerable_assignments: Vec::new(),
             schedulers: schedulers.max(1),
             policy,
             greedy: None,
             rr_next: 0,
         }
+    }
+
+    /// Adds a resident warp with fresh execution state.
+    pub fn push_warp(
+        &mut self,
+        trace: &'k WarpTrace,
+        assignment: SubwarpAssignment,
+        vulnerable_assignment: SubwarpAssignment,
+    ) {
+        self.traces.push(trace);
+        self.trace_len.push(trace.len());
+        self.pc.push(0);
+        self.busy_until.push(0);
+        self.outstanding.push(0);
+        self.assignments.push(assignment);
+        self.vulnerable_assignments.push(vulnerable_assignment);
+    }
+
+    /// Number of warps resident on this SM.
+    pub fn num_warps(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Subwarp assignment of warp `i` for ordinary loads.
+    pub fn assignment(&self, i: usize) -> &SubwarpAssignment {
+        &self.assignments[i]
+    }
+
+    /// Subwarp assignment of warp `i` for vulnerable-tagged loads.
+    pub fn vulnerable_assignment(&self, i: usize) -> &SubwarpAssignment {
+        &self.vulnerable_assignments[i]
+    }
+
+    /// Whether warp `i` has retired its trace and drained all replies.
+    pub fn done(&self, i: usize, now: u64) -> bool {
+        self.pc[i] >= self.trace_len[i] && self.outstanding[i] == 0 && self.busy_until[i] <= now
+    }
+
+    /// Whether warp `i` has consumed its whole trace (it may still be
+    /// inside its compute tail or waiting on memory replies).
+    pub fn retired(&self, i: usize) -> bool {
+        self.pc[i] >= self.trace_len[i]
+    }
+
+    /// Whether warp `i` can issue an instruction at `now`.
+    pub fn ready(&self, i: usize, now: u64) -> bool {
+        self.pc[i] < self.trace_len[i] && self.outstanding[i] == 0 && self.busy_until[i] <= now
+    }
+
+    /// The instruction at warp `i`'s pc. The returned reference borrows
+    /// the *kernel's* trace (lifetime `'k`), not the SM, so the issue
+    /// stage can hold it while mutating warp state.
+    pub fn current_instr(&self, i: usize) -> Option<&'k TraceInstr> {
+        self.traces[i].instrs().get(self.pc[i])
     }
 
     /// Fills `picked` with up to `schedulers` distinct warps ready to
@@ -90,15 +125,15 @@ impl<'k> Sm<'k> {
     /// vector across every SM and cycle of a run.
     pub fn select_ready_into(&mut self, now: u64, picked: &mut Vec<usize>) {
         picked.clear();
-        if self.warps.is_empty() {
+        if self.pc.is_empty() {
             return;
         }
-        let n = self.warps.len();
+        let n = self.pc.len();
         match self.policy {
             SchedulerPolicy::Gto => {
                 // Greedy slot: stick with the last-issued warp if ready.
                 if let Some(g) = self.greedy {
-                    if self.warps[g].ready(now) {
+                    if self.ready(g, now) {
                         picked.push(g);
                     }
                 }
@@ -106,7 +141,7 @@ impl<'k> Sm<'k> {
                     if picked.len() >= self.schedulers {
                         break;
                     }
-                    if !picked.contains(&i) && self.warps[i].ready(now) {
+                    if !picked.contains(&i) && self.ready(i, now) {
                         picked.push(i);
                     }
                 }
@@ -118,7 +153,7 @@ impl<'k> Sm<'k> {
                         break;
                     }
                     let i = (self.rr_next + k) % n;
-                    if self.warps[i].ready(now) {
+                    if self.ready(i, now) {
                         picked.push(i);
                     }
                 }
@@ -139,7 +174,36 @@ impl<'k> Sm<'k> {
     }
 
     pub fn all_done(&self, now: u64) -> bool {
-        self.warps.iter().all(|w| w.done(now))
+        (0..self.pc.len()).all(|i| self.done(i, now))
+    }
+
+    /// The next core cycle (> `now`) at which a warp on this SM can
+    /// change observable state without an external reply, or `u64::MAX`
+    /// if no such cycle exists.
+    ///
+    /// Per warp: a warp waiting on replies advertises nothing (the
+    /// reply pipeline owns its wake-up; loads only issue from ready
+    /// warps, so `outstanding > 0` implies `busy_until <= now`). A warp
+    /// with instructions left wakes at `busy_until` — or `now + 1` if
+    /// already ready but unpicked this cycle (scheduler slot limit). A
+    /// retired warp still inside its compute tail becomes *done* at
+    /// `busy_until`, which the finish-cycle bookkeeping must observe.
+    pub fn next_warp_event(&self, now: u64) -> u64 {
+        let mut next = u64::MAX;
+        for i in 0..self.pc.len() {
+            if self.outstanding[i] > 0 {
+                continue;
+            }
+            let candidate = if self.pc[i] < self.trace_len[i] {
+                self.busy_until[i].max(now + 1)
+            } else if self.busy_until[i] > now {
+                self.busy_until[i]
+            } else {
+                continue;
+            };
+            next = next.min(candidate);
+        }
+        next
     }
 }
 
@@ -152,50 +216,53 @@ mod tests {
         (0..n_instr).map(|_| TraceInstr::compute(1)).collect()
     }
 
-    fn warp(t: &WarpTrace) -> WarpCtx<'_> {
+    fn sm_with_warps<'k>(schedulers: usize, t: &'k WarpTrace, n: usize) -> Sm<'k> {
+        let mut sm = Sm::new(schedulers);
         let a = SubwarpAssignment::single(4).unwrap();
-        WarpCtx::new(t, a.clone(), a)
+        for _ in 0..n {
+            sm.push_warp(t, a.clone(), a.clone());
+        }
+        sm
     }
 
     #[test]
     fn empty_trace_is_done_immediately() {
         let t = trace(0);
-        let w = warp(&t);
-        assert!(w.done(0));
-        assert!(!w.ready(0));
+        let sm = sm_with_warps(1, &t, 1);
+        assert!(sm.done(0, 0));
+        assert!(!sm.ready(0, 0));
     }
 
     #[test]
     fn warp_is_not_done_while_compute_is_in_flight() {
         let t = trace(0);
-        let mut w = warp(&t);
-        w.busy_until = 10;
-        assert!(!w.done(5));
-        assert!(w.done(10));
+        let mut sm = sm_with_warps(1, &t, 1);
+        sm.busy_until[0] = 10;
+        assert!(!sm.done(0, 5));
+        assert!(sm.done(0, 10));
     }
 
     #[test]
     fn warp_readiness_respects_busy_and_outstanding() {
         let t = trace(2);
-        let mut w = warp(&t);
-        assert!(w.ready(0));
-        w.busy_until = 10;
-        assert!(!w.ready(5));
-        assert!(w.ready(10));
-        w.busy_until = 0;
-        w.outstanding = 3;
-        assert!(!w.ready(0));
+        let mut sm = sm_with_warps(1, &t, 1);
+        assert!(sm.ready(0, 0));
+        sm.busy_until[0] = 10;
+        assert!(!sm.ready(0, 5));
+        assert!(sm.ready(0, 10));
+        sm.busy_until[0] = 0;
+        sm.outstanding[0] = 3;
+        assert!(!sm.ready(0, 0));
     }
 
     #[test]
     fn gto_scheduler_picks_oldest_first_then_sticks() {
         let t = trace(1);
-        let mut sm = Sm::new(2);
-        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
+        let mut sm = sm_with_warps(2, &t, 3);
         assert_eq!(sm.select_ready(0), vec![0, 1]);
         // Greedy: warp 0 keeps its slot while ready.
         assert_eq!(sm.select_ready(1), vec![0, 1]);
-        sm.warps[0].busy_until = 100;
+        sm.busy_until[0] = 100;
         assert_eq!(sm.select_ready(2), vec![1, 2]);
         // New greedy warp is 1.
         assert_eq!(sm.select_ready(3), vec![1, 2]);
@@ -204,8 +271,11 @@ mod tests {
     #[test]
     fn lrr_scheduler_rotates_across_warps() {
         let t = trace(5);
+        let a = SubwarpAssignment::single(4).unwrap();
         let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
-        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
+        for _ in 0..3 {
+            sm.push_warp(&t, a.clone(), a.clone());
+        }
         assert_eq!(sm.select_ready(0), vec![0]);
         assert_eq!(sm.select_ready(1), vec![1]);
         assert_eq!(sm.select_ready(2), vec![2]);
@@ -215,9 +285,12 @@ mod tests {
     #[test]
     fn lrr_skips_unready_warps() {
         let t = trace(5);
+        let a = SubwarpAssignment::single(4).unwrap();
         let mut sm = Sm::with_policy(1, SchedulerPolicy::Lrr);
-        sm.warps = vec![warp(&t), warp(&t), warp(&t)];
-        sm.warps[1].outstanding = 1;
+        for _ in 0..3 {
+            sm.push_warp(&t, a.clone(), a.clone());
+        }
+        sm.outstanding[1] = 1;
         assert_eq!(sm.select_ready(0), vec![0]);
         assert_eq!(sm.select_ready(1), vec![2]);
     }
@@ -226,24 +299,49 @@ mod tests {
     fn all_done_tracks_warps() {
         let t0 = trace(0);
         let t1 = trace(1);
+        let a = SubwarpAssignment::single(4).unwrap();
         let mut sm = Sm::new(2);
-        sm.warps = vec![warp(&t0), warp(&t1)];
+        sm.push_warp(&t0, a.clone(), a.clone());
+        sm.push_warp(&t1, a.clone(), a);
         assert!(!sm.all_done(0));
-        sm.warps[1].pc = 1;
+        sm.pc[1] = 1;
         assert!(sm.all_done(0));
     }
 
     #[test]
     fn current_instr_borrows_the_kernel_trace() {
         let t = trace(2);
-        let mut w = warp(&t);
-        let instr = w.current_instr().unwrap();
+        let mut sm = sm_with_warps(1, &t, 1);
+        let instr = sm.current_instr(0).unwrap();
         // Mutating the warp does not invalidate the instruction ref.
-        w.pc += 1;
-        w.busy_until = 5;
+        sm.pc[0] += 1;
+        sm.busy_until[0] = 5;
         assert_eq!(*instr, TraceInstr::compute(1));
-        assert_eq!(w.current_instr(), Some(&TraceInstr::compute(1)));
-        w.pc += 1;
-        assert_eq!(w.current_instr(), None);
+        assert_eq!(sm.current_instr(0), Some(&TraceInstr::compute(1)));
+        sm.pc[0] += 1;
+        assert_eq!(sm.current_instr(0), None);
+    }
+
+    #[test]
+    fn next_warp_event_reports_wakeups_and_ready_warps() {
+        let t = trace(2);
+        let mut sm = sm_with_warps(2, &t, 3);
+        // A ready-but-unpicked warp can issue next cycle.
+        assert_eq!(sm.next_warp_event(0), 1);
+        // All warps busy: the earliest busy_until wins.
+        sm.busy_until = vec![40, 25, 90];
+        assert_eq!(sm.next_warp_event(0), 25);
+        // Warps waiting on memory advertise nothing.
+        sm.busy_until = vec![0, 0, 0];
+        sm.outstanding = vec![2, 1, 4];
+        assert_eq!(sm.next_warp_event(0), u64::MAX);
+        // A retired warp inside its compute tail still reports its
+        // finish cycle; fully-done warps are silent.
+        sm.outstanding = vec![0, 0, 0];
+        sm.pc = vec![2, 2, 2];
+        sm.busy_until = vec![0, 77, 0];
+        assert_eq!(sm.next_warp_event(10), 77);
+        sm.busy_until = vec![0, 0, 0];
+        assert_eq!(sm.next_warp_event(10), u64::MAX);
     }
 }
