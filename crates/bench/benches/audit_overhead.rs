@@ -1,0 +1,86 @@
+//! Cost of the leakage audit relative to the simulation it audits.
+//!
+//! The audit's design point is that it consumes what a sweep already
+//! produced: auditing a cached row must cost statistics only, never a
+//! re-simulation. This bench measures both legs at the CI gate's
+//! operating point — a cold `audit_one` (simulate + audit) against
+//! repeated audits of the now-cached row — verifies the reports are
+//! bit-identical across reps, and records the ratio to
+//! `BENCH_audit.json` at the repository root.
+
+use rcoal_audit::AuditSpec;
+use rcoal_bench::BENCH_SEED;
+use rcoal_core::CoalescingPolicy;
+use rcoal_experiments::SweepRunner;
+use rcoal_scenario::Scenario;
+use std::time::Instant;
+
+/// The CI gate's sample budget (the audit thresholds are calibrated
+/// for it; see DESIGN.md §13).
+const SAMPLES: usize = 512;
+/// Repetitions of the cached-audit leg; the minimum is recorded.
+const REPS: usize = 5;
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("audit_overhead bench failed: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    println!("audit_overhead: RSS+RTS(8) x {SAMPLES} samples, cached-audit best of {REPS}");
+
+    let policy = CoalescingPolicy::rss_rts(8).map_err(|e| e.to_string())?;
+    let scenario = Scenario::new(policy, SAMPLES, 32)
+        .with_seed(BENCH_SEED)
+        .functional_only();
+    let spec = AuditSpec::new();
+    let runner = SweepRunner::new().with_threads(1);
+
+    let start = Instant::now();
+    let (_, cold_report) = runner
+        .audit_one(&scenario, &spec)
+        .map_err(|e| e.to_string())?;
+    let cold_secs = start.elapsed().as_secs_f64();
+    if runner.report().launched != 1 {
+        return Err("cold leg must simulate exactly once".into());
+    }
+
+    let cold_json = cold_report.to_json();
+    let mut cached_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let (_, report) = runner
+            .audit_one(&scenario, &spec)
+            .map_err(|e| e.to_string())?;
+        cached_secs = cached_secs.min(start.elapsed().as_secs_f64());
+        if report.to_json() != cold_json {
+            return Err("cached audit disagrees with the cold run (nondeterminism!)".into());
+        }
+    }
+    if runner.report().launched != 1 {
+        return Err("cached legs must not re-simulate".into());
+    }
+
+    let audit_fraction = cached_secs / cold_secs;
+    let theory_ok = cold_report.theory.as_ref().is_some_and(|t| t.ok);
+    println!("  cold (simulate + audit) : {cold_secs:.4} s");
+    println!(
+        "  cached audit            : {cached_secs:.4} s ({:.1}% of cold)",
+        audit_fraction * 100.0
+    );
+    println!(
+        "  verdict                 : leaky={}, theory_ok={theory_ok}",
+        cold_report.leaky
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"rcoal-bench/v1\",\n  \"bench\": \"audit_overhead\",\n  \"workload\": \"RSS+RTS(8) functional x {SAMPLES} samples, threads=1, cached best of {REPS}\",\n  \"cold_seconds\": {cold_secs:.6},\n  \"cached_audit_seconds\": {cached_secs:.6},\n  \"audit_fraction_of_cold\": {audit_fraction:.4},\n  \"samples\": {SAMPLES},\n  \"leaky\": {},\n  \"theory_ok\": {theory_ok},\n  \"reports_identical\": true\n}}\n",
+        cold_report.leaky
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  recorded to BENCH_audit.json");
+    Ok(())
+}

@@ -491,6 +491,53 @@ impl SweepRunner {
             .ok_or_else(|| ExperimentError::MissingData("empty scenario batch".into()))
     }
 
+    /// Resolves a scenario (cache first — a cached row is audited
+    /// without re-simulating) and runs a leakage audit over its data.
+    ///
+    /// The audit spec is not part of the scenario's content hash: one
+    /// cached row can be audited many times, under many specs, for the
+    /// cost of the statistics alone.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SweepRunner::run_one`] can return, plus the audit
+    /// failures of [`crate::audit_data`] (e.g. a cycle channel against
+    /// a functional-only scenario).
+    pub fn audit_one(
+        &self,
+        scenario: &Scenario,
+        spec: &rcoal_audit::AuditSpec,
+    ) -> Result<(ExperimentData, rcoal_audit::LeakageReport), ExperimentError> {
+        let data = self.run_one(scenario)?;
+        let warp_size = scenario_config(scenario).gpu.warp_size;
+        let report = crate::audit::audit_data(&data, warp_size, spec)?;
+        Ok((data, report))
+    }
+
+    /// [`SweepRunner::audit_one`] over a scenario list: resolves every
+    /// scenario through the cache-aware batch path, then audits each
+    /// row under the same spec. Reports line up index-for-index with
+    /// the input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index resolution or audit failure.
+    pub fn audit_scenarios(
+        &self,
+        scenarios: &[Scenario],
+        spec: &rcoal_audit::AuditSpec,
+    ) -> Result<Vec<rcoal_audit::LeakageReport>, ExperimentError> {
+        let rows = self.run_scenarios(scenarios)?;
+        scenarios
+            .iter()
+            .zip(&rows)
+            .map(|(scenario, data)| {
+                let warp_size = scenario_config(scenario).gpu.warp_size;
+                crate::audit::audit_data(data, warp_size, spec)
+            })
+            .collect()
+    }
+
     /// Runs a scenario list: each distinct scenario resolves exactly
     /// once (cache first, then one fresh simulation), and the result
     /// vector lines up index-for-index with the input — duplicates

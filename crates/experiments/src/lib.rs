@@ -30,6 +30,7 @@
 // test modules are exempt (the harness is the panic handler there).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod audit;
 pub mod engine;
 mod error;
 pub mod figures;
@@ -37,6 +38,7 @@ mod run;
 mod telemetry;
 mod workload;
 
+pub use audit::audit_data;
 pub use engine::{
     decode_run, encode_run, run_to_value, scenario_config, QuarantinedScenario, RunnerReport,
     SweepOutcome, SweepRunner, JOURNAL_FILE, RUN_SCHEMA,

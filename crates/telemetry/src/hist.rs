@@ -104,6 +104,59 @@ impl Hist64 {
         }
     }
 
+    /// The `q`-quantile of the recorded distribution, `None` if empty.
+    ///
+    /// `q` is clamped to `[0, 1]`. The estimate walks the log2 buckets
+    /// to the one holding the rank-`ceil(q * count)` observation and
+    /// interpolates linearly inside it, then clamps to the exact
+    /// observed `[min, max]` so single-bucket histograms report the
+    /// true extremes rather than bucket bounds. Resolution is therefore
+    /// the bucket width (a factor of two), which matches how the
+    /// histogram is recorded; the result is deterministic and
+    /// merge-order independent.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 maps to rank 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // 1-based position of the target inside this bucket, so
+                // the bucket's last-ranked observation reaches `hi` (and
+                // the overall maximum survives the clamp below).
+                let into = rank - seen;
+                let width = (hi - lo) as u128;
+                let offset = (width * u128::from(into) / u128::from(n)) as u64;
+                return Some((lo + offset).clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        // Unreachable: counts always sum to `self.count`.
+        Some(self.max)
+    }
+
+    /// Median observation (50th percentile), `None` if empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile observation, `None` if empty.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile observation, `None` if empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
     /// Count in bucket `i` (see [`NUM_BUCKETS`] for the bucket layout).
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets.get(i).copied().unwrap_or(0)
@@ -268,6 +321,59 @@ mod tests {
         h.record(10);
         h.record(20);
         assert!((h.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_singleton() {
+        let h = Hist64::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.quantile(0.0), None);
+        let mut h = Hist64::new();
+        h.record(42);
+        // A single observation is every quantile, exactly — the clamp
+        // to [min, max] beats bucket-bound interpolation here.
+        assert_eq!(h.quantile(0.0), Some(42));
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+        assert_eq!(h.quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_in_rank_order() {
+        let mut h = Hist64::new();
+        // 90 observations of 4 (bucket [4,7]), 9 of 100 (bucket
+        // [64,127]), 1 of 5000 (bucket [4096,8191]).
+        h.record_n(4, 90);
+        h.record_n(100, 9);
+        h.record_n(5000, 1);
+        let p50 = h.p50().unwrap();
+        assert!((4..=7).contains(&p50), "p50 in the dominant bucket: {p50}");
+        let p95 = h.p95().unwrap();
+        assert!((64..=127).contains(&p95), "p95 in the tail bucket: {p95}");
+        // p99 ranks observation 99 of 100 — still the 100s bucket; the
+        // single 5000 is only reached at p100.
+        let p99 = h.p99().unwrap();
+        assert!((64..=127).contains(&p99), "p99: {p99}");
+        assert_eq!(h.quantile(1.0), Some(5000), "max is clamped exactly");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Hist64::new();
+        for v in [0u64, 1, 3, 9, 17, 80, 81, 300, 7000, 65000] {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            assert!(v <= h.max().unwrap());
+            last = v;
+        }
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0), "q clamps low");
+        assert_eq!(h.quantile(1.5), h.quantile(1.0), "q clamps high");
+        assert_eq!(h.quantile(1.0), Some(65000));
     }
 
     #[test]

@@ -53,6 +53,24 @@ USAGE:
       journal records) for crash testing; they imply the supervised
       path.
 
+  rcoal-cli audit --policy <POLICY> [--samples N] [--lines L] [--seed S] [--byte J]
+                  [--channel CH] [--threads T] [--cache DIR] [--out FILE]
+                  [--gate leaky|secure] [--t-threshold X] [--mi-floor BITS]
+      Run (or fetch from --cache DIR) a POLICY experiment of N samples
+      (default 512) and compute its leakage verdict: a TVLA-style Welch
+      t-test and a bias-corrected mutual-information estimate over the
+      audited channel, the streaming attack's correlation trajectory
+      with the empirical normalized sample count S = 1/rho^2, and a
+      cross-check against the analytical model's prediction. CH is one
+      of byte-accesses (default; the clean per-byte channel Table II
+      models), last-round-accesses, last-round-cycles, total-cycles
+      (cycle channels simulate timing and cost more). --out FILE writes
+      the full rcoal-audit/v1 JSON report. With --gate the exit code
+      becomes the verdict: --gate leaky fails (exit 1) unless the
+      config is flagged leaky by BOTH instruments, --gate secure fails
+      if EITHER instrument flags it — and both directions also fail on
+      theory disagreement, so a blind audit cannot pass the baseline.
+
   rcoal-cli cache verify DIR
       Audit every rcoal-cache-entry/v1 file under DIR (checksums, hash
       and length checks) without modifying anything. Exits 1 if any
@@ -115,6 +133,7 @@ fn run() -> Result<(), String> {
         Some("table2") => cmd_table2(),
         Some("simulate") => cmd_simulate(&args),
         Some("attack") => cmd_attack(&args),
+        Some("audit") => cmd_audit(&args),
         Some("score") => cmd_score(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("cache") => cmd_cache(&args),
@@ -398,6 +417,152 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
         );
     }
     telemetry.write_metrics(&registry)?;
+    Ok(())
+}
+
+fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
+    let policy = policy_from(args)?;
+    let samples: usize = args.get_or("samples", 512)?;
+    let lines: usize = args.get_or("lines", 32)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let byte: usize = args.get_or("byte", 0)?;
+    let channel: AuditChannel = args
+        .get("channel")
+        .unwrap_or("byte-accesses")
+        .parse()
+        .map_err(|e: String| e)?;
+    let threads = parse_threads(args)?;
+    let gate = args
+        .get("gate")
+        .map(str::parse::<Expectation>)
+        .transpose()?;
+
+    let mut spec = AuditSpec::new().with_byte(byte).with_channel(channel);
+    if let Some(t) = args.get("t-threshold") {
+        spec = spec.with_t_threshold(
+            t.parse()
+                .map_err(|_| format!("--t-threshold must be a number, got {t:?}"))?,
+        );
+    }
+    if let Some(floor) = args.get("mi-floor") {
+        spec = spec.with_mi_floor_bits(
+            floor
+                .parse()
+                .map_err(|_| format!("--mi-floor must be a number, got {floor:?}"))?,
+        );
+    }
+
+    let mut scenario = Scenario::new(policy, samples, lines).with_seed(seed);
+    if !channel.needs_cycles() {
+        // Access-count channels don't need the cycle simulator; the
+        // functional run is orders of magnitude cheaper and identical
+        // on the audited channel.
+        scenario = scenario.functional_only();
+    }
+
+    let mut runner = match args.get("cache") {
+        Some(dir) => SweepRunner::with_disk_cache(dir).map_err(|e| e.to_string())?,
+        None => SweepRunner::new(),
+    };
+    if let Some(t) = threads {
+        runner = runner.with_threads(t);
+    }
+    let (_, report) = runner
+        .audit_one(&scenario, &spec)
+        .map_err(|e| e.to_string())?;
+    let hits = runner.report().hits();
+    println!(
+        "leakage audit    : {policy}, byte {byte}, channel {channel}, {samples} samples{}",
+        if hits > 0 { " (served from cache)" } else { "" }
+    );
+
+    let t = &report.timing;
+    println!(
+        "tvla t-test      : |t| = {:.2} vs threshold {} -> {} (classes {}/{})",
+        t.welch.t.abs(),
+        spec.t_threshold,
+        if t.welch.exceeds(spec.t_threshold) {
+            "LEAK"
+        } else {
+            "quiet"
+        },
+        t.welch.n_low,
+        t.welch.n_high,
+    );
+    println!(
+        "mutual info      : {:.4} bits corrected (plug-in {:.4}, bias {:.4}) vs floor {} -> {}",
+        t.mi.corrected_bits,
+        t.mi.bits,
+        t.mi.bias_bits,
+        spec.mi_floor_bits,
+        if t.mi.corrected_bits > spec.mi_floor_bits {
+            "LEAK"
+        } else {
+            "quiet"
+        },
+    );
+    let s = if report.empirical_s.is_finite() {
+        format!("{:.0}", report.empirical_s)
+    } else {
+        "unbounded".to_string()
+    };
+    println!(
+        "empirical        : rho = {:+.4}, S = 1/rho^2 ~ {s} samples (true-guess rank {})",
+        report.empirical_rho,
+        report.trajectory.last().map_or(255, |p| p.rank),
+    );
+    match &report.theory {
+        Some(th) => {
+            let pred = if th.predicted_s.is_finite() {
+                format!("{:.0}", th.predicted_s)
+            } else {
+                "unbounded".to_string()
+            };
+            println!(
+                "theory           : {}(m={}) predicts rho = {:.4}, S ~ {pred} -> {}",
+                th.mechanism,
+                th.m,
+                th.predicted_rho,
+                if th.ok { "agrees" } else { "DISAGREES" },
+            );
+        }
+        None => println!("theory           : no closed form for this policy/channel"),
+    }
+    for stage in &report.stages {
+        println!(
+            "stage {:18}: |t| = {:.2}, MI = {:.4} bits -> {}",
+            stage.name,
+            stage.welch.t.abs(),
+            stage.mi.corrected_bits,
+            if stage.leaky { "LEAK" } else { "quiet" },
+        );
+    }
+    println!(
+        "channel quantiles: p50 {} / p95 {} / p99 {} (mean {:.1})",
+        report.quantiles.p50, report.quantiles.p95, report.quantiles.p99, report.quantiles.mean,
+    );
+    println!(
+        "verdict          : {}",
+        if report.leaky { "LEAKY" } else { "not leaky" }
+    );
+
+    if let Some(path) = args.get("out") {
+        write_artifact(path, &(report.to_json() + "\n"))?;
+        println!("report           : wrote {path}");
+    }
+
+    if let Some(expectation) = gate {
+        let outcome = evaluate_gate(&report, expectation);
+        if outcome.pass {
+            println!("gate             : PASS (expected {expectation})");
+        } else {
+            println!("gate             : FAIL (expected {expectation})");
+            for failure in &outcome.failures {
+                println!("  - {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 

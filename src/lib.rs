@@ -14,6 +14,9 @@
 //! * [`attack`] — the correlation timing attacks (baseline, FSS, RSS, and
 //!   the +RTS "corresponding attacks") used to evaluate each defense.
 //! * [`theory`] — the analytical security model reproducing Table II.
+//! * [`audit`] — the leakage-observability layer: TVLA-style t-tests,
+//!   mutual-information estimates, empirical normalized-S, and theory
+//!   cross-checks packaged as a typed [`LeakageReport`] with a CI gate.
 //! * [`scenario`] — declarative run descriptions ([`Scenario`],
 //!   [`SweepSpec`]) with stable content hashes and the content-addressed
 //!   run cache behind the figure generators.
@@ -25,6 +28,7 @@
 //!   golden-master fixtures, and telemetry-driven invariant checking.
 //!
 //! [`Scenario`]: prelude::Scenario
+//! [`LeakageReport`]: prelude::LeakageReport
 //! [`SweepSpec`]: prelude::SweepSpec
 //! [`SweepRunner`]: prelude::SweepRunner
 //!
@@ -53,6 +57,7 @@ pub mod cli;
 
 pub use rcoal_aes as aes;
 pub use rcoal_attack as attack;
+pub use rcoal_audit as audit;
 pub use rcoal_conformance as conformance;
 pub use rcoal_core as core;
 pub use rcoal_experiments as experiments;
@@ -66,13 +71,16 @@ pub use rcoal_theory as theory;
 pub mod prelude {
     pub use rcoal_aes::{Aes128, AesGpuKernel};
     pub use rcoal_attack::{Attack, AttackError, AttackSample, KeyRecovery, RecoveryOutcome};
+    pub use rcoal_audit::{
+        evaluate_gate, AuditChannel, AuditSpec, Expectation, GateOutcome, LeakageReport,
+    };
     pub use rcoal_conformance::{run_suite, SuiteOptions, SuiteReport};
     pub use rcoal_core::{
         Coalescer, CoalescingPolicy, NumSubwarps, SizeDistribution, SubwarpAssignment,
     };
     pub use rcoal_experiments::{
-        ExperimentConfig, ExperimentData, ExperimentError, ExperimentTelemetry, LaunchTrace,
-        RunnerReport, SweepRunner, TelemetrySpec, TimingSource,
+        audit_data, ExperimentConfig, ExperimentData, ExperimentError, ExperimentTelemetry,
+        LaunchTrace, RunnerReport, SweepRunner, TelemetrySpec, TimingSource,
     };
     pub use rcoal_gpu_sim::{
         FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimProfile, SimStats,
