@@ -10,7 +10,8 @@ pub enum AttackError {
     /// A recovery was requested over an empty sample set — there is
     /// nothing to correlate against.
     NoSamples,
-    /// A key-byte index outside `0..16` was requested.
+    /// A key-byte index past the workload's attacked subkey width was
+    /// requested.
     ByteIndex {
         /// The offending index.
         j: usize,
@@ -26,10 +27,7 @@ impl fmt::Display for AttackError {
         match self {
             AttackError::NoSamples => write!(f, "no attack samples were provided"),
             AttackError::ByteIndex { j } => {
-                write!(
-                    f,
-                    "key byte index {j} out of range (AES-128 has 16 key bytes)"
-                )
+                write!(f, "key byte index {j} out of range for the attacked subkey")
             }
             AttackError::Domain(msg) => write!(f, "parameter out of domain: {msg}"),
         }

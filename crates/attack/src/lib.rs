@@ -26,6 +26,7 @@ mod error;
 mod key_rank;
 mod noise;
 mod online;
+mod oracle;
 mod predict;
 mod recover;
 mod samples;
@@ -35,6 +36,7 @@ pub use error::AttackError;
 pub use key_rank::{log2_key_rank, remaining_security_bits};
 pub use noise::{attenuated_correlation, GaussianNoise};
 pub use online::{recovery_curve, OnlineByteRecovery};
+pub use oracle::{aes_oracle, AesLastRoundOracle, TableOracle, XorWhiteningOracle};
 pub use predict::{predicted_accesses, AccessPredictor};
 pub use recover::{Attack, AttackSample, ByteRecovery, KeyRecovery, RecoveryOutcome};
 pub use samples::{samples_needed, samples_needed_approx, z_quantile};

@@ -32,9 +32,9 @@ impl OnlineByteRecovery {
     ///
     /// # Errors
     ///
-    /// [`AttackError::ByteIndex`] for `byte >= 16`.
+    /// [`AttackError::ByteIndex`] for `byte >= attack.key_bytes()`.
     pub fn new(attack: &Attack, byte: usize) -> Result<Self, AttackError> {
-        if byte >= 16 {
+        if byte >= attack.key_bytes() {
             return Err(AttackError::ByteIndex { j: byte });
         }
         let predictors = (0..=255u8).map(|m| attack.predictor_for_guess(m)).collect();
@@ -111,7 +111,7 @@ impl OnlineByteRecovery {
 ///
 /// # Errors
 ///
-/// [`AttackError::ByteIndex`] for `byte >= 16`.
+/// [`AttackError::ByteIndex`] for `byte >= attack.key_bytes()`.
 pub fn recovery_curve(
     attack: &Attack,
     samples: &[AttackSample],

@@ -1,0 +1,115 @@
+//! The attacker's table oracle: how an observed byte plus a subkey-byte
+//! guess maps to the coalescing-block index of the thread's table
+//! lookup.
+//!
+//! The baseline AES attack computes `t_j = S⁻¹[c_j ⊕ m]` and divides by
+//! the 16 `u32` entries per 64-byte block; other table-based kernels
+//! (PRESENT, GIFT, RECTANGLE) index their vulnerable round directly
+//! with `text_j ⊕ k_j` over tables of different entry sizes. Everything
+//! else about the attack — the coalescing replay, the 256-guess sweep,
+//! the correlation — is oracle-independent, so the predictor and
+//! [`crate::Attack`] carry a `dyn TableOracle` and default to AES.
+
+use rcoal_aes::last_round_index;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Maps (observed byte, subkey guess) to the index of the 64-byte
+/// coalescing block the thread's table lookup touches.
+///
+/// Implementations must be pure functions of their arguments: the
+/// 256-guess sweep memoizes one 256-entry table per guess.
+pub trait TableOracle: Send + Sync + Debug {
+    /// Number of subkey bytes the attack sweeps (at most 16; the byte
+    /// columns are drawn from 16-byte observation lines).
+    fn key_bytes(&self) -> usize;
+
+    /// Block index (in `0..R`) for observed byte `b` under guess
+    /// `guess`, at the paper's 64-byte coalescing granularity.
+    fn block_of(&self, b: u8, guess: u8) -> u64;
+}
+
+/// The AES-128 last-round oracle: `InvSbox[c_j ⊕ m]` over the 4-byte
+/// T4 entries, 16 entries per 64-byte block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AesLastRoundOracle;
+
+impl TableOracle for AesLastRoundOracle {
+    fn key_bytes(&self) -> usize {
+        16
+    }
+
+    fn block_of(&self, b: u8, guess: u8) -> u64 {
+        u64::from(last_round_index(b, guess) >> 4)
+    }
+}
+
+/// Oracle for ciphers whose vulnerable round indexes its tables with
+/// `text_j ⊕ k_j` directly (key whitening before the S-box layer):
+/// the block index is the whitened byte shifted by `log2(entries per
+/// 64-byte block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorWhiteningOracle {
+    shift: u32,
+    key_bytes: usize,
+}
+
+impl XorWhiteningOracle {
+    /// `shift` is `log2(64 / entry_bytes)`; `key_bytes` the number of
+    /// attacked subkey bytes (clamped to 16, the observation width).
+    pub fn new(shift: u32, key_bytes: usize) -> Self {
+        XorWhiteningOracle {
+            shift: shift.min(8),
+            key_bytes: key_bytes.clamp(1, 16),
+        }
+    }
+}
+
+impl TableOracle for XorWhiteningOracle {
+    fn key_bytes(&self) -> usize {
+        self.key_bytes
+    }
+
+    fn block_of(&self, b: u8, guess: u8) -> u64 {
+        u64::from(b ^ guess) >> self.shift
+    }
+}
+
+/// The default oracle: AES-128 last round.
+pub fn aes_oracle() -> Arc<dyn TableOracle> {
+    Arc::new(AesLastRoundOracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_oracle_matches_the_inline_formula() {
+        let o = AesLastRoundOracle;
+        assert_eq!(o.key_bytes(), 16);
+        for b in [0u8, 1, 0x3c, 255] {
+            for g in [0u8, 0x7f, 255] {
+                assert_eq!(o.block_of(b, g), u64::from(last_round_index(b, g) >> 4));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_oracle_shifts_the_whitened_byte() {
+        let o = XorWhiteningOracle::new(3, 8);
+        assert_eq!(o.key_bytes(), 8);
+        assert_eq!(o.block_of(0xFF, 0x00), 0x1F);
+        assert_eq!(o.block_of(0xA5, 0xA5), 0);
+        let coarse = XorWhiteningOracle::new(5, 8);
+        assert!((0..=255u8).all(|b| coarse.block_of(b, 0) < 8));
+    }
+
+    #[test]
+    fn xor_oracle_clamps_degenerate_parameters() {
+        let o = XorWhiteningOracle::new(40, 0);
+        assert_eq!(o.key_bytes(), 1);
+        assert_eq!(o.block_of(0xFF, 0), 0);
+        assert_eq!(XorWhiteningOracle::new(2, 99).key_bytes(), 16);
+    }
+}

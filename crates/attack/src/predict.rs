@@ -1,7 +1,9 @@
-use rcoal_aes::{last_round_index, Block};
+use crate::oracle::{aes_oracle, TableOracle};
+use rcoal_aes::Block;
 use rcoal_core::{Coalescer, CoalescingPolicy};
 use rcoal_rng::SeedableRng;
 use rcoal_rng::StdRng;
+use std::sync::Arc;
 
 /// The attacker's model of the victim GPU's coalescing: predicts how many
 /// last-round coalesced accesses a plaintext generates for a given key
@@ -19,6 +21,9 @@ pub struct AccessPredictor {
     coalescer: Coalescer,
     rng: StdRng,
     mc_samples: usize,
+    /// Workload table oracle mapping (byte, guess) → block index;
+    /// defaults to the AES-128 last round.
+    oracle: Arc<dyn TableOracle>,
     /// Memoized per-guess address table: `addr_table[b]` is the
     /// pseudo-address of ciphertext byte `b` under the current guess.
     /// The 256-guess sweep calls the predictor with one guess many
@@ -44,6 +49,7 @@ impl AccessPredictor {
             coalescer: Coalescer::new(),
             rng: StdRng::seed_from_u64(seed),
             mc_samples: 1,
+            oracle: aes_oracle(),
             addr_table: Vec::new(),
             addr_table_guess: None,
             addrs_scratch: Vec::new(),
@@ -55,6 +61,15 @@ impl AccessPredictor {
     /// defense's randomness (only meaningful for randomized policies).
     pub fn with_mc_samples(mut self, n: usize) -> Self {
         self.mc_samples = n.max(1);
+        self
+    }
+
+    /// Replaces the table oracle (AES-128 last round by default) —
+    /// how the predictor maps an observed byte plus a guess onto the
+    /// block its table lookup touches.
+    pub fn with_oracle(mut self, oracle: Arc<dyn TableOracle>) -> Self {
+        self.oracle = oracle;
+        self.addr_table_guess = None;
         self
     }
 
@@ -85,14 +100,13 @@ impl AccessPredictor {
     pub fn predict_bytes(&mut self, bytes: &[u8], guess: u8) -> f64 {
         if self.addr_table_guess != Some(guess) {
             // Per-lane pseudo-addresses: the block index of the thread's
-            // T4 lookup, scaled to the coalescing granularity. Only
+            // table lookup, scaled to the coalescing granularity. Only
             // block identity matters for the count, and it depends only
-            // on (ciphertext byte, guess) — 256 possible values.
+            // on (observed byte, guess) — 256 possible values.
             let block_size = self.coalescer.block_size();
             self.addr_table.clear();
-            self.addr_table.extend(
-                (0..=255u8).map(|b| u64::from(last_round_index(b, guess) >> 4) * block_size),
-            );
+            self.addr_table
+                .extend((0..=255u8).map(|b| self.oracle.block_of(b, guess) * block_size));
             self.addr_table_guess = Some(guess);
         }
         let mut total = 0.0;
@@ -140,7 +154,8 @@ pub fn predicted_accesses(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcoal_aes::Aes128;
+    use crate::oracle::XorWhiteningOracle;
+    use rcoal_aes::{last_round_index, Aes128};
 
     fn ciphertexts(n: usize, key: &[u8; 16]) -> (Vec<Block>, [u8; 16]) {
         let aes = Aes128::new(key);
@@ -265,6 +280,38 @@ mod tests {
                 assert_eq!(va.to_bits(), vb.to_bits(), "guess {guess} {policy:?}");
             }
         }
+    }
+
+    #[test]
+    fn xor_oracle_predictor_counts_whitened_blocks() {
+        // A whitening-cipher predictor over 8-byte-entry tables (block
+        // index = (b ^ g) >> 3): baseline count = distinct block count.
+        let texts: Vec<Block> = (0..32u8)
+            .map(|l| {
+                let mut b = [0u8; 16];
+                b.iter_mut()
+                    .enumerate()
+                    .for_each(|(k, x)| *x = l.wrapping_mul(37) ^ (k as u8) << 3);
+                b
+            })
+            .collect();
+        let key_byte = 0x5a;
+        let mut p = AccessPredictor::new(CoalescingPolicy::Baseline, 32, 0)
+            .with_oracle(Arc::new(XorWhiteningOracle::new(3, 8)));
+        let predicted = p.predict(&texts, 0, key_byte);
+        let mut blocks: Vec<u8> = texts.iter().map(|t| (t[0] ^ key_byte) >> 3).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        assert_eq!(predicted, blocks.len() as f64);
+        // Switching oracles invalidates the memoized address table.
+        let aes_pred = p.with_oracle(aes_oracle()).predict(&texts, 0, key_byte);
+        let mut aes_blocks: Vec<u8> = texts
+            .iter()
+            .map(|t| last_round_index(t[0], key_byte) >> 4)
+            .collect();
+        aes_blocks.sort_unstable();
+        aes_blocks.dedup();
+        assert_eq!(aes_pred, aes_blocks.len() as f64);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::error::AttackError;
+use crate::oracle::{aes_oracle, TableOracle};
 use crate::predict::AccessPredictor;
 use crate::stats::{argmax, pearson};
 use rcoal_aes::Block;
@@ -47,7 +48,8 @@ impl ByteRecovery {
     }
 }
 
-/// Result of attacking all 16 last-round key bytes.
+/// Result of attacking every subkey byte the workload exposes (16 for
+/// the AES last round; 8 for the whitening ciphers).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KeyRecovery {
     /// Per-byte recovery detail, indexed by byte position `j`.
@@ -55,17 +57,20 @@ pub struct KeyRecovery {
 }
 
 impl KeyRecovery {
-    /// The attacker's best guess for the full last-round key.
+    /// The attacker's best guess for the attacked subkey, zero-padded
+    /// past the workload's byte count.
     pub fn recovered_key(&self) -> [u8; 16] {
         let mut k = [0u8; 16];
-        for (j, b) in self.bytes.iter().enumerate() {
+        for (j, b) in self.bytes.iter().enumerate().take(16) {
             k[j] = b.best_guess;
         }
         k
     }
 
-    /// Scores the recovery against the true last-round key.
+    /// Scores the recovery against the true subkey (only the attacked
+    /// prefix of `true_key` is consulted).
     pub fn outcome(&self, true_key: &[u8; 16]) -> RecoveryOutcome {
+        let n = self.bytes.len().max(1) as f64;
         let num_correct = self
             .bytes
             .iter()
@@ -78,15 +83,16 @@ impl KeyRecovery {
             .zip(true_key)
             .map(|(b, &k)| b.correlation_of(k))
             .sum::<f64>()
-            / 16.0;
+            / n;
         let avg_rank = self
             .bytes
             .iter()
             .zip(true_key)
             .map(|(b, &k)| b.rank_of(k))
             .sum::<usize>() as f64
-            / 16.0;
+            / n;
         RecoveryOutcome {
+            bytes_attacked: self.bytes.len(),
             num_correct,
             avg_correct_correlation,
             avg_rank_of_correct: avg_rank,
@@ -97,10 +103,12 @@ impl KeyRecovery {
 /// Summary of a key-recovery attempt relative to the true key.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryOutcome {
-    /// Key bytes whose argmax-correlation guess was the true byte (16 =
-    /// complete break).
+    /// Subkey bytes the attack swept (16 for AES).
+    pub bytes_attacked: usize,
+    /// Key bytes whose argmax-correlation guess was the true byte
+    /// (`bytes_attacked` = complete break).
     pub num_correct: usize,
-    /// Mean over the 16 byte positions of the *correct* guess's
+    /// Mean over the attacked byte positions of the *correct* guess's
     /// correlation — the paper's Figures 7b, 15 and 18a metric.
     pub avg_correct_correlation: f64,
     /// Mean rank of the correct guess among the 256 (0 = always wins).
@@ -108,9 +116,9 @@ pub struct RecoveryOutcome {
 }
 
 impl RecoveryOutcome {
-    /// Whether every byte was recovered.
+    /// Whether every attacked byte was recovered.
     pub fn complete(&self) -> bool {
-        self.num_correct == 16
+        self.num_correct == self.bytes_attacked
     }
 }
 
@@ -127,6 +135,7 @@ pub struct Attack {
     mc_samples: usize,
     threads: Option<usize>,
     metrics: Option<MetricsRegistry>,
+    oracle: Arc<dyn TableOracle>,
 }
 
 impl Attack {
@@ -146,7 +155,20 @@ impl Attack {
             mc_samples: 1,
             threads: None,
             metrics: None,
+            oracle: aes_oracle(),
         }
+    }
+
+    /// Replaces the table oracle (AES-128 last round by default); the
+    /// oracle also bounds the attacked byte range.
+    pub fn with_oracle(mut self, oracle: Arc<dyn TableOracle>) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Number of subkey bytes this attack sweeps.
+    pub fn key_bytes(&self) -> usize {
+        self.oracle.key_bytes()
     }
 
     /// Sets the attacker-side randomness seed (RSS/RTS replays).
@@ -194,6 +216,7 @@ impl Attack {
     pub fn predictor_for_guess(&self, m: u8) -> AccessPredictor {
         AccessPredictor::new(self.policy, self.warp_size, self.seed ^ u64::from(m))
             .with_mc_samples(self.mc_samples)
+            .with_oracle(Arc::clone(&self.oracle))
     }
 
     /// Computes the correlation of every guess for key byte `j`.
@@ -207,7 +230,7 @@ impl Attack {
         samples: &[AttackSample],
         j: usize,
     ) -> Result<Vec<f64>, AttackError> {
-        if j >= 16 {
+        if j >= self.oracle.key_bytes() {
             return Err(AttackError::ByteIndex { j });
         }
         if samples.is_empty() {
@@ -276,14 +299,14 @@ impl Attack {
         })
     }
 
-    /// Attacks all 16 last-round key bytes.
+    /// Attacks every subkey byte the oracle exposes (16 for AES).
     ///
     /// # Errors
     ///
     /// [`AttackError::NoSamples`] for an empty sample set.
     pub fn recover_key(&self, samples: &[AttackSample]) -> Result<KeyRecovery, AttackError> {
         let span = self.metrics.as_ref().map(|m| m.span("attack.recover_key"));
-        let bytes = (0..16)
+        let bytes = (0..self.oracle.key_bytes())
             .map(|j| self.recover_byte(samples, j))
             .collect::<Result<Vec<_>, _>>()?;
         if let Some(span) = span {

@@ -283,7 +283,40 @@ pub fn builtin_goldens() -> Result<Vec<(String, Value)>, ConformanceError> {
     }
     goldens.push(("sim_stats_paper_aes".to_string(), per_policy.build()));
 
-    // 3. Full experiment run documents (the figure-row inputs).
+    // 3. Cycle-level SimStats for every non-AES registry workload under
+    // the subwarp defenses (AES is already pinned by golden 2). One
+    // fixture per workload keeps diffs local to the kernel that drifted.
+    for workload in rcoal_workload::registry() {
+        if workload.name() == "aes" {
+            continue;
+        }
+        let key = rcoal_experiments::demo_key_for(*workload);
+        let mut per_policy = ObjBuilder::new();
+        for (name, policy) in [
+            (
+                "fss_m8",
+                CoalescingPolicy::fss(8)
+                    .map_err(|e| ConformanceError::new(format!("golden policy: {e}")))?,
+            ),
+            (
+                "rss_m8",
+                CoalescingPolicy::rss(8)
+                    .map_err(|e| ConformanceError::new(format!("golden policy: {e}")))?,
+            ),
+        ] {
+            let kernel = workload.build_kernel(&key, lines.clone(), GpuConfig::paper().warp_size);
+            let stats = sim.run(&kernel, policy, GOLDEN_SEED).map_err(|e| {
+                ConformanceError::new(format!("golden sim {}/{name}: {e}", workload.name()))
+            })?;
+            per_policy = per_policy.field(name, stats_to_value(&stats));
+        }
+        goldens.push((
+            format!("sim_stats_paper_{}", workload.name()),
+            per_policy.build(),
+        ));
+    }
+
+    // 4. Full experiment run documents (the figure-row inputs).
     let mut runs = ObjBuilder::new();
     for (name, policy) in [
         ("baseline", CoalescingPolicy::Baseline),
@@ -402,7 +435,9 @@ mod tests {
     fn builtin_goldens_are_deterministic() {
         let a = builtin_goldens().unwrap();
         let b = builtin_goldens().unwrap();
-        assert_eq!(a.len(), 3);
+        // table2 + AES sim stats + one fixture per non-AES workload +
+        // experiment runs.
+        assert_eq!(a.len(), 3 + rcoal_workload::registry().len() - 1);
         for ((na, va), (nb, vb)) in a.iter().zip(&b) {
             assert_eq!(na, nb);
             assert_eq!(va.to_json(), vb.to_json(), "golden {na} not deterministic");

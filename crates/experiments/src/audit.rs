@@ -8,7 +8,9 @@
 
 use crate::error::ExperimentError;
 use crate::run::{ExperimentData, TimingSource};
-use rcoal_audit::{audit_with_stages, AuditChannel, AuditSpec, LeakageReport, StageChannel};
+use rcoal_audit::{
+    audit_target_with_stages, AuditChannel, AuditSpec, AuditTarget, LeakageReport, StageChannel,
+};
 
 /// Maps an audit channel onto the experiment's timing source.
 fn timing_source(spec: &AuditSpec) -> Result<TimingSource, ExperimentError> {
@@ -85,13 +87,24 @@ pub fn audit_data(
     spec: &AuditSpec,
 ) -> Result<LeakageReport, ExperimentError> {
     let samples = data.attack_samples(timing_source(spec)?)?;
-    let true_byte = data.true_last_round_key()[spec.byte.min(15)];
+    let workload = data.workload_def();
+    let geometry = workload.geometry();
+    let true_byte = workload.attacked_subkey(&data.key)[spec.byte.min(15)];
     let stages = stage_channels(data);
-    audit_with_stages(data.policy, warp_size, &samples, true_byte, &stages, spec).map_err(|e| {
-        match e {
-            rcoal_audit::AuditError::Attack(a) => ExperimentError::Attack(a),
-            other => ExperimentError::Config(format!("audit: {other}")),
-        }
+    let target = AuditTarget {
+        policy: data.policy,
+        warp_size,
+        true_key_byte: true_byte,
+        oracle: workload.oracle(),
+        // Theory cross-checks need the closed-form (R, N) model; the
+        // gather control opts out (its indices are not byte-local).
+        theory_r: workload
+            .theory_comparable()
+            .then_some(geometry.table_size_r),
+    };
+    audit_target_with_stages(&target, &samples, &stages, spec).map_err(|e| match e {
+        rcoal_audit::AuditError::Attack(a) => ExperimentError::Attack(a),
+        other => ExperimentError::Config(format!("audit: {other}")),
     })
 }
 

@@ -67,6 +67,9 @@ pub fn scenario_config(scenario: &Scenario) -> ExperimentConfig {
         ExperimentConfig::new(scenario.policy, scenario.num_plaintexts, scenario.lines)
     };
     cfg.seed = scenario.seed;
+    if let Some(workload) = &scenario.workload {
+        cfg.workload = workload.clone();
+    }
     if let Some(key) = scenario.key {
         cfg.key = key;
     }
@@ -114,6 +117,12 @@ pub fn run_to_value(data: &ExperimentData) -> Option<Value> {
     let doc = ObjBuilder::new()
         .field("schema", Value::str(RUN_SCHEMA))
         .field("policy", Value::str(data.policy.to_string()))
+        // Elided for AES so pre-registry cache entries stay valid (and
+        // pre-registry readers keep decoding AES rows).
+        .opt_field(
+            "workload",
+            (data.workload != "aes").then(|| Value::str(data.workload.clone())),
+        )
         .field("key", Value::str(hex_bytes(&data.key)))
         .field("ciphertexts", ciphertexts)
         .field("last_round_accesses", u64_arr(&data.last_round_accesses))
@@ -189,8 +198,14 @@ pub fn decode_run(input: &str) -> Result<ExperimentData, ScenarioError> {
                 .map_err(|_| ScenarioError::new("by-byte rows must have 16 entries"))
         })
         .collect::<Result<Vec<[u64; 16]>, ScenarioError>>()?;
+    let workload = v
+        .get("workload")
+        .and_then(Value::as_str)
+        .unwrap_or("aes")
+        .to_string();
     Ok(ExperimentData {
         policy,
+        workload,
         key,
         ciphertexts,
         last_round_accesses,

@@ -490,7 +490,9 @@ pub struct ScoreRow {
     pub performance_oriented: f64,
 }
 
-/// Average over the 16 key bytes of the correct guess's correlation.
+/// Average over the attacked key bytes of the correct guess's
+/// correlation, dispatched through the run's workload oracle (AES's
+/// 16-byte last-round subkey for legacy runs).
 ///
 /// # Errors
 ///
@@ -502,19 +504,22 @@ pub fn avg_correct_correlation(
     source: TimingSource,
 ) -> Result<f64, ExperimentError> {
     let samples = data.attack_samples(source)?;
-    let k10 = data.true_last_round_key();
+    let workload = data.workload_def();
+    let subkey = data.attacked_subkey();
+    let bytes = workload.oracle().key_bytes().min(16);
     let times: Vec<f64> = samples.iter().map(|s| s.time).collect();
     let mut sum = 0.0;
-    for (j, &kj) in k10.iter().enumerate() {
+    for (j, &kj) in subkey.iter().take(bytes).enumerate() {
         let mut predictor =
-            rcoal_attack::AccessPredictor::new(attack.policy(), 32, 0xc0ffee + j as u64);
+            rcoal_attack::AccessPredictor::new(attack.policy(), 32, 0xc0ffee + j as u64)
+                .with_oracle(workload.oracle());
         let predicted: Vec<f64> = samples
             .iter()
             .map(|s| predictor.predict(&s.ciphertexts, j, kj))
             .collect();
         sum += pearson(&predicted, &times);
     }
-    Ok(sum / 16.0)
+    Ok(sum / bytes as f64)
 }
 
 /// Figures 15 and 16 share their simulations; this bundle carries both.
@@ -795,6 +800,41 @@ mod tests {
         // S = 1/0.25 = 4; security-oriented = 4 / 1.1.
         assert!((scores[0].security_oriented - 4.0 / 1.1).abs() < 1e-9);
         assert!(scores[0].performance_oriented < scores[0].security_oriented);
+    }
+
+    #[test]
+    fn workload_matrix_audits_every_cell() {
+        let rows = workload_matrix(
+            &["aes", "present80", "gather"],
+            vec![CoalescingPolicy::Baseline, CoalescingPolicy::Disabled],
+            96,
+            17,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 6);
+        // Workloads expand outermost, policies within.
+        assert_eq!(rows[0].workload, "aes");
+        assert_eq!(rows[2].workload, "present80");
+        assert_eq!(rows[4].workload, "gather");
+        for pair in rows.chunks(2) {
+            // Ciphers leak under stock coalescing; the key-independent
+            // gather control must stay clean even there.
+            let expect_baseline_leak = pair[0].workload != "gather";
+            assert_eq!(
+                pair[0].leaky, expect_baseline_leak,
+                "{} under Baseline",
+                pair[0].workload
+            );
+            assert!(
+                !pair[1].leaky,
+                "{} must not leak with coalescing disabled",
+                pair[1].workload
+            );
+        }
+        // Only the gather control opts out of the theory cross-check.
+        for row in &rows {
+            assert_eq!(row.theory_ok.is_none(), row.workload == "gather");
+        }
     }
 
     #[test]
@@ -1288,4 +1328,87 @@ pub fn ablation_l1_with(
             })
         },
     )
+}
+
+// ----------------------------------- Extension: workload leakage matrix
+
+/// One cell of the cross-workload leakage matrix: a `(workload, policy)`
+/// pair audited on the per-byte access channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMatrixRow {
+    /// Registered workload name.
+    pub workload: String,
+    /// Policy under audit.
+    pub policy: CoalescingPolicy,
+    /// Welch t of the primary channel.
+    pub tvla_t: f64,
+    /// Bias-corrected mutual information (bits) of the primary channel.
+    pub mi_bits: f64,
+    /// Signed correlation of the true subkey guess.
+    pub empirical_rho: f64,
+    /// Theory cross-check verdict (`None` when the workload opts out of
+    /// the closed form, e.g. the gather control).
+    pub theory_ok: Option<bool>,
+    /// Headline audit verdict.
+    pub leaky: bool,
+}
+
+/// Cross-workload leakage matrix: every registered (or requested)
+/// workload under every requested policy, audited on the functional
+/// per-byte access channel. Demonstrates that the coalescing channel —
+/// and the RCoal defenses — are properties of *table-indexed loads*,
+/// not of AES specifically.
+///
+/// # Errors
+///
+/// Propagates sweep expansion, simulation, and audit failures.
+pub fn workload_matrix(
+    workloads: &[&str],
+    policies: Vec<CoalescingPolicy>,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<WorkloadMatrixRow>, ExperimentError> {
+    workload_matrix_with(
+        &SweepRunner::new(),
+        workloads,
+        policies,
+        num_plaintexts,
+        seed,
+    )
+}
+
+/// [`workload_matrix`] against a shared runner/cache. AES rows hash
+/// identically to legacy (pre-registry) scenarios, so a warm cache
+/// replays them for free.
+///
+/// # Errors
+///
+/// Propagates sweep expansion, simulation, and audit failures.
+pub fn workload_matrix_with(
+    runner: &SweepRunner,
+    workloads: &[&str],
+    policies: Vec<CoalescingPolicy>,
+    num_plaintexts: usize,
+    seed: u64,
+) -> Result<Vec<WorkloadMatrixRow>, ExperimentError> {
+    let base = Scenario::new(CoalescingPolicy::Baseline, num_plaintexts, 32)
+        .with_seed(seed)
+        .functional_only();
+    let sweep = SweepSpec::grid(base)
+        .with_workloads(workloads.iter().map(|w| (*w).to_string()).collect())
+        .with_policies(policies);
+    let results = runner.run_sweep(&sweep)?;
+    let refs: Vec<&ExperimentData> = results.iter().collect();
+    try_parallel_map(resolve_threads(None), &refs, |_, data| {
+        let report = crate::audit_data(data, 32, &rcoal_audit::AuditSpec::new())?;
+        Ok(WorkloadMatrixRow {
+            workload: data.workload.clone(),
+            policy: data.policy,
+            tvla_t: report.timing.welch.t,
+            mi_bits: report.timing.mi.corrected_bits,
+            empirical_rho: report.empirical_rho,
+            theory_ok: report.theory.map(|t| t.ok),
+            leaky: report.leaky,
+        })
+    })
 }

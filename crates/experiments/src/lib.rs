@@ -46,4 +46,4 @@ pub use engine::{
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
 pub use telemetry::{ExperimentTelemetry, LaunchTrace, TelemetrySpec};
-pub use workload::{random_plaintexts, DEMO_KEY};
+pub use workload::{demo_key_for, random_lines, random_plaintexts, DEMO_KEY};

@@ -1,7 +1,7 @@
 use crate::error::ExperimentError;
 use crate::telemetry::{ExperimentTelemetry, TelemetrySpec};
 use crate::workload::{random_plaintexts, DEMO_KEY};
-use rcoal_aes::{AesGpuKernel, Block, LAST_ROUND_TAG_BASE};
+use rcoal_aes::{Block, LAST_ROUND_TAG_BASE};
 use rcoal_attack::AttackSample;
 use rcoal_audit::{AuditSpec, LeakageReport};
 use rcoal_core::{Coalescer, CoalescingPolicy};
@@ -12,6 +12,7 @@ use rcoal_parallel::{resolve_threads, try_parallel_map, try_parallel_map_metered
 use rcoal_rng::SeedableRng;
 use rcoal_rng::StdRng;
 use rcoal_telemetry::MetricsRegistry;
+use rcoal_workload::KernelWorkload;
 use std::sync::Arc;
 
 /// Which measurement plays the role of the attacker's timing observation.
@@ -37,6 +38,10 @@ pub enum TimingSource {
 pub struct ExperimentConfig {
     /// Coalescing policy the victim GPU deploys.
     pub policy: CoalescingPolicy,
+    /// Registered workload the victim GPU runs (see
+    /// [`rcoal_workload::registry`]); `"aes"` is the paper's kernel and
+    /// the default.
+    pub workload: String,
     /// Number of plaintexts (timing samples).
     pub num_plaintexts: usize,
     /// Lines per plaintext (32 = one warp; 1024 = the §VI-D case study).
@@ -91,6 +96,7 @@ impl ExperimentConfig {
     pub fn new(policy: CoalescingPolicy, num_plaintexts: usize, lines: usize) -> Self {
         ExperimentConfig {
             policy,
+            workload: "aes".to_string(),
             num_plaintexts,
             lines,
             seed: 0x5C0A1,
@@ -122,6 +128,13 @@ impl ExperimentConfig {
             vulnerable_tags: (LAST_ROUND_TAG_BASE, LAST_ROUND_TAG_BASE + 16),
         });
         cfg
+    }
+
+    /// Selects a registered workload by name (see
+    /// [`rcoal_workload::registry`]).
+    pub fn with_workload(mut self, workload: impl Into<String>) -> Self {
+        self.workload = workload.into();
+        self
     }
 
     /// Overrides the launch policy (e.g. a custom selective split).
@@ -204,6 +217,13 @@ impl ExperimentConfig {
         if self.lines == 0 {
             return Err(ExperimentError::Config("lines must be positive".into()));
         }
+        if rcoal_workload::find(&self.workload).is_none() {
+            return Err(ExperimentError::Config(format!(
+                "unknown workload '{}' (registered: {})",
+                self.workload,
+                rcoal_workload::names()
+            )));
+        }
         if self.threads == Some(0) {
             return Err(ExperimentError::Config(
                 "threads must be positive (use 1 for a sequential run)".into(),
@@ -248,6 +268,9 @@ impl ExperimentConfig {
     pub fn run(&self) -> Result<ExperimentData, ExperimentError> {
         self.validate()?;
         let span = self.host_metrics.as_ref().map(|m| m.span("experiment.run"));
+        let workload = rcoal_workload::find(&self.workload).ok_or_else(|| {
+            ExperimentError::Config(format!("unknown workload '{}'", self.workload))
+        })?;
         let plaintexts = random_plaintexts(self.num_plaintexts, self.lines, self.seed);
         let sim = GpuSimulator::new(self.gpu.clone());
         let coalescer = Coalescer::with_block_size(self.gpu.block_size)?;
@@ -258,8 +281,9 @@ impl ExperimentConfig {
         // out across worker threads; results come back in plaintext
         // order, making the data bit-identical to a sequential run.
         let threads = resolve_threads(self.threads);
-        let map =
-            |i: usize, lines: &Vec<Block>| self.run_one_launch(i, lines, &sim, &coalescer, launch);
+        let map = |i: usize, lines: &Vec<Block>| {
+            self.run_one_launch(workload, i, lines, &sim, &coalescer, launch)
+        };
         let launches = if let Some(metrics) = &self.host_metrics {
             let (result, report) = try_parallel_map_metered(threads, &plaintexts, map);
             report.record_into(metrics, "launches");
@@ -270,6 +294,7 @@ impl ExperimentConfig {
 
         let mut data = ExperimentData {
             policy: self.policy,
+            workload: self.workload.clone(),
             key: self.key,
             ciphertexts: Vec::with_capacity(self.num_plaintexts),
             last_round_accesses: Vec::with_capacity(self.num_plaintexts),
@@ -330,18 +355,19 @@ impl ExperimentConfig {
     /// arguments.
     fn run_one_launch(
         &self,
+        workload: &dyn KernelWorkload,
         i: usize,
         lines: &[Block],
         sim: &GpuSimulator,
         coalescer: &Coalescer,
         launch: LaunchPolicy,
     ) -> Result<LaunchData, ExperimentError> {
-        let kernel = AesGpuKernel::new(&self.key, lines.to_vec(), self.gpu.warp_size);
+        let kernel = workload.build_kernel(&self.key, lines.to_vec(), self.gpu.warp_size);
         // One kernel launch per plaintext; each launch re-draws the
         // policy randomness from its own seed.
         let launch_seed = self.seed.wrapping_add(1 + i as u64);
         let mut out = LaunchData {
-            ciphertexts: Arc::new(kernel.ciphertexts().to_vec()),
+            ciphertexts: Arc::new(kernel.attack_text().to_vec()),
             by_byte: [0; 16],
             total_accesses: 0,
             total_requests: 0,
@@ -364,10 +390,11 @@ impl ExperimentConfig {
             }
             out.total_accesses = stats.total_accesses;
             out.total_requests = stats.total_requests;
-            // `try_` keeps a kernel that never passes round 9 from
-            // silently reporting the whole run as "last-round" time (the
-            // AES kernel always passes it; other kernels may not).
-            out.last_round_cycles = stats.try_cycles_after_round(9);
+            // `try_` keeps a kernel that never passes the boundary round
+            // from silently reporting the whole run as "post-boundary"
+            // time (registered workloads always pass it; a custom kernel
+            // may not).
+            out.last_round_cycles = stats.try_cycles_after_round(workload.timing_boundary_round());
             out.total_cycles = Some(stats.total_cycles);
         } else {
             let counts = functional_counts(&kernel, launch, launch_seed, coalescer, &self.gpu)?;
@@ -400,7 +427,7 @@ struct FunctionalCounts {
 /// per-warp subwarp assignments the simulator would (same seed, same warp
 /// order).
 fn functional_counts(
-    kernel: &AesGpuKernel,
+    kernel: &dyn Kernel,
     launch: LaunchPolicy,
     launch_seed: u64,
     coalescer: &Coalescer,
@@ -447,12 +474,16 @@ fn functional_counts(
 pub struct ExperimentData {
     /// The deployed policy.
     pub policy: CoalescingPolicy,
+    /// Name of the workload that produced the data (`"aes"` for the
+    /// paper's kernel).
+    pub workload: String,
     /// The victim key (available here because we are the experimenter;
     /// the attack itself never reads it).
     pub key: [u8; 16],
-    /// Per-plaintext ciphertext lines, shared via [`Arc`] so packaging
-    /// the data as attack samples (possibly several times, for different
-    /// timing sources) never deep-copies the blocks.
+    /// Per-plaintext attacker-visible text lines (ciphertexts for AES,
+    /// plaintexts for the first-round workloads), shared via [`Arc`] so
+    /// packaging the data as attack samples (possibly several times, for
+    /// different timing sources) never deep-copies the blocks.
     pub ciphertexts: Vec<Arc<Vec<Block>>>,
     /// Per-plaintext last-round coalesced accesses.
     pub last_round_accesses: Vec<u64>,
@@ -478,6 +509,20 @@ impl ExperimentData {
     /// The true last-round key (ground truth for scoring recoveries).
     pub fn true_last_round_key(&self) -> [u8; 16] {
         rcoal_aes::Aes128::new(&self.key).last_round_key()
+    }
+
+    /// The registry entry of the workload that produced this data.
+    /// Unknown names (e.g. data decoded from a future cache format)
+    /// fall back to the AES entry, matching the pre-registry pipeline.
+    pub fn workload_def(&self) -> &'static dyn KernelWorkload {
+        rcoal_workload::find(&self.workload).unwrap_or(rcoal_workload::registry()[0])
+    }
+
+    /// The true attacked subkey for this data's workload (ground truth
+    /// for scoring recoveries): the last-round key for AES, the
+    /// whitening material for the first-round workloads.
+    pub fn attacked_subkey(&self) -> [u8; 16] {
+        self.workload_def().attacked_subkey(&self.key)
     }
 
     /// Packages the observations as attack samples with the chosen
@@ -517,7 +562,8 @@ impl ExperimentData {
             TimingSource::ByteAccesses(j) => {
                 if usize::from(j) >= 16 {
                     return Err(ExperimentError::Config(format!(
-                        "ByteAccesses index {j} out of range (AES-128 has 16 key bytes)"
+                        "ByteAccesses index {j} out of range (observations carry 16 \
+                         per-byte channels)"
                     )));
                 }
                 self.last_round_accesses_by_byte
@@ -785,5 +831,58 @@ mod tests {
             data.true_last_round_key(),
             Aes128::new(&DEMO_KEY).last_round_key()
         );
+        assert_eq!(data.workload, "aes");
+        assert_eq!(data.attacked_subkey(), data.true_last_round_key());
+    }
+
+    #[test]
+    fn unknown_workload_fails_validation() {
+        let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 2, 32).with_workload("des-cbc");
+        let err = cfg.run().unwrap_err();
+        assert!(
+            matches!(&err, ExperimentError::Config(msg) if msg.contains("des-cbc")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cipher_workloads_run_and_expose_plaintext_attack_text() {
+        for name in ["present80", "gift64", "rectangle", "gather"] {
+            let cfg = ExperimentConfig::new(CoalescingPolicy::Baseline, 3, 32)
+                .with_workload(name)
+                .with_seed(7);
+            let data = cfg.run().unwrap();
+            assert_eq!(data.workload, name);
+            assert_eq!(data.len(), 3);
+            // First-round attacks observe the plaintext stream itself.
+            let plaintexts = random_plaintexts(3, 32, 7);
+            for (p, seen) in plaintexts.iter().zip(&data.ciphertexts) {
+                assert_eq!(p, seen.as_ref(), "{name}");
+            }
+            let cycles = data.last_round_cycles.as_ref().unwrap();
+            assert!(cycles.iter().all(|&c| c > 0), "{name}: {cycles:?}");
+            assert!(data.mean_total_accesses() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn workload_functional_counts_match_simulator_counts() {
+        for name in ["present80", "rectangle"] {
+            for policy in [
+                CoalescingPolicy::Baseline,
+                CoalescingPolicy::fss(8).unwrap(),
+            ] {
+                let cfg = ExperimentConfig::new(policy, 3, 32)
+                    .with_workload(name)
+                    .with_seed(5);
+                let timing = cfg.clone().run().unwrap();
+                let functional = cfg.functional_only().run().unwrap();
+                assert_eq!(timing.total_accesses, functional.total_accesses, "{name}");
+                assert_eq!(
+                    timing.last_round_accesses_by_byte, functional.last_round_accesses_by_byte,
+                    "{name}"
+                );
+            }
+        }
     }
 }

@@ -1,13 +1,22 @@
+//! Input-material generators for experiments, parameterized by the
+//! workload registry's declared geometry.
+
 use rcoal_aes::Block;
 use rcoal_rng::StdRng;
 use rcoal_rng::{Rng, SeedableRng};
+use rcoal_workload::KernelWorkload;
 
-/// Generates `num_plaintexts` random plaintexts of `lines` 16-byte lines
-/// each, reproducibly from `seed`. This models the attacker-chosen (in
-/// practice: attacker-observed, uniformly random) plaintext stream.
-pub fn random_plaintexts(num_plaintexts: usize, lines: usize, seed: u64) -> Vec<Vec<Block>> {
+/// Generates `num_samples` random inputs of `lines` 16-byte lines each,
+/// reproducibly from `seed` — the attacker-observed uniformly random
+/// text stream every registered workload consumes (workloads with
+/// 8-byte blocks read each line's first 8 bytes).
+///
+/// The draw is workload-independent on purpose: an AES run and a
+/// PRESENT run with the same `(num, lines, seed)` see the same bytes,
+/// and the AES path stays bit-identical to the pre-registry pipeline.
+pub fn random_lines(num_samples: usize, lines: usize, seed: u64) -> Vec<Vec<Block>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..num_plaintexts)
+    (0..num_samples)
         .map(|_| {
             (0..lines)
                 .map(|_| {
@@ -20,9 +29,27 @@ pub fn random_plaintexts(num_plaintexts: usize, lines: usize, seed: u64) -> Vec<
         .collect()
 }
 
+/// AES-era name for [`random_lines`] (the plaintext stream of the
+/// paper's workload); kept as a thin wrapper.
+pub fn random_plaintexts(num_plaintexts: usize, lines: usize, seed: u64) -> Vec<Vec<Block>> {
+    random_lines(num_plaintexts, lines, seed)
+}
+
 /// The fixed demonstration key used by examples and benches (any key
 /// works; the attack recovers whatever key the server holds).
 pub const DEMO_KEY: [u8; 16] = *b"rcoal demo key<>";
+
+/// The demonstration key trimmed to `workload`'s declared key size:
+/// bytes past `geometry().key_bytes` are zeroed, making the key
+/// material the kernel actually consumes explicit (PRESENT-80 uses 10
+/// bytes; the gather control uses none).
+pub fn demo_key_for(workload: &dyn KernelWorkload) -> [u8; 16] {
+    let mut key = DEMO_KEY;
+    for b in key.iter_mut().skip(workload.geometry().key_bytes.min(16)) {
+        *b = 0;
+    }
+    key
+}
 
 #[cfg(test)]
 mod tests {
@@ -44,5 +71,22 @@ mod tests {
         let p = random_plaintexts(2, 4, 1);
         assert_ne!(p[0][0], p[0][1]);
         assert_ne!(p[0][0], p[1][0]);
+    }
+
+    #[test]
+    fn random_lines_is_the_same_stream() {
+        assert_eq!(random_lines(2, 8, 42), random_plaintexts(2, 8, 42));
+    }
+
+    #[test]
+    fn demo_key_respects_declared_key_sizes() {
+        let aes = rcoal_workload::find("aes").unwrap();
+        assert_eq!(demo_key_for(aes), DEMO_KEY, "AES uses the full key");
+        let present = rcoal_workload::find("present80").unwrap();
+        let k = demo_key_for(present);
+        assert_eq!(&k[..10], &DEMO_KEY[..10]);
+        assert_eq!(&k[10..], &[0u8; 6]);
+        let gather = rcoal_workload::find("gather").unwrap();
+        assert_eq!(demo_key_for(gather), [0u8; 16], "keyless control");
     }
 }

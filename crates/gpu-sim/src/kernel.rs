@@ -113,6 +113,34 @@ pub trait Kernel {
     fn trace(&self, warp_id: usize) -> &WarpTrace;
 }
 
+impl<K: Kernel + ?Sized> Kernel for &K {
+    fn num_warps(&self) -> usize {
+        (**self).num_warps()
+    }
+
+    fn warp_width(&self, warp_id: usize) -> usize {
+        (**self).warp_width(warp_id)
+    }
+
+    fn trace(&self, warp_id: usize) -> &WarpTrace {
+        (**self).trace(warp_id)
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn num_warps(&self) -> usize {
+        (**self).num_warps()
+    }
+
+    fn warp_width(&self, warp_id: usize) -> usize {
+        (**self).warp_width(warp_id)
+    }
+
+    fn trace(&self, warp_id: usize) -> &WarpTrace {
+        (**self).trace(warp_id)
+    }
+}
+
 /// A trivial [`Kernel`] built directly from traces; used by tests and
 /// microbenchmarks.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -271,6 +271,12 @@ impl TelemetryOverrides {
 pub struct Scenario {
     /// Coalescing policy the victim deploys.
     pub policy: CoalescingPolicy,
+    /// Registered workload name; `None` means the default AES kernel.
+    /// Kept optional (and elided from the canonical form when unset) so
+    /// pre-registry scenario files — and their content hashes — stay
+    /// valid. Registry membership is checked at execution time, not
+    /// here: the scenario layer stays workload-agnostic.
+    pub workload: Option<String>,
     /// Number of plaintexts (timing samples).
     pub num_plaintexts: usize,
     /// Lines per plaintext (32 = one warp).
@@ -299,6 +305,7 @@ impl Scenario {
     pub fn new(policy: CoalescingPolicy, num_plaintexts: usize, lines: usize) -> Self {
         Scenario {
             policy,
+            workload: None,
             num_plaintexts,
             lines,
             seed: DEFAULT_SEED,
@@ -322,6 +329,18 @@ impl Scenario {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects a registered workload by name (`"aes"`, `"present80"`,
+    /// `"gift64"`, `"rectangle"`, `"gather"`, …). The default name
+    /// `"aes"` normalizes to `None`, so `with_workload("aes")` and an
+    /// untouched scenario are the same scenario — same canonical form,
+    /// same content hash.
+    #[must_use]
+    pub fn with_workload(mut self, workload: impl Into<String>) -> Self {
+        let w = workload.into();
+        self.workload = (w != "aes").then_some(w);
         self
     }
 
@@ -393,6 +412,10 @@ impl Scenario {
         ObjBuilder::new()
             .field("schema", Value::str(SCENARIO_SCHEMA))
             .field("policy", Value::str(self.policy.to_string()))
+            .opt_field(
+                "workload",
+                self.workload.as_ref().map(|w| Value::str(w.clone())),
+            )
             .field("num_plaintexts", Value::usize(self.num_plaintexts))
             .field("lines", Value::usize(self.lines))
             .field("seed", Value::u64(self.seed))
@@ -441,6 +464,7 @@ impl Scenario {
             &[
                 "schema",
                 "policy",
+                "workload",
                 "num_plaintexts",
                 "lines",
                 "seed",
@@ -465,6 +489,17 @@ impl Scenario {
         let policy = policy_str
             .parse::<CoalescingPolicy>()
             .map_err(|e| ScenarioError::new(e.to_string()))?;
+        let workload = match v.get("workload") {
+            None => None,
+            Some(w) => {
+                let name = w
+                    .as_str()
+                    .ok_or_else(|| ScenarioError::new("workload must be a string"))?;
+                // Normalize the default so "workload":"aes" parses to the
+                // same scenario (and hash) as a pre-registry document.
+                (name != "aes").then(|| name.to_string())
+            }
+        };
         let num_plaintexts = v
             .get("num_plaintexts")
             .and_then(Value::as_usize)
@@ -514,6 +549,7 @@ impl Scenario {
         };
         Ok(Scenario {
             policy,
+            workload,
             num_plaintexts,
             lines,
             seed,
@@ -783,6 +819,9 @@ mod tests {
                 FaultPlan::seeded(3).with_jitter(ReplyJitter::Gaussian { sigma: 12.5 }),
             ),
         );
+        out.push(
+            Scenario::new(CoalescingPolicy::fss(8).unwrap(), 12, 32).with_workload("present80"),
+        );
         out
     }
 
@@ -830,12 +869,44 @@ mod tests {
     #[test]
     fn defaults_are_omitted_from_canonical_form() {
         let json = Scenario::new(CoalescingPolicy::Baseline, 1, 32).to_json();
-        for absent in ["key", "timing", "selective", "gpu", "faults", "telemetry"] {
+        for absent in [
+            "workload",
+            "key",
+            "timing",
+            "selective",
+            "gpu",
+            "faults",
+            "telemetry",
+        ] {
             assert!(
                 !json.contains(&format!("\"{absent}\"")),
                 "{absent} should be omitted: {json}"
             );
         }
+    }
+
+    #[test]
+    fn workload_field_round_trips_and_moves_the_hash() {
+        let aes = Scenario::new(CoalescingPolicy::Baseline, 10, 32);
+        let present = aes.clone().with_workload("present80");
+        assert_ne!(aes.content_hash(), present.content_hash());
+        let back = Scenario::from_json(&present.to_json()).unwrap();
+        assert_eq!(back.workload.as_deref(), Some("present80"));
+        assert_eq!(back.content_hash(), present.content_hash());
+        // "aes" is the default: explicit or absent, same scenario.
+        assert_eq!(aes.clone().with_workload("aes"), aes);
+        let explicit = format!(
+            r#"{{"schema":"{SCENARIO_SCHEMA}","policy":"baseline","workload":"aes","num_plaintexts":10,"lines":32,"seed":{DEFAULT_SEED}}}"#
+        );
+        assert_eq!(Scenario::from_json(&explicit).unwrap(), aes);
+        // A pre-registry document (no workload field) still parses and
+        // hashes exactly as before.
+        assert!(!aes.to_json().contains("workload"));
+        assert_eq!(Scenario::from_json(&aes.to_json()).unwrap(), aes);
+        let typed = format!(
+            r#"{{"schema":"{SCENARIO_SCHEMA}","policy":"baseline","workload":7,"num_plaintexts":1,"lines":32,"seed":1}}"#
+        );
+        assert!(Scenario::from_json(&typed).is_err(), "non-string workload");
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub const SWEEP_SCHEMA: &str = "rcoal-sweep/v1";
 pub struct SweepSpec {
     /// Grid template; `None` means the spec is an explicit list only.
     pub base: Option<Scenario>,
+    /// Workload axis (empty = keep the base workload). The outermost
+    /// expansion loop; `"aes"` entries normalize to the default like
+    /// [`Scenario::with_workload`].
+    pub workloads: Vec<String>,
     /// Policy axis (empty = keep the base policy).
     pub policies: Vec<CoalescingPolicy>,
     /// Workload-size axis (empty = keep the base size).
@@ -60,6 +64,13 @@ impl SweepSpec {
             scenarios,
             ..Self::default()
         }
+    }
+
+    /// Sets the workload axis.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: Vec<String>) -> Self {
+        self.workloads = workloads;
+        self
     }
 
     /// Sets the policy axis.
@@ -105,17 +116,27 @@ impl SweepSpec {
     /// Returns a [`ScenarioError`] for an empty spec, grid axes without a
     /// base, or any invalid expanded scenario.
     pub fn expand(&self) -> Result<Vec<Scenario>, ScenarioError> {
-        let has_axes = !(self.policies.is_empty()
+        let has_axes = !(self.workloads.is_empty()
+            && self.policies.is_empty()
             && self.num_plaintexts.is_empty()
             && self.lines.is_empty()
             && self.seeds.is_empty());
         if self.base.is_none() && has_axes {
             return Err(ScenarioError::new(
-                "sweep axes (policies/num_plaintexts/lines/seeds) require a base scenario",
+                "sweep axes (workloads/policies/num_plaintexts/lines/seeds) require a base \
+                 scenario",
             ));
         }
         let mut out = Vec::new();
         if let Some(base) = &self.base {
+            let workloads: Vec<Option<String>> = if self.workloads.is_empty() {
+                vec![base.workload.clone()]
+            } else {
+                self.workloads
+                    .iter()
+                    .map(|w| (w != "aes").then(|| w.clone()))
+                    .collect()
+            };
             let policies: Vec<CoalescingPolicy> = if self.policies.is_empty() {
                 vec![base.policy]
             } else {
@@ -124,16 +145,19 @@ impl SweepSpec {
             let sizes = non_empty_or(&self.num_plaintexts, base.num_plaintexts);
             let lines = non_empty_or(&self.lines, base.lines);
             let seeds = non_empty_or(&self.seeds, base.seed);
-            for &policy in &policies {
-                for &num_plaintexts in &sizes {
-                    for &line_count in &lines {
-                        for &seed in &seeds {
-                            let mut s = base.clone();
-                            s.policy = policy;
-                            s.num_plaintexts = num_plaintexts;
-                            s.lines = line_count;
-                            s.seed = seed;
-                            out.push(s);
+            for workload in &workloads {
+                for &policy in &policies {
+                    for &num_plaintexts in &sizes {
+                        for &line_count in &lines {
+                            for &seed in &seeds {
+                                let mut s = base.clone();
+                                s.workload = workload.clone();
+                                s.policy = policy;
+                                s.num_plaintexts = num_plaintexts;
+                                s.lines = line_count;
+                                s.seed = seed;
+                                out.push(s);
+                            }
                         }
                     }
                 }
@@ -157,6 +181,10 @@ impl SweepSpec {
         ObjBuilder::new()
             .field("schema", Value::str(SWEEP_SCHEMA))
             .opt_field("base", self.base.as_ref().map(Scenario::to_value))
+            .opt_field(
+                "workloads",
+                non_empty(&self.workloads, |w| Value::str(w.clone())),
+            )
             .opt_field(
                 "policies",
                 non_empty(&self.policies, |p| Value::str(p.to_string())),
@@ -200,6 +228,7 @@ impl SweepSpec {
             &[
                 "schema",
                 "base",
+                "workloads",
                 "policies",
                 "num_plaintexts",
                 "lines",
@@ -214,6 +243,11 @@ impl SweepSpec {
             )));
         }
         let base = v.get("base").map(Scenario::from_value).transpose()?;
+        let workloads = parse_axis(v, "workloads", |item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ScenarioError::new("workloads entries must be strings"))
+        })?;
         let policies = parse_axis(v, "policies", |item| {
             item.as_str()
                 .ok_or_else(|| ScenarioError::new("policies entries must be strings"))?
@@ -235,6 +269,7 @@ impl SweepSpec {
         let scenarios = parse_axis(v, "scenarios", Scenario::from_value)?;
         Ok(SweepSpec {
             base,
+            workloads,
             policies,
             num_plaintexts,
             lines,
@@ -355,8 +390,26 @@ mod tests {
     }
 
     #[test]
+    fn workload_axis_expands_outermost_and_normalizes_aes() {
+        let sweep = SweepSpec::grid(base())
+            .with_workloads(vec!["aes".to_string(), "present80".to_string()])
+            .with_seeds(vec![1, 2]);
+        let scenarios = sweep.expand().unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].workload, None, "aes normalizes to default");
+        assert_eq!(scenarios[1].workload, None);
+        assert_eq!(scenarios[2].workload.as_deref(), Some("present80"));
+        assert_eq!(scenarios[3].workload.as_deref(), Some("present80"));
+        assert_eq!(scenarios[0], base().with_seed(1), "aes rows match legacy");
+        // Axis without a base is still rejected.
+        let no_base = SweepSpec::list(vec![base()]).with_workloads(vec!["gift64".to_string()]);
+        assert!(no_base.expand().is_err());
+    }
+
+    #[test]
     fn json_round_trips() {
         let sweep = SweepSpec::grid(base().with_seed(0xfeed))
+            .with_workloads(vec!["gather".to_string(), "rectangle".to_string()])
             .with_policies(vec![
                 CoalescingPolicy::rss(4).unwrap(),
                 CoalescingPolicy::Disabled,

@@ -343,6 +343,59 @@ mod tests {
     }
 
     #[test]
+    fn workload_geometries_share_the_qualitative_structure() {
+        // The registry's non-AES table kernels stress the model at
+        // R = 32 (PRESENT/GIFT, 2-byte entries) and R = 8 (RECTANGLE,
+        // 8-byte entries). The closed form must keep Table II's shape
+        // at both: FSS fully correlated until fully split, RTS variants
+        // strictly decreasing in M, everything closed at M = N.
+        for r in [8, 32] {
+            let model = SecurityModel::new(32, r);
+            for m in [1, 2, 4, 8, 16] {
+                assert_eq!(model.rho(Mechanism::Fss, m), 1.0, "FSS R={r} M={m}");
+            }
+            let mut prev = 1.0 + 1e-9;
+            for m in [1, 2, 4, 8, 16] {
+                let rho = model.rho(Mechanism::FssRts, m);
+                assert!(rho < prev, "FSS+RTS must fall with M (R={r}, M={m})");
+                assert!(rho > 0.0, "channel still open below full split");
+                prev = rho;
+            }
+            for mech in [Mechanism::Fss, Mechanism::FssRts, Mechanism::RssRts] {
+                assert_eq!(model.rho(mech, 32), 0.0, "{mech} at M=32, R={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_blocks_means_weaker_channel_under_rts() {
+        // With fewer table blocks, per-subwarp occupancy saturates and
+        // the attacker's estimate tracks the count less tightly: at a
+        // fixed M, ρ(FSS+RTS) must not grow as R shrinks 32 → 16 → 8.
+        for m in [2, 4, 8] {
+            let rho8 = SecurityModel::new(32, 8).rho(Mechanism::FssRts, m);
+            let rho16 = SecurityModel::new(32, 16).rho(Mechanism::FssRts, m);
+            let rho32 = SecurityModel::new(32, 32).rho(Mechanism::FssRts, m);
+            assert!(rho8 <= rho16 + 1e-9, "M={m}: R=8 {rho8} vs R=16 {rho16}");
+            assert!(rho16 <= rho32 + 1e-9, "M={m}: R=16 {rho16} vs R=32 {rho32}");
+        }
+    }
+
+    #[test]
+    fn table2_for_covers_workload_geometries() {
+        for r in [8, 32] {
+            let rows = table2_for(SecurityModel::new(32, r));
+            assert_eq!(
+                rows.iter().map(|row| row.m).collect::<Vec<_>>(),
+                vec![1, 2, 4, 8, 16, 32],
+                "R={r}"
+            );
+            assert!((rows[0].s_fss_rts - 1.0).abs() < 1e-6, "M=1 is the unit");
+            assert!(rows[5].s_fss_rts.is_infinite());
+        }
+    }
+
+    #[test]
     fn table2_has_six_rows() {
         let t = table2();
         assert_eq!(

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! rcoal-cli table2
-//! rcoal-cli simulate --policy rss-rts:4 [--plaintexts 20] [--lines 32] [--seed 7] [--selective true] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
-//! rcoal-cli attack   --policy baseline  [--samples 400] [--byte all|J] [--seed 7] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
+//! rcoal-cli workloads
+//! rcoal-cli simulate --policy rss-rts:4 [--workload W] [--plaintexts 20] [--lines 32] [--seed 7] [--selective true] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
+//! rcoal-cli attack   --policy baseline  [--workload W] [--samples 400] [--byte all|J] [--seed 7] [--threads N] [--trace-out F] [--metrics-out F] [--progress true]
 //! rcoal-cli score    [--samples 100] [--seed 7] [--threads N]
 //! ```
 
@@ -23,16 +24,26 @@ USAGE:
   rcoal-cli table2
       Print the analytical security model (paper Table II).
 
-  rcoal-cli simulate --policy <POLICY> [--plaintexts N] [--lines L] [--seed S] [--selective true] [--threads T]
+  rcoal-cli workloads
+      List the registered table-based kernels (AES plus the PRESENT,
+      GIFT, and RECTANGLE ciphers and the key-free gather control):
+      table geometry, the subkey the attack sweeps, and the analytical
+      model's predicted normalized sample counts S = 1/rho^2 at the
+      workload's (N, R).
+
+  rcoal-cli simulate --policy <POLICY> [--workload W] [--plaintexts N] [--lines L] [--seed S]
+                     [--selective true] [--threads T]
                      [--trace-out FILE] [--metrics-out FILE] [--progress true]
       Encrypt N plaintexts of L lines on the simulated GPU and report
       cycles and coalesced accesses. With --selective true, only the
       last-round loads use the (randomized) policy.
 
-  rcoal-cli attack --policy <POLICY> [--samples N] [--byte J|all] [--seed S] [--threads T]
+  rcoal-cli attack --policy <POLICY> [--workload W] [--samples N] [--byte J|all] [--seed S] [--threads T]
                    [--trace-out FILE] [--metrics-out FILE] [--progress true]
       Deploy POLICY on the victim, collect N timing samples, run the
-      corresponding correlation attack, and grade the key recovery.
+      corresponding correlation attack, and grade the subkey recovery
+      (AES's 16-byte last-round key by default; see `workloads` for the
+      other kernels' attacked subkeys).
 
   rcoal-cli score [--samples N] [--seed S] [--threads T]
       Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
@@ -53,7 +64,7 @@ USAGE:
       journal records) for crash testing; they imply the supervised
       path.
 
-  rcoal-cli audit --policy <POLICY> [--samples N] [--lines L] [--seed S] [--byte J]
+  rcoal-cli audit --policy <POLICY> [--workload W] [--samples N] [--lines L] [--seed S] [--byte J]
                   [--channel CH] [--threads T] [--cache DIR] [--out FILE]
                   [--gate leaky|secure] [--t-threshold X] [--mi-floor BITS]
       Run (or fetch from --cache DIR) a POLICY experiment of N samples
@@ -99,6 +110,11 @@ USAGE:
 POLICY: baseline | disabled | fss:M | rss:M | fss-rts:M | rss-rts:M
         (M = number of subwarps, a divisor of 32 for fss variants)
 
+WORKLOAD: a registered kernel name — aes (default), present80, gift64,
+        rectangle, or gather; `rcoal-cli workloads` prints the registry.
+        Sweep specs select workloads per scenario via the \"workload\"
+        field / \"workloads\" axis instead of a flag.
+
 THREADS: worker threads for launch sweeps and attack guess sweeps.
         Results are bit-identical for every T. Defaults to the
         RCOAL_THREADS environment variable, then the machine's
@@ -131,6 +147,7 @@ fn run() -> Result<(), String> {
     let args = ParsedArgs::parse(std::env::args().skip(1))?;
     match args.positional.first().map(String::as_str) {
         Some("table2") => cmd_table2(),
+        Some("workloads") => cmd_workloads(),
         Some("simulate") => cmd_simulate(&args),
         Some("attack") => cmd_attack(&args),
         Some("audit") => cmd_audit(&args),
@@ -164,6 +181,65 @@ fn cmd_table2() -> Result<(), String> {
 
 fn policy_from(args: &ParsedArgs) -> Result<CoalescingPolicy, String> {
     parse_policy(args.get("policy").unwrap_or("baseline"))
+}
+
+/// Resolves `--workload` against the registry (default `aes`).
+fn workload_from(args: &ParsedArgs) -> Result<&'static dyn KernelWorkload, String> {
+    let name = args.get("workload").unwrap_or("aes");
+    rcoal::workload::find(name).ok_or_else(|| {
+        format!(
+            "unknown workload {name:?} (registered: {})",
+            rcoal::workload::names()
+        )
+    })
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("registered workloads (N = 32 threads per warp):");
+    for workload in rcoal::workload::registry() {
+        let g = workload.geometry();
+        println!("\n{} — {}", workload.name(), workload.description());
+        println!(
+            "  geometry : R = {} blocks/table x {} table(s), {}-byte entries; \
+             {} loads/round x {} rounds",
+            g.table_size_r, g.tables, g.entry_bytes, g.loads_per_round, g.rounds
+        );
+        println!(
+            "  attack   : {}-byte key, sweeps {} subkey byte(s); timing boundary after round {}",
+            g.key_bytes,
+            g.attack_bytes,
+            workload.timing_boundary_round()
+        );
+        if workload.theory_comparable() {
+            let model = SecurityModel::new(g.threads_per_warp, g.table_size_r);
+            let fmt_s = |mech: Mechanism| -> String {
+                [2usize, 4, 8, 16]
+                    .iter()
+                    .map(|&m| {
+                        let s = model.normalized_samples(mech, m);
+                        if s.is_finite() {
+                            format!("{s:.0}")
+                        } else {
+                            "inf".to_string()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" / ")
+            };
+            println!(
+                "  predicted S at M=2/4/8/16: FSS {} | FSS+RTS {} | RSS+RTS {}",
+                fmt_s(Mechanism::Fss),
+                fmt_s(Mechanism::FssRts),
+                fmt_s(Mechanism::RssRts)
+            );
+        } else {
+            println!(
+                "  theory   : key-independent control — no (N, R) prediction; \
+                 audits must gate secure"
+            );
+        }
+    }
+    Ok(())
 }
 
 /// The `--trace-out` / `--metrics-out` / `--progress` trio shared by the
@@ -239,6 +315,7 @@ impl TelemetryArgs {
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     let policy = policy_from(args)?;
+    let workload = workload_from(args)?;
     let plaintexts: usize = args.get_or("plaintexts", 20)?;
     let lines: usize = args.get_or("lines", 32)?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -251,7 +328,9 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
     } else {
         ExperimentConfig::new(policy, plaintexts, lines)
     };
-    let mut base = ExperimentConfig::new(CoalescingPolicy::Baseline, plaintexts, lines);
+    cfg = cfg.with_workload(workload.name());
+    let mut base = ExperimentConfig::new(CoalescingPolicy::Baseline, plaintexts, lines)
+        .with_workload(workload.name());
     if let Some(t) = threads {
         cfg = cfg.with_threads(t);
         base = base.with_threads(t);
@@ -277,6 +356,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
             ""
         }
     );
+    println!("workload         : {}", workload.name());
     println!("plaintexts       : {plaintexts} x {lines} lines");
     let cycles = data.mean_total_cycles().map_err(|e| e.to_string())?;
     let base_cycles = base.mean_total_cycles().map_err(|e| e.to_string())?;
@@ -319,16 +399,21 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
 
 fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
     let policy = policy_from(args)?;
+    let workload = workload_from(args)?;
     let samples: usize = args.get_or("samples", 400)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let byte_spec = args.get("byte").unwrap_or("all").to_string();
     let threads = parse_threads(args)?;
     let telemetry = TelemetryArgs::parse(args)?;
+    let key_bytes = workload.oracle().key_bytes().min(16);
 
     println!("victim policy : {policy}");
+    println!("workload      : {}", workload.name());
     println!("samples       : {samples} (32-line plaintexts, last-round timing)");
     let registry = MetricsRegistry::new();
-    let mut cfg = ExperimentConfig::new(policy, samples, 32).with_seed(seed);
+    let mut cfg = ExperimentConfig::new(policy, samples, 32)
+        .with_workload(workload.name())
+        .with_seed(seed);
     if let Some(t) = threads {
         cfg = cfg.with_threads(t);
     }
@@ -340,8 +425,9 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
     }
     let data = cfg.run().map_err(|e| e.to_string())?;
     telemetry.report_pool(&registry, "launches");
-    let k10 = data.true_last_round_key();
+    let k10 = data.attacked_subkey();
     let mut attack = Attack::against(policy, 32)
+        .with_oracle(workload.oracle())
         .with_seed(seed ^ 0xa77ac)
         .with_threads(threads);
     if telemetry.wants_any() {
@@ -354,11 +440,11 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
 
     if byte_spec == "all" {
         let rec = if telemetry.progress {
-            // Per-byte sweep so progress is visible between the 16
+            // Per-byte sweep so progress is visible between the
             // (expensive) 256-guess correlation scans; identical results
             // to a single recover_key call.
-            let mut bytes = Vec::with_capacity(16);
-            for j in 0..16 {
+            let mut bytes = Vec::with_capacity(key_bytes);
+            for j in 0..key_bytes {
                 bytes.push(
                     attack
                         .recover_byte(&samples, j)
@@ -367,7 +453,7 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
                 let guesses = registry.counter("attack.guesses").get();
                 let rate = registry.gauge("attack.correlations_per_sec").get();
                 eprintln!(
-                    "[progress] byte {:2}/16 done ({guesses} guesses swept, ~{rate} corr/s)",
+                    "[progress] byte {:2}/{key_bytes} done ({guesses} guesses swept, ~{rate} corr/s)",
                     j + 1
                 );
             }
@@ -391,7 +477,7 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
             );
         }
         println!(
-            "\nrecovered {}/16 bytes; avg corr(correct) = {:+.3}; avg rank = {:.1}",
+            "\nrecovered {}/{key_bytes} bytes; avg corr(correct) = {:+.3}; avg rank = {:.1}",
             out.num_correct, out.avg_correct_correlation, out.avg_rank_of_correct
         );
         println!(
@@ -399,11 +485,14 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
             rcoal_attack::log2_key_rank(&rec, &k10)
         );
     } else {
-        let j: usize = byte_spec
-            .parse()
-            .map_err(|_| format!("--byte must be 0..=15 or 'all', got {byte_spec:?}"))?;
-        if j >= 16 {
-            return Err("--byte must be 0..=15 or 'all'".into());
+        let j: usize = byte_spec.parse().map_err(|_| {
+            format!(
+                "--byte must be 0..={} or 'all', got {byte_spec:?}",
+                key_bytes - 1
+            )
+        })?;
+        if j >= key_bytes {
+            return Err(format!("--byte must be 0..={} or 'all'", key_bytes - 1));
         }
         let rec = attack
             .recover_byte(&samples, j)
@@ -422,6 +511,7 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
 
 fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
     let policy = policy_from(args)?;
+    let workload = workload_from(args)?;
     let samples: usize = args.get_or("samples", 512)?;
     let lines: usize = args.get_or("lines", 32)?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -452,7 +542,9 @@ fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
         );
     }
 
-    let mut scenario = Scenario::new(policy, samples, lines).with_seed(seed);
+    let mut scenario = Scenario::new(policy, samples, lines)
+        .with_workload(workload.name())
+        .with_seed(seed);
     if !channel.needs_cycles() {
         // Access-count channels don't need the cycle simulator; the
         // functional run is orders of magnitude cheaper and identical
@@ -472,7 +564,8 @@ fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let hits = runner.report().hits();
     println!(
-        "leakage audit    : {policy}, byte {byte}, channel {channel}, {samples} samples{}",
+        "leakage audit    : {policy}, workload {}, byte {byte}, channel {channel}, {samples} samples{}",
+        workload.name(),
         if hits > 0 { " (served from cache)" } else { "" }
     );
 

@@ -66,6 +66,7 @@ pub use rcoal_parallel as parallel;
 pub use rcoal_scenario as scenario;
 pub use rcoal_telemetry as telemetry;
 pub use rcoal_theory as theory;
+pub use rcoal_workload as workload;
 
 /// Commonly used items, importable with `use rcoal::prelude::*`.
 pub mod prelude {
@@ -94,4 +95,5 @@ pub mod prelude {
         Event, EventRing, Hist64, MetricsRegistry, MetricsSnapshot, Severity,
     };
     pub use rcoal_theory::{table2, Mechanism, RCoalScore, SecurityModel};
+    pub use rcoal_workload::{KernelWorkload, WorkloadGeometry, WorkloadKernel};
 }

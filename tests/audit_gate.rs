@@ -31,6 +31,16 @@ fn audit(runner: &SweepRunner, policy: CoalescingPolicy) -> LeakageReport {
     report
 }
 
+fn audit_workload(runner: &SweepRunner, policy: CoalescingPolicy, workload: &str) -> LeakageReport {
+    let (_, report) = runner
+        .audit_one(
+            &gate_scenario(policy).with_workload(workload),
+            &AuditSpec::new(),
+        )
+        .expect("audit");
+    report
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("rcoal-audit-gate-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -93,6 +103,64 @@ fn gate_is_falsifiable_in_both_directions() {
     let wrong_leaky = evaluate_gate(&rss, Expectation::Leaky);
     assert!(!wrong_leaky.pass);
     assert!(!wrong_leaky.failures.is_empty());
+}
+
+#[test]
+fn cipher_workloads_gate_leaky_under_fss() {
+    // Every registered cipher must trip the gate under deterministic
+    // subwarping (FSS leaves the channel fully correlated, Table II row
+    // rho = 1) at the same calibrated budget CI uses for AES.
+    let runner = SweepRunner::new();
+    let fss = CoalescingPolicy::fss(8).expect("8 divides 32");
+    for workload in ["present80", "gift64", "rectangle"] {
+        for policy in [CoalescingPolicy::Baseline, fss] {
+            let report = audit_workload(&runner, policy, workload);
+            assert!(
+                evaluate_gate(&report, Expectation::Leaky).pass,
+                "{workload} under {policy}: |t| = {}, MI = {}",
+                report.timing.welch.t,
+                report.timing.mi.corrected_bits
+            );
+            // ...and the inversion that keeps the cell honest:
+            assert!(!evaluate_gate(&report, Expectation::Secure).pass);
+        }
+        let report = audit_workload(&runner, fss, workload);
+        let theory = report.theory.expect("ciphers have a closed form");
+        assert!(
+            theory.ok,
+            "{workload}: empirical rho {} vs predicted {}",
+            report.empirical_rho, theory.predicted_rho
+        );
+    }
+}
+
+#[test]
+fn gather_control_gates_secure_everywhere() {
+    // The key-free gather kernel is the false-positive control: its
+    // accesses are irregular but key-independent, so a sound audit must
+    // find nothing — even under the vulnerable baseline coalescer.
+    let runner = SweepRunner::new();
+    for policy in [
+        CoalescingPolicy::Baseline,
+        CoalescingPolicy::fss(8).expect("8 divides 32"),
+        CoalescingPolicy::rss_rts(8).expect("8 divides 32"),
+    ] {
+        let report = audit_workload(&runner, policy, "gather");
+        assert!(
+            evaluate_gate(&report, Expectation::Secure).pass,
+            "gather under {policy}: |t| = {}, MI = {}",
+            report.timing.welch.t,
+            report.timing.mi.corrected_bits
+        );
+        assert!(
+            !evaluate_gate(&report, Expectation::Leaky).pass,
+            "a secure control must fail a leaky expectation"
+        );
+        assert!(
+            report.theory.is_none(),
+            "the control opts out of the (N, R) closed form"
+        );
+    }
 }
 
 #[test]

@@ -11,12 +11,17 @@ use rcoal_theory::{Occupancy, SecurityModel};
 const R: usize = 16;
 const BLOCK: u64 = 64;
 
-/// Draws one warp's worth of uniform block indices (the model's
-/// assumption for random plaintexts).
-fn random_addrs(rng: &mut StdRng) -> Vec<Option<u64>> {
+/// Draws one warp's worth of uniform block indices over `r` blocks (the
+/// model's assumption for random plaintexts).
+fn random_addrs_r(rng: &mut StdRng, r: usize) -> Vec<Option<u64>> {
     (0..32)
-        .map(|_| Some(rng.gen_range(0..R as u64) * BLOCK))
+        .map(|_| Some(rng.gen_range(0..r as u64) * BLOCK))
         .collect()
+}
+
+/// [`random_addrs_r`] at the paper's AES geometry (`R = 16`).
+fn random_addrs(rng: &mut StdRng) -> Vec<Option<u64>> {
+    random_addrs_r(rng, R)
 }
 
 #[test]
@@ -37,21 +42,27 @@ fn occupancy_distribution_matches_monte_carlo() {
     );
 }
 
-/// Empirical ρ(U, Û) for a randomized policy: both the defense and the
-/// attacker draw independent assignments over the same block indices.
-fn empirical_rho(policy: CoalescingPolicy, trials: usize, seed: u64) -> f64 {
+/// Empirical ρ(U, Û) for a randomized policy over an `r`-block table:
+/// both the defense and the attacker draw independent assignments over
+/// the same block indices.
+fn empirical_rho_r(policy: CoalescingPolicy, r: usize, trials: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let coalescer = Coalescer::new();
     let mut u = Vec::with_capacity(trials);
     let mut u_hat = Vec::with_capacity(trials);
     for _ in 0..trials {
-        let addrs = random_addrs(&mut rng);
+        let addrs = random_addrs_r(&mut rng, r);
         let defense = policy.assignment(32, &mut rng).expect("valid");
         let attacker = policy.assignment(32, &mut rng).expect("valid");
         u.push(coalescer.count_accesses(&defense, &addrs) as f64);
         u_hat.push(coalescer.count_accesses(&attacker, &addrs) as f64);
     }
     pearson(&u, &u_hat)
+}
+
+/// [`empirical_rho_r`] at the paper's AES geometry (`R = 16`).
+fn empirical_rho(policy: CoalescingPolicy, trials: usize, seed: u64) -> f64 {
+    empirical_rho_r(policy, R, trials, seed)
 }
 
 /// Builds the policy for one Table II cell.
@@ -94,6 +105,34 @@ fn full_table_2_grid_matches_monte_carlo() {
                 "{mech:?} M={m}: analytic {analytic:.4} vs Monte Carlo {empirical:.4} \
                  (tolerance {tolerance})"
             );
+        }
+    }
+}
+
+#[test]
+fn workload_geometries_match_monte_carlo() {
+    // The non-AES registry workloads change the table geometry:
+    // PRESENT/GIFT span R = 32 blocks (2-byte entries), RECTANGLE spans
+    // R = 8 (8-byte entries). The generalized closed form must track
+    // Monte Carlo at both, exactly as it does for the paper's R = 16.
+    for (r, seed_base) in [(8usize, 300u64), (32, 400)] {
+        let model = SecurityModel::new(32, r);
+        for mech in [Mechanism::Fss, Mechanism::FssRts, Mechanism::RssRts] {
+            for (i, m) in [2usize, 4, 8].into_iter().enumerate() {
+                let analytic = model.rho(mech, m);
+                let (trials, tolerance) = cell_budget(mech, m);
+                let empirical = empirical_rho_r(
+                    cell_policy(mech, m),
+                    r,
+                    trials,
+                    seed_base + 16 * i as u64 + m as u64,
+                );
+                assert!(
+                    (analytic - empirical).abs() < tolerance,
+                    "{mech:?} M={m} R={r}: analytic {analytic:.4} vs Monte Carlo \
+                     {empirical:.4} (tolerance {tolerance})"
+                );
+            }
         }
     }
 }
