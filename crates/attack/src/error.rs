@@ -20,6 +20,9 @@ pub enum AttackError {
     /// negative noise sigma, a correlation of magnitude ≥ 1, a
     /// non-positive signal variance).
     Domain(String),
+    /// A streaming [`crate::SampleSource`] failed to produce its next
+    /// chunk (e.g. the backing simulator rejected its configuration).
+    Source(String),
 }
 
 impl fmt::Display for AttackError {
@@ -30,6 +33,7 @@ impl fmt::Display for AttackError {
                 write!(f, "key byte index {j} out of range for the attacked subkey")
             }
             AttackError::Domain(msg) => write!(f, "parameter out of domain: {msg}"),
+            AttackError::Source(msg) => write!(f, "sample source failed: {msg}"),
         }
     }
 }
@@ -49,5 +53,8 @@ mod tests {
         assert!(AttackError::Domain("sigma -1".into())
             .to_string()
             .contains("sigma -1"));
+        assert!(AttackError::Source("sim rejected config".into())
+            .to_string()
+            .contains("sim rejected config"));
     }
 }

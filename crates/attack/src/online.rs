@@ -5,25 +5,26 @@
 //! This is how a real attacker operates ("collect until the argmax
 //! stabilizes") and it makes sample-cost sweeps like the Table II
 //! validation linear instead of quadratic.
+//!
+//! The per-guess correlation state is a [`PearsonAccumulator`] —
+//! Welford-style centered moments, shared with the chunked engine in
+//! [`crate::stream`] — replacing the raw `Σx, Σx², Σxy` sums this module
+//! originally kept, whose final subtraction catastrophically cancels
+//! when the means dominate the variances.
 
 use crate::error::AttackError;
 use crate::predict::AccessPredictor;
 use crate::recover::{Attack, AttackSample, ByteRecovery};
-use crate::stats::argmax;
+use crate::stream::PearsonAccumulator;
 
 /// Streaming per-byte recovery: maintains, for each of the 256 guesses,
-/// the running sums needed for a Pearson correlation against the timing
-/// stream.
+/// a centered-moment Pearson accumulator against the timing stream.
 #[derive(Debug, Clone)]
 pub struct OnlineByteRecovery {
     predictors: Vec<AccessPredictor>,
+    accumulators: Vec<PearsonAccumulator>,
     byte: usize,
     n: usize,
-    sum_y: f64,
-    sum_y2: f64,
-    sum_x: Vec<f64>,
-    sum_x2: Vec<f64>,
-    sum_xy: Vec<f64>,
 }
 
 impl OnlineByteRecovery {
@@ -40,26 +41,23 @@ impl OnlineByteRecovery {
         let predictors = (0..=255u8).map(|m| attack.predictor_for_guess(m)).collect();
         Ok(OnlineByteRecovery {
             predictors,
+            accumulators: vec![PearsonAccumulator::new(); 256],
             byte,
             n: 0,
-            sum_y: 0.0,
-            sum_y2: 0.0,
-            sum_x: vec![0.0; 256],
-            sum_x2: vec![0.0; 256],
-            sum_xy: vec![0.0; 256],
         })
     }
 
     /// Feeds one observed sample.
     pub fn push(&mut self, sample: &AttackSample) {
         self.n += 1;
-        self.sum_y += sample.time;
-        self.sum_y2 += sample.time * sample.time;
-        for m in 0..256 {
-            let x = self.predictors[m].predict(&sample.ciphertexts, self.byte, m as u8);
-            self.sum_x[m] += x;
-            self.sum_x2[m] += x * x;
-            self.sum_xy[m] += x * sample.time;
+        for (m, (predictor, acc)) in self
+            .predictors
+            .iter_mut()
+            .zip(&mut self.accumulators)
+            .enumerate()
+        {
+            let x = predictor.predict(&sample.ciphertexts, self.byte, m as u8);
+            acc.push(x, sample.time);
         }
     }
 
@@ -75,39 +73,58 @@ impl OnlineByteRecovery {
 
     /// Current correlation of guess `m` (0.0 while degenerate).
     pub fn correlation_of(&self, m: u8) -> f64 {
-        let i = usize::from(m);
-        let n = self.n as f64;
-        if self.n < 2 {
-            return 0.0;
-        }
-        let cov = self.sum_xy[i] - self.sum_x[i] * self.sum_y / n;
-        let vx = self.sum_x2[i] - self.sum_x[i] * self.sum_x[i] / n;
-        let vy = self.sum_y2 - self.sum_y * self.sum_y / n;
-        if vx <= 1e-12 || vy <= 1e-12 {
-            return 0.0;
-        }
-        cov / (vx * vy).sqrt()
+        self.accumulators[usize::from(m)].correlation()
     }
 
     /// Snapshot of the full recovery state.
     pub fn snapshot(&self) -> ByteRecovery {
-        let correlations: Vec<f64> = (0..=255u8).map(|m| self.correlation_of(m)).collect();
-        let best_guess = argmax(&correlations).unwrap_or(0) as u8;
+        let correlations: Vec<f64> = self.accumulators.iter().map(|a| a.correlation()).collect();
         ByteRecovery {
             correlations,
-            best_guess,
+            best_guess: self.best_guess(),
         }
     }
 
-    /// The guess currently leading.
+    /// The guess currently leading — an O(1)-space scan over the
+    /// accumulators (first maximum wins, matching
+    /// [`crate::stats::argmax`]); no snapshot is allocated.
     pub fn best_guess(&self) -> u8 {
-        self.snapshot().best_guess
+        let mut best = 0usize;
+        let mut best_r = f64::NEG_INFINITY;
+        for (i, acc) in self.accumulators.iter().enumerate() {
+            let r = acc.correlation();
+            if r > best_r {
+                best_r = r;
+                best = i;
+            }
+        }
+        best as u8
     }
+}
+
+/// Evenly spaced checkpoint sample counts for a stream of `n` samples:
+/// `count` targets at `n·i/count`, deduplicated and with zero dropped,
+/// always ending exactly at `n` (empty for `n == 0`).
+///
+/// This is the one place clamped/duplicate checkpoint handling lives;
+/// [`recovery_curve`] and the audit layer's trajectory construction both
+/// defer to it.
+pub fn even_checkpoints(n: usize, count: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(count);
+    for i in 1..=count {
+        let cp = n * i / count.max(1);
+        if cp > 0 && out.last() != Some(&cp) {
+            out.push(cp);
+        }
+    }
+    out
 }
 
 /// Runs a streaming recovery over `samples`, snapshotting at each of the
 /// (ascending) `checkpoints`; checkpoint values beyond the stream length
-/// are clamped to the end.
+/// are clamped to the end, and checkpoints that clamp or repeat onto an
+/// already-snapshotted prefix are skipped (each returned sample count
+/// appears once).
 ///
 /// # Errors
 ///
@@ -119,10 +136,13 @@ pub fn recovery_curve(
     checkpoints: &[usize],
 ) -> Result<Vec<(usize, ByteRecovery)>, AttackError> {
     let mut online = OnlineByteRecovery::new(attack, byte)?;
-    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut out: Vec<(usize, ByteRecovery)> = Vec::with_capacity(checkpoints.len());
     let mut fed = 0;
     for &cp in checkpoints {
         let target = cp.min(samples.len());
+        if out.last().map(|(t, _)| *t) == Some(target) {
+            continue;
+        }
         while fed < target {
             online.push(&samples[fed]);
             fed += 1;
@@ -180,6 +200,7 @@ mod tests {
         assert_eq!(online.len(), 60);
         let stream = online.snapshot();
         assert_eq!(stream.best_guess, batch.best_guess);
+        assert_eq!(stream.best_guess, online.best_guess());
         for m in 0..256 {
             assert!(
                 (stream.correlations[m] - batch.correlations[m]).abs() < 1e-9,
@@ -193,12 +214,24 @@ mod tests {
         let (samples, k10) = samples(80);
         let attack = Attack::baseline(32);
         let curve = recovery_curve(&attack, &samples, 2, &[10, 40, 80, 500]).unwrap();
-        assert_eq!(curve.len(), 4);
+        // The 500 checkpoint clamps onto the already-snapshotted end of
+        // the stream and is skipped.
+        assert_eq!(curve.len(), 3);
         assert_eq!(curve[0].0, 10);
-        assert_eq!(curve[3].0, 80, "clamped to stream length");
+        assert_eq!(curve[2].0, 80, "clamped to stream length");
         // With a clean single-byte channel the final checkpoint recovers.
-        assert_eq!(curve[3].1.best_guess, k10[2]);
-        assert!(curve[3].1.correlation_of(k10[2]) > 0.95);
+        assert_eq!(curve[2].1.best_guess, k10[2]);
+        assert!(curve[2].1.correlation_of(k10[2]) > 0.95);
+    }
+
+    #[test]
+    fn even_checkpoints_dedupe_and_end_at_n() {
+        assert_eq!(even_checkpoints(100, 4), vec![25, 50, 75, 100]);
+        assert_eq!(even_checkpoints(3, 6), vec![1, 2, 3], "duplicates dropped");
+        assert_eq!(even_checkpoints(1, 4), vec![1]);
+        assert_eq!(even_checkpoints(0, 4), Vec::<usize>::new());
+        assert_eq!(even_checkpoints(5, 0), Vec::<usize>::new());
+        assert_eq!(even_checkpoints(7, 3), vec![2, 4, 7]);
     }
 
     #[test]

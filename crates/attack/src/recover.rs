@@ -210,6 +210,17 @@ impl Attack {
         self.policy
     }
 
+    /// The configured worker-thread override (for the streaming engine,
+    /// which parallelizes per guess exactly like the materialized sweep).
+    pub(crate) fn threads_option(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The attached metrics sink, if any.
+    pub(crate) fn metrics_ref(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
     /// The predictor this attack uses for guess `m` (each guess gets an
     /// independent replay seed so randomized-policy replays do not share
     /// a stream across guesses).

@@ -32,6 +32,7 @@ mod gate;
 mod report;
 mod spec;
 mod stats;
+mod stream;
 
 pub use gate::{evaluate_gate, Expectation, GateOutcome};
 pub use report::{
@@ -41,3 +42,4 @@ pub use report::{
 };
 pub use spec::{defaults, AuditChannel, AuditSpec};
 pub use stats::{binned_mi, welch_t_test, MiEstimate, WelchT, T_CLAMP};
+pub use stream::{StreamingAudit, StreamingChannelTest};

@@ -3,7 +3,9 @@
 
 use crate::spec::{AuditChannel, AuditSpec};
 use crate::stats::{binned_mi, welch_t_test, MiEstimate, WelchT};
-use rcoal_attack::{aes_oracle, recovery_curve, Attack, AttackError, AttackSample, TableOracle};
+use rcoal_attack::{
+    aes_oracle, even_checkpoints, recovery_curve, Attack, AttackError, AttackSample, TableOracle,
+};
 use rcoal_core::CoalescingPolicy;
 use rcoal_scenario::json::{ObjBuilder, Value};
 use rcoal_telemetry::Hist64;
@@ -350,15 +352,10 @@ pub fn audit_target_with_stages(
         .collect();
 
     // Correlation trajectory of the streaming attack at evenly spaced
-    // checkpoints (always including the full stream).
+    // checkpoints (always including the full stream) — the same
+    // schedule the attack crate uses everywhere.
     let n = samples.len();
-    let mut checkpoints = Vec::with_capacity(spec.checkpoints);
-    for i in 1..=spec.checkpoints {
-        let cp = n * i / spec.checkpoints;
-        if cp > 0 && checkpoints.last() != Some(&cp) {
-            checkpoints.push(cp);
-        }
-    }
+    let mut checkpoints = even_checkpoints(n, spec.checkpoints);
     if checkpoints.is_empty() {
         checkpoints.push(n);
     }
@@ -443,7 +440,7 @@ fn median_of(xs: &[f64]) -> f64 {
     sorted[(sorted.len() - 1) / 2]
 }
 
-fn normalized_s(rho: f64) -> f64 {
+pub(crate) fn normalized_s(rho: f64) -> f64 {
     if rho == 0.0 {
         f64::INFINITY
     } else {
@@ -451,7 +448,7 @@ fn normalized_s(rho: f64) -> f64 {
     }
 }
 
-fn theory_check(
+pub(crate) fn theory_check(
     policy: CoalescingPolicy,
     warp_size: usize,
     spec: &AuditSpec,

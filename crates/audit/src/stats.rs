@@ -60,7 +60,28 @@ fn moments(xs: &[f64]) -> (f64, f64) {
 pub fn welch_t_test(low: &[f64], high: &[f64]) -> WelchT {
     let (mean_low, var_low) = moments(low);
     let (mean_high, var_high) = moments(high);
-    let (n_low, n_high) = (low.len(), high.len());
+    welch_from_moments(
+        low.len(),
+        mean_low,
+        var_low,
+        high.len(),
+        mean_high,
+        var_high,
+    )
+}
+
+/// The Welch decision applied to precomputed class moments — shared
+/// between the slice path above and the streamed count-weighted path
+/// ([`crate::StreamingChannelTest`]), so degenerate handling, the
+/// clamp, and the dof formula cannot drift apart.
+pub(crate) fn welch_from_moments(
+    n_low: usize,
+    mean_low: f64,
+    var_low: f64,
+    n_high: usize,
+    mean_high: f64,
+    var_high: f64,
+) -> WelchT {
     let mut out = WelchT {
         t: 0.0,
         dof: 0.0,
@@ -110,7 +131,7 @@ pub struct MiEstimate {
 }
 
 /// Equal-width bin index of `x` in `[min, max]` split into `bins` bins.
-fn bin_of(x: f64, min: f64, max: f64, bins: usize) -> usize {
+pub(crate) fn bin_of(x: f64, min: f64, max: f64, bins: usize) -> usize {
     if max <= min || bins <= 1 {
         return 0;
     }
@@ -157,6 +178,16 @@ pub fn binned_mi(xs: &[f64], ys: &[f64], max_bins: usize) -> MiEstimate {
         mx[bx] += 1;
         my[by] += 1;
     }
+    mi_from_histograms(&joint, &mx, &my, n)
+}
+
+/// The MI fold over already-binned histograms — shared between the
+/// slice path above and the streamed count-ledger path
+/// ([`crate::StreamingChannelTest`]). Equal histograms produce
+/// bit-identical estimates: the fold visits `(bx, by)` cells in the
+/// same order either way.
+pub(crate) fn mi_from_histograms(joint: &[u64], mx: &[u64], my: &[u64], n: usize) -> MiEstimate {
+    let (x_bins, y_bins) = (mx.len(), my.len());
     let nf = n as f64;
     let mut bits = 0.0;
     let mut occupied_joint = 0usize;
@@ -190,7 +221,7 @@ pub fn binned_mi(xs: &[f64], ys: &[f64], max_bins: usize) -> MiEstimate {
     }
 }
 
-fn min_max(xs: &[f64]) -> (f64, f64) {
+pub(crate) fn min_max(xs: &[f64]) -> (f64, f64) {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     for &x in xs {

@@ -1,0 +1,565 @@
+//! Streamed leakage instruments: the TVLA/MI estimators and the full
+//! audit accepting chunked observation streams.
+//!
+//! The batch entry points ([`crate::audit_samples`] and friends) hold
+//! every observation in memory; at million-sample budgets that is
+//! exactly the materialization the streaming attack engine exists to
+//! avoid. This module keeps the *verdict* identical while storing only
+//! sufficient statistics:
+//!
+//! * [`StreamingChannelTest`] groups `(prediction, value)` pairs by
+//!   exact value into a count ledger. The simulated channels are
+//!   discrete (coalesced-access and cycle counts), so the ledger's
+//!   size is the number of *distinct* pairs — independent of how many
+//!   samples stream through it. From the ledger it reproduces the
+//!   batch mutual-information estimate **bit-for-bit** (identical
+//!   histograms fed to the same fold) and the Welch t-test up to
+//!   count-weighted summation order.
+//! * [`StreamingAudit`] wires the ledger, a
+//!   [`StreamingByteRecovery`] trajectory, and the channel histogram
+//!   into a full [`LeakageReport`] matching the batch report on the
+//!   same stream: trajectory, ρ̂, MI, and quantiles bitwise, the
+//!   t-statistic within float-summation error.
+
+use crate::report::{
+    normalized_s, theory_check, AuditError, AuditTarget, ChannelQuantiles, ChannelTest,
+    LeakageReport, TrajectoryPoint,
+};
+use crate::spec::AuditSpec;
+use crate::stats::{bin_of, mi_from_histograms, min_max, welch_from_moments, MiEstimate};
+use rcoal_attack::{
+    even_checkpoints, AccessPredictor, Attack, AttackError, AttackSample, StreamingByteRecovery,
+};
+use rcoal_telemetry::Hist64;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A streamed counterpart of one channel's TVLA verdict: feed
+/// `(prediction, value)` pairs in, get the same [`ChannelTest`] a batch
+/// audit computes over the concatenated stream.
+///
+/// Observations are grouped by exact `(f64::to_bits)` pair, so memory
+/// is proportional to the number of *distinct* pairs rather than the
+/// stream length — constant for the simulator's integer-valued
+/// channels no matter how many samples stream through.
+#[derive(Debug, Clone)]
+pub struct StreamingChannelTest {
+    name: String,
+    /// (prediction bits, value bits) → multiplicity.
+    pairs: BTreeMap<(u64, u64), u64>,
+    n: usize,
+}
+
+impl StreamingChannelTest {
+    /// An empty ledger for the channel called `name`.
+    pub fn new(name: &str) -> Self {
+        StreamingChannelTest {
+            name: name.to_string(),
+            pairs: BTreeMap::new(),
+            n: 0,
+        }
+    }
+
+    /// Records one observation: the attacker-model prediction and the
+    /// observed channel value.
+    pub fn push(&mut self, prediction: f64, value: f64) {
+        *self
+            .pairs
+            .entry((prediction.to_bits(), value.to_bits()))
+            .or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Observations recorded so far.
+    pub fn observations(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distinct `(prediction, value)` pairs held — the ledger's actual
+    /// memory footprint, which stays flat on discrete channels.
+    pub fn distinct_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Distinct prediction values with their total multiplicities,
+    /// sorted ascending by `f64::total_cmp` — the grouped image of the
+    /// batch path's sorted prediction vector.
+    fn grouped_predictions(&self) -> Vec<(f64, u64)> {
+        let mut by_pred: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&(p, _), &c) in &self.pairs {
+            *by_pred.entry(p).or_insert(0) += c;
+        }
+        let mut out: Vec<(f64, u64)> = by_pred
+            .into_iter()
+            .map(|(bits, c)| (f64::from_bits(bits), c))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// The median the batch partition uses: element `(n - 1) / 2` of
+    /// the predictions sorted by `total_cmp`.
+    fn median_prediction(&self, grouped: &[(f64, u64)]) -> f64 {
+        let target = (self.n as u64 - 1) / 2;
+        let mut cumulative = 0u64;
+        for &(p, c) in grouped {
+            cumulative += c;
+            if cumulative > target {
+                return p;
+            }
+        }
+        grouped.last().map_or(0.0, |&(p, _)| p)
+    }
+
+    /// Computes the channel verdict against `spec`'s thresholds — the
+    /// streamed equivalent of the batch audit's per-channel test.
+    ///
+    /// The partition mirrors the batch rule exactly: class by
+    /// prediction strictly above the median, falling back to `>=` when
+    /// the strict high class would have fewer than two members
+    /// (saturated geometries).
+    pub fn finish(&self, spec: &AuditSpec) -> ChannelTest {
+        let welch = self.welch();
+        let mi = self.mi(spec.mi_bins);
+        let leaky = welch.exceeds(spec.t_threshold) && mi.corrected_bits > spec.mi_floor_bits;
+        ChannelTest {
+            name: self.name.clone(),
+            welch,
+            mi,
+            leaky,
+        }
+    }
+
+    fn welch(&self) -> crate::WelchT {
+        if self.n == 0 {
+            return welch_from_moments(0, 0.0, 0.0, 0, 0.0, 0.0);
+        }
+        let grouped = self.grouped_predictions();
+        let median = self.median_prediction(&grouped);
+        let strict_high: u64 = grouped
+            .iter()
+            .filter(|&&(p, _)| p > median)
+            .map(|&(_, c)| c)
+            .sum();
+        let is_high: &dyn Fn(f64) -> bool = if strict_high >= 2 {
+            &|p| p > median
+        } else {
+            &|p| p >= median
+        };
+        // Count-weighted two-pass moments per class (mean, then
+        // unbiased variance), visiting pairs in ledger order.
+        let mut acc = [(0u64, 0.0f64); 2]; // (count, sum) per class
+        for (&(p, v), &c) in &self.pairs {
+            let slot = &mut acc[usize::from(is_high(f64::from_bits(p)))];
+            slot.0 += c;
+            slot.1 += c as f64 * f64::from_bits(v);
+        }
+        let mean = |(count, sum): (u64, f64)| if count == 0 { 0.0 } else { sum / count as f64 };
+        let (mean_low, mean_high) = (mean(acc[0]), mean(acc[1]));
+        let mut ss = [0.0f64; 2];
+        for (&(p, v), &c) in &self.pairs {
+            let high = usize::from(is_high(f64::from_bits(p)));
+            let d = f64::from_bits(v) - if high == 1 { mean_high } else { mean_low };
+            ss[high] += c as f64 * d * d;
+        }
+        let var = |count: u64, ss: f64| {
+            if count < 2 {
+                0.0
+            } else {
+                ss / (count - 1) as f64
+            }
+        };
+        welch_from_moments(
+            acc[0].0 as usize,
+            mean_low,
+            var(acc[0].0, ss[0]),
+            acc[1].0 as usize,
+            mean_high,
+            var(acc[1].0, ss[1]),
+        )
+    }
+
+    fn mi(&self, max_bins: usize) -> MiEstimate {
+        let n = self.n;
+        if n == 0 {
+            return MiEstimate {
+                bits: 0.0,
+                bias_bits: 0.0,
+                corrected_bits: 0.0,
+                x_bins: 0,
+                y_bins: 0,
+                n,
+            };
+        }
+        let bins = max_bins.max(1);
+        let xs: Vec<f64> = {
+            let mut seen: Vec<u64> = self.pairs.keys().map(|&(p, _)| p).collect();
+            seen.dedup();
+            seen.into_iter().map(f64::from_bits).collect()
+        };
+        let ys: Vec<f64> = {
+            let mut seen: Vec<u64> = self.pairs.keys().map(|&(_, v)| v).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.into_iter().map(f64::from_bits).collect()
+        };
+        // min/max over the distinct values equal min/max over the full
+        // stream, so the bin edges — and therefore every per-value bin
+        // index — match the batch estimator exactly.
+        let (x_min, x_max) = min_max(&xs);
+        let (y_min, y_max) = min_max(&ys);
+        let x_bins = if x_max > x_min { bins } else { 1 };
+        let y_bins = if y_max > y_min { bins } else { 1 };
+        let mut joint = vec![0u64; x_bins * y_bins];
+        let mut mx = vec![0u64; x_bins];
+        let mut my = vec![0u64; y_bins];
+        for (&(p, v), &c) in &self.pairs {
+            let bx = bin_of(f64::from_bits(p), x_min, x_max, x_bins);
+            let by = bin_of(f64::from_bits(v), y_min, y_max, y_bins);
+            joint[bx * y_bins + by] += c;
+            mx[bx] += c;
+            my[by] += c;
+        }
+        mi_from_histograms(&joint, &mx, &my, n)
+    }
+}
+
+/// A full leakage audit over a chunked sample stream: the streamed
+/// equivalent of [`crate::audit_samples`], with peak heap independent
+/// of how many samples flow through.
+///
+/// Create with a total `budget`, feed chunks of any size with
+/// [`StreamingAudit::push_chunk`], and call [`StreamingAudit::finish`].
+/// When exactly `budget` samples are pushed, the resulting
+/// [`LeakageReport`] matches the batch report over the concatenated
+/// stream: the trajectory checkpoints land on the same
+/// [`even_checkpoints`] schedule regardless of chunk boundaries, the
+/// per-guess correlations are bit-identical (shared accumulator), and
+/// the MI estimate and channel quantiles are exact. Stage channels are
+/// a batch-only feature (they require collected telemetry, which
+/// streamed generation rejects).
+#[derive(Debug)]
+pub struct StreamingAudit {
+    target: AuditTarget,
+    spec: AuditSpec,
+    predictor: AccessPredictor,
+    timing: StreamingChannelTest,
+    recovery: StreamingByteRecovery,
+    hist: Hist64,
+    planned: Vec<usize>,
+    next_checkpoint: usize,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+impl StreamingAudit {
+    /// Prepares an audit expecting up to `budget` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Spec`] for an invalid spec or a zero budget;
+    /// [`AuditError::Attack`] when the byte index is out of range for
+    /// the target's oracle.
+    pub fn new(target: AuditTarget, spec: AuditSpec, budget: usize) -> Result<Self, AuditError> {
+        spec.validate().map_err(AuditError::Spec)?;
+        if budget == 0 {
+            return Err(AuditError::Spec(
+                "streamed audit budget must be positive".to_string(),
+            ));
+        }
+        let attack = Attack::against(target.policy, target.warp_size)
+            .with_seed(spec.attack_seed)
+            .with_oracle(Arc::clone(&target.oracle));
+        let predictor = attack.predictor_for_guess(target.true_key_byte);
+        let recovery = StreamingByteRecovery::new(&attack, spec.byte)?;
+        let planned = even_checkpoints(budget, spec.checkpoints);
+        Ok(StreamingAudit {
+            target,
+            spec,
+            predictor,
+            timing: StreamingChannelTest::new("timing"),
+            recovery,
+            hist: Hist64::new(),
+            planned,
+            next_checkpoint: 0,
+            trajectory: Vec::new(),
+        })
+    }
+
+    /// Samples audited so far.
+    pub fn len(&self) -> usize {
+        self.recovery.len()
+    }
+
+    /// Whether no sample has been audited yet.
+    pub fn is_empty(&self) -> bool {
+        self.recovery.is_empty()
+    }
+
+    /// Feeds the next chunk of the stream, splitting internally at
+    /// checkpoint boundaries so the recorded trajectory is independent
+    /// of how the stream is chunked.
+    pub fn push_chunk(&mut self, samples: &[AttackSample]) {
+        let mut pos = 0;
+        while pos < samples.len() {
+            let consumed = self.recovery.len();
+            let remaining = samples.len() - pos;
+            let take = match self.planned.get(self.next_checkpoint) {
+                Some(&boundary) if boundary > consumed => remaining.min(boundary - consumed),
+                _ => remaining,
+            };
+            let sub = &samples[pos..pos + take];
+            for s in sub {
+                let prediction = self.predictor.predict(
+                    &s.ciphertexts,
+                    self.spec.byte,
+                    self.target.true_key_byte,
+                );
+                self.timing.push(prediction, s.time);
+                self.hist.record(s.time.max(0.0).round() as u64);
+            }
+            self.recovery.push_chunk(sub);
+            pos += take;
+            if self.planned.get(self.next_checkpoint) == Some(&self.recovery.len()) {
+                self.record_checkpoint();
+                self.next_checkpoint += 1;
+            }
+        }
+    }
+
+    fn record_checkpoint(&mut self) {
+        let true_byte = self.target.true_key_byte;
+        self.trajectory.push(TrajectoryPoint {
+            samples: self.recovery.len(),
+            corr_true: self.recovery.correlation_of(true_byte),
+            rank: self.recovery.snapshot().rank_of(true_byte),
+        });
+    }
+
+    /// Closes the stream and produces the leakage verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Attack`] ([`AttackError::NoSamples`]) when nothing
+    /// was pushed.
+    pub fn finish(mut self) -> Result<LeakageReport, AuditError> {
+        let n = self.recovery.len();
+        if n == 0 {
+            return Err(AuditError::Attack(AttackError::NoSamples));
+        }
+        // Streams that fall short of the budget still close their
+        // trajectory with the full-stream point.
+        if self.trajectory.last().map(|p| p.samples) != Some(n) {
+            self.record_checkpoint();
+        }
+        let timing = self.timing.finish(&self.spec);
+        let empirical_rho = self.trajectory.last().map_or(0.0, |p| p.corr_true);
+        let empirical_s = normalized_s(empirical_rho);
+        let theory = theory_check(
+            self.target.policy,
+            self.target.warp_size,
+            &self.spec,
+            empirical_rho,
+            n,
+            self.target.theory_r,
+        );
+        let quantiles = ChannelQuantiles {
+            count: self.hist.count(),
+            mean: self.hist.mean(),
+            p50: self.hist.p50().unwrap_or(0),
+            p95: self.hist.p95().unwrap_or(0),
+            p99: self.hist.p99().unwrap_or(0),
+        };
+        let leaky = timing.leaky;
+        Ok(LeakageReport {
+            policy: self.target.policy,
+            warp_size: self.target.warp_size,
+            byte: self.spec.byte,
+            channel: self.spec.channel,
+            samples: n,
+            spec: self.spec,
+            timing,
+            stages: Vec::new(),
+            trajectory: self.trajectory,
+            empirical_rho,
+            empirical_s,
+            theory,
+            quantiles,
+            leaky,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::audit_samples;
+    use crate::stats::{binned_mi, welch_t_test};
+    use rcoal_core::CoalescingPolicy;
+
+    /// Synthetic stream where the channel value IS the baseline
+    /// predictor's access count for the true byte (ρ̂ = 1); mirrors the
+    /// batch report tests.
+    fn perfect_leak_samples(n: usize) -> (Vec<AttackSample>, u8) {
+        let true_byte = 0x3c;
+        let attack =
+            Attack::against(CoalescingPolicy::Baseline, 32).with_seed(AuditSpec::new().attack_seed);
+        let mut predictor = attack.predictor_for_guess(true_byte);
+        let samples = (0..n)
+            .map(|i| {
+                let ct: Vec<[u8; 16]> = (0..32usize)
+                    .map(|lane| {
+                        let mut b = [0u8; 16];
+                        b.iter_mut().enumerate().for_each(|(k, x)| {
+                            *x = (i * 31 + lane * 7 + k * 13) as u8;
+                        });
+                        b
+                    })
+                    .collect();
+                let time = predictor.predict(&ct, 0, true_byte);
+                AttackSample {
+                    ciphertexts: Arc::new(ct),
+                    time,
+                }
+            })
+            .collect();
+        (samples, true_byte)
+    }
+
+    #[test]
+    fn ledger_mi_is_bit_identical_to_batch() {
+        // Discrete values including negatives and repeats.
+        let preds: Vec<f64> = (0..500).map(|i| f64::from(i % 7) - 3.0).collect();
+        let vals: Vec<f64> = (0..500).map(|i| f64::from((i * i) % 11) * 0.5).collect();
+        let mut ledger = StreamingChannelTest::new("synthetic");
+        for (&p, &v) in preds.iter().zip(&vals) {
+            ledger.push(p, v);
+        }
+        for bins in [2, 8, 16] {
+            let streamed = ledger.mi(bins);
+            let batch = binned_mi(&preds, &vals, bins);
+            assert_eq!(streamed, batch, "bins {bins}");
+        }
+    }
+
+    #[test]
+    fn ledger_welch_matches_batch_partition() {
+        let preds: Vec<f64> = (0..300).map(|i| f64::from(i % 9)).collect();
+        let vals: Vec<f64> = (0..300)
+            .map(|i| f64::from(i % 9) * 2.0 + f64::from(i % 5))
+            .collect();
+        let mut ledger = StreamingChannelTest::new("synthetic");
+        for (&p, &v) in preds.iter().zip(&vals) {
+            ledger.push(p, v);
+        }
+        // Replicate the batch partition by hand.
+        let mut sorted = preds.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[(sorted.len() - 1) / 2];
+        let (mut low, mut high) = (Vec::new(), Vec::new());
+        for (&p, &v) in preds.iter().zip(&vals) {
+            if p > median {
+                high.push(v);
+            } else {
+                low.push(v);
+            }
+        }
+        let batch = welch_t_test(&low, &high);
+        let streamed = ledger.welch();
+        assert_eq!(streamed.n_low, batch.n_low);
+        assert_eq!(streamed.n_high, batch.n_high);
+        assert!(
+            (streamed.t - batch.t).abs() < 1e-9,
+            "streamed {} vs batch {}",
+            streamed.t,
+            batch.t
+        );
+        assert!((streamed.mean_low - batch.mean_low).abs() < 1e-12);
+        assert!((streamed.mean_high - batch.mean_high).abs() < 1e-12);
+        assert!((streamed.dof - batch.dof).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ledger_memory_tracks_distinct_pairs_not_stream_length() {
+        let mut ledger = StreamingChannelTest::new("discrete");
+        for i in 0..10_000usize {
+            ledger.push(f64::from(i as u32 % 8), f64::from(i as u32 % 5));
+        }
+        assert_eq!(ledger.observations(), 10_000);
+        assert!(
+            ledger.distinct_pairs() <= 40,
+            "8 x 5 value grid, got {}",
+            ledger.distinct_pairs()
+        );
+    }
+
+    #[test]
+    fn streamed_audit_matches_batch_report() {
+        let (samples, true_byte) = perfect_leak_samples(200);
+        let spec = AuditSpec::new();
+        let batch =
+            audit_samples(CoalescingPolicy::Baseline, 32, &samples, true_byte, &spec).unwrap();
+        for chunk in [7usize, 64, 200] {
+            let mut audit = StreamingAudit::new(
+                AuditTarget::aes(CoalescingPolicy::Baseline, 32, true_byte),
+                spec.clone(),
+                samples.len(),
+            )
+            .unwrap();
+            for c in samples.chunks(chunk) {
+                audit.push_chunk(c);
+            }
+            let streamed = audit.finish().unwrap();
+            assert_eq!(streamed.samples, batch.samples);
+            assert_eq!(streamed.trajectory, batch.trajectory, "chunk {chunk}");
+            assert_eq!(streamed.empirical_rho, batch.empirical_rho);
+            assert_eq!(streamed.timing.mi, batch.timing.mi);
+            assert_eq!(streamed.timing.leaky, batch.timing.leaky);
+            assert_eq!(streamed.leaky, batch.leaky);
+            assert_eq!(streamed.quantiles, batch.quantiles);
+            assert_eq!(streamed.theory, batch.theory);
+            assert_eq!(streamed.timing.welch.n_low, batch.timing.welch.n_low);
+            assert_eq!(streamed.timing.welch.n_high, batch.timing.welch.n_high);
+            assert!(
+                (streamed.timing.welch.t - batch.timing.welch.t).abs() < 1e-9,
+                "t streamed {} vs batch {}",
+                streamed.timing.welch.t,
+                batch.timing.welch.t
+            );
+        }
+    }
+
+    #[test]
+    fn short_stream_closes_its_trajectory() {
+        let (samples, true_byte) = perfect_leak_samples(30);
+        let mut audit = StreamingAudit::new(
+            AuditTarget::aes(CoalescingPolicy::Baseline, 32, true_byte),
+            AuditSpec::new(),
+            1000,
+        )
+        .unwrap();
+        audit.push_chunk(&samples);
+        let report = audit.finish().unwrap();
+        assert_eq!(report.samples, 30);
+        assert_eq!(report.trajectory.last().unwrap().samples, 30);
+        assert!(report.leaky, "the perfect leak still flags at n = 30");
+    }
+
+    #[test]
+    fn empty_and_invalid_streamed_audits_are_typed_errors() {
+        let target = AuditTarget::aes(CoalescingPolicy::Baseline, 32, 1);
+        let err = StreamingAudit::new(target.clone(), AuditSpec::new(), 0).unwrap_err();
+        assert!(matches!(err, AuditError::Spec(_)), "{err}");
+        let err =
+            StreamingAudit::new(target.clone(), AuditSpec::new().with_byte(16), 10).unwrap_err();
+        assert!(matches!(err, AuditError::Spec(_)), "{err}");
+        let audit = StreamingAudit::new(target, AuditSpec::new(), 10).unwrap();
+        assert!(audit.is_empty());
+        let err = audit.finish().unwrap_err();
+        assert!(matches!(err, AuditError::Attack(AttackError::NoSamples)));
+    }
+}

@@ -42,6 +42,7 @@ pub mod lockstep;
 pub mod oracle;
 pub mod report;
 pub mod strategies;
+pub mod streaming;
 
 pub use checker::{CheckedRun, CountingRng, SimChecker};
 pub use dram_oracle::{check_dram_case, reference_dram_service, DramOracleResult};
@@ -119,6 +120,7 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, ConformanceError> {
         checker::section(opts.seed, (opts.cases / 10).max(12))?,
         strategies::scenario_section(opts.seed, 64),
         lockstep::section(opts.seed, (opts.cases / 4).max(24)),
+        streaming::section(opts.seed, opts.cases / 2)?,
         golden::section(&opts.goldens_dir, opts.update_goldens)?,
     ];
     Ok(SuiteReport { sections })

@@ -838,6 +838,34 @@ mod tests {
     }
 
     #[test]
+    fn streaming_sample_cost_recovers_the_leaky_baseline() {
+        let policies = vec![
+            ("Baseline".to_string(), CoalescingPolicy::Baseline),
+            ("RSS+RTS".to_string(), CoalescingPolicy::rss_rts(8).unwrap()),
+        ];
+        let points = sample_cost_streaming(&policies, &[60, 160], 7).unwrap();
+        assert_eq!(points.len(), 4, "policies expand outermost, budgets within");
+        assert_eq!(points[0].mechanism, "Baseline");
+        assert_eq!(points[2].mechanism, "RSS+RTS");
+        for p in &points {
+            assert!(p.samples_used <= p.budget);
+            assert!(p.checkpoints >= 1);
+            assert_eq!(p.terminated_early, p.samples_used < p.budget);
+        }
+        // The deterministic baseline on the exact access channel is
+        // Table II's S=1 row: the true byte wins outright and the
+        // online attacker notices well before the budget.
+        let base = &points[1];
+        assert_eq!(base.rank_of_true, 0);
+        assert!(base.corr_true > 0.9, "corr {}", base.corr_true);
+        assert!(base.terminated_early, "used {}", base.samples_used);
+        // Randomized subwarps need more than this budget (Table II:
+        // S grows ~49x at m=8), so the stream must run to exhaustion.
+        let defended = &points[3];
+        assert!(!defended.terminated_early);
+    }
+
+    #[test]
     fn shared_runner_reuses_common_configurations() {
         // fig05 and fig06 both need the baseline timing run at (n, seed);
         // through one runner it simulates exactly once.
@@ -1153,6 +1181,87 @@ pub fn ablation_samples_needed_with(
             corr_at_budget,
         })
     })
+}
+
+// -------------------------- Extension: streaming sample cost at scale
+
+/// One point of the streaming sample-cost sweep: a mechanism × budget
+/// cell attacked online through a [`crate::SimulatorSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCostPoint {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Number of subwarps.
+    pub m: usize,
+    /// Sample budget offered to the streaming attacker.
+    pub budget: usize,
+    /// Samples actually consumed (equals `budget` when the early-stop
+    /// rule never fired).
+    pub samples_used: usize,
+    /// Whether the attacker stopped before exhausting the budget.
+    pub terminated_early: bool,
+    /// Rank of the true byte-0 subkey at the end of the stream
+    /// (0 = recovered).
+    pub rank_of_true: usize,
+    /// Correlation of the true guess at the end of the stream.
+    pub corr_true: f64,
+    /// Checkpoints recorded along the way — the length of the
+    /// online-attacker trajectory.
+    pub checkpoints: usize,
+}
+
+/// The Fig. 17 / Table II sample-cost territory at streaming scale: for
+/// each mechanism × budget cell, samples are generated on the simulated
+/// GPU *chunk by chunk* ([`crate::SimulatorSource`]) and fed to the
+/// online corresponding attack ([`rcoal_attack::stream_recover_byte`])
+/// with the default early-stop rule, so nothing is materialized and a
+/// million-sample budget runs with peak heap independent of the budget.
+/// Like [`ablation_samples_needed`], the sweep reads the exact per-byte
+/// access channel (byte 0) so the measurement is not
+/// scheduler-noise-limited; unlike it, the attacker itself decides when
+/// the leader is stable and stops drawing samples.
+///
+/// # Errors
+///
+/// Propagates simulation, policy, and attack failures.
+pub fn sample_cost_streaming(
+    policies: &[(String, CoalescingPolicy)],
+    budgets: &[usize],
+    seed: u64,
+) -> Result<Vec<SampleCostPoint>, ExperimentError> {
+    let jobs: Vec<(&String, CoalescingPolicy, usize)> = policies
+        .iter()
+        .flat_map(|(name, policy)| budgets.iter().map(move |&b| (name, *policy, b)))
+        .collect();
+    try_parallel_map(
+        resolve_threads(None),
+        &jobs,
+        |_, &(name, policy, budget)| {
+            // Streams regenerate instead of hitting the run cache, so keep
+            // each cell's inner simulation single-threaded and parallelize
+            // across cells; the stream itself is thread-count-invariant.
+            let cfg = crate::run::ExperimentConfig::new(policy, 0, 32)
+                .with_seed(seed)
+                .with_threads(1)
+                .functional_only();
+            let mut source = crate::SimulatorSource::new(cfg, TimingSource::ByteAccesses(0))?;
+            let true_byte = source.attacked_subkey()[0];
+            let attack = Attack::against(policy, 32).with_seed(seed ^ 0x5eed);
+            let opts = rcoal_attack::StreamOptions::new(budget)
+                .with_early_stop(rcoal_attack::EarlyStop::default());
+            let rec = rcoal_attack::stream_recover_byte(&attack, &mut source, 0, &opts)?;
+            Ok(SampleCostPoint {
+                mechanism: name.clone(),
+                m: policy.num_subwarps(32),
+                budget,
+                samples_used: rec.samples,
+                terminated_early: rec.terminated_early,
+                rank_of_true: rec.recovery.rank_of(true_byte),
+                corr_true: rec.recovery.correlation_of(true_byte),
+                checkpoints: rec.checkpoints.len(),
+            })
+        },
+    )
 }
 
 // ---------------------------------------------- Extension: MSHR hazard

@@ -35,6 +35,7 @@ pub mod engine;
 mod error;
 pub mod figures;
 mod run;
+mod source;
 mod telemetry;
 mod workload;
 
@@ -45,5 +46,6 @@ pub use engine::{
 };
 pub use error::ExperimentError;
 pub use run::{ExperimentConfig, ExperimentData, TimingSource};
+pub use source::SimulatorSource;
 pub use telemetry::{ExperimentTelemetry, LaunchTrace, TelemetrySpec};
 pub use workload::{demo_key_for, random_lines, random_plaintexts, DEMO_KEY};

@@ -352,8 +352,9 @@ impl ExperimentConfig {
     /// One kernel launch (plaintext `i`): encrypts, simulates (or
     /// functionally counts), and returns everything the experiment
     /// records about it. Runs on worker threads; must depend only on its
-    /// arguments.
-    fn run_one_launch(
+    /// arguments. Crate-visible so the streaming [`crate::SimulatorSource`]
+    /// generates launches through the exact same path.
+    pub(crate) fn run_one_launch(
         &self,
         workload: &dyn KernelWorkload,
         i: usize,
@@ -407,14 +408,14 @@ impl ExperimentConfig {
 }
 
 /// Everything one launch contributes to [`ExperimentData`].
-struct LaunchData {
-    ciphertexts: Arc<Vec<Block>>,
-    by_byte: [u64; 16],
-    total_accesses: u64,
-    total_requests: u64,
-    last_round_cycles: Option<u64>,
-    total_cycles: Option<u64>,
-    telemetry: Option<SimTelemetry>,
+pub(crate) struct LaunchData {
+    pub(crate) ciphertexts: Arc<Vec<Block>>,
+    pub(crate) by_byte: [u64; 16],
+    pub(crate) total_accesses: u64,
+    pub(crate) total_requests: u64,
+    pub(crate) last_round_cycles: Option<u64>,
+    pub(crate) total_cycles: Option<u64>,
+    pub(crate) telemetry: Option<SimTelemetry>,
 }
 
 struct FunctionalCounts {

@@ -16,6 +16,18 @@ use rcoal_workload::KernelWorkload;
 /// and the AES path stays bit-identical to the pre-registry pipeline.
 pub fn random_lines(num_samples: usize, lines: usize, seed: u64) -> Vec<Vec<Block>> {
     let mut rng = StdRng::seed_from_u64(seed);
+    random_lines_with(&mut rng, num_samples, lines)
+}
+
+/// [`random_lines`] continuing an existing generator: draws in the exact
+/// same per-sample, per-line order, so repeated chunked calls against one
+/// carried `rng` reproduce the prefixes of a single monolithic call —
+/// the contract the streaming [`crate::SimulatorSource`] relies on.
+pub(crate) fn random_lines_with(
+    rng: &mut StdRng,
+    num_samples: usize,
+    lines: usize,
+) -> Vec<Vec<Block>> {
     (0..num_samples)
         .map(|_| {
             (0..lines)

@@ -39,11 +39,20 @@ USAGE:
       last-round loads use the (randomized) policy.
 
   rcoal-cli attack --policy <POLICY> [--workload W] [--samples N] [--byte J|all] [--seed S] [--threads T]
+                   [--max-samples N] [--chunk C] [--early-stop true|false]
                    [--trace-out FILE] [--metrics-out FILE] [--progress true]
       Deploy POLICY on the victim, collect N timing samples, run the
       corresponding correlation attack, and grade the subkey recovery
       (AES's 16-byte last-round key by default; see `workloads` for the
-      other kernels' attacked subkeys).
+      other kernels' attacked subkeys). With --max-samples N the attack
+      runs the single-pass streaming engine instead: samples are
+      generated chunk by chunk (--chunk, default 4096) and fed to
+      online per-guess correlators, so peak memory is independent of N
+      and million-sample budgets are practical. --early-stop (default
+      true) stops drawing samples once the leading guess has been
+      stable across consecutive checkpoints with a margin above the
+      1/sqrt(n) sampling-error band; the checkpoint trajectory (leader,
+      correlation, margin) is printed as it is recorded.
 
   rcoal-cli score [--samples N] [--seed S] [--threads T]
       Sweep all mechanisms and print RCoal_Score rankings (Figure 17).
@@ -398,6 +407,9 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), String> {
 }
 
 fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
+    if args.get("max-samples").is_some() {
+        return cmd_attack_stream(args);
+    }
     let policy = policy_from(args)?;
     let workload = workload_from(args)?;
     let samples: usize = args.get_or("samples", 400)?;
@@ -507,6 +519,130 @@ fn cmd_attack(args: &ParsedArgs) -> Result<(), String> {
     }
     telemetry.write_metrics(&registry)?;
     Ok(())
+}
+
+/// The `attack --max-samples` path: single-pass streaming engine with
+/// simulator-backed generation, online per-guess correlators, and
+/// optional early termination. Peak memory is independent of the
+/// sample budget.
+fn cmd_attack_stream(args: &ParsedArgs) -> Result<(), String> {
+    let policy = policy_from(args)?;
+    let workload = workload_from(args)?;
+    let budget: usize = args.get_or("max-samples", 400)?;
+    let chunk: usize = args.get_or("chunk", 4096)?;
+    let early_stop: bool = args.get_or("early-stop", true)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let byte_spec = args.get("byte").unwrap_or("all").to_string();
+    let threads = parse_threads(args)?;
+    let telemetry = TelemetryArgs::parse(args)?;
+    let key_bytes = workload.oracle().key_bytes().min(16);
+    if telemetry.trace_out.is_some() {
+        return Err(
+            "--trace-out needs a materialized run; streamed launches are not collected".into(),
+        );
+    }
+
+    println!("victim policy : {policy}");
+    println!("workload      : {}", workload.name());
+    println!(
+        "streaming     : up to {budget} samples in chunks of {chunk}, early stop {}",
+        if early_stop { "on" } else { "off" }
+    );
+    let registry = MetricsRegistry::new();
+    let mut cfg = ExperimentConfig::new(policy, 0, 32)
+        .with_workload(workload.name())
+        .with_seed(seed);
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let mut source =
+        SimulatorSource::new(cfg, TimingSource::LastRoundCycles).map_err(|e| e.to_string())?;
+    let k10 = source.attacked_subkey();
+    let mut attack = Attack::against(policy, 32)
+        .with_oracle(workload.oracle())
+        .with_seed(seed ^ 0xa77ac)
+        .with_threads(threads);
+    if telemetry.wants_any() {
+        attack = attack.with_metrics(&registry);
+    }
+    let mut opts = StreamOptions::new(budget).with_chunk(chunk);
+    if early_stop {
+        opts = opts.with_early_stop(EarlyStop::default());
+    }
+
+    if byte_spec == "all" {
+        let rec = stream_recover_key(&attack, &mut source, &opts).map_err(|e| e.to_string())?;
+        let out = rec.recovery.outcome(&k10);
+        for (j, b) in rec.recovery.bytes.iter().enumerate() {
+            let hit = if b.best_guess == k10[j] {
+                "HIT "
+            } else {
+                "miss"
+            };
+            println!(
+                "byte {j:2}: guess 0x{:02x} actual 0x{:02x} [{hit}] corr {:+.3} rank {}",
+                b.best_guess,
+                k10[j],
+                b.correlation_of(k10[j]),
+                b.rank_of(k10[j])
+            );
+        }
+        println!(
+            "\nrecovered {}/{key_bytes} bytes; avg corr(correct) = {:+.3}; avg rank = {:.1}",
+            out.num_correct, out.avg_correct_correlation, out.avg_rank_of_correct
+        );
+        println!(
+            "remaining key security: ~2^{:.1} candidate keys to enumerate",
+            rcoal_attack::log2_key_rank(&rec.recovery, &k10)
+        );
+        print_stream_outcome(rec.samples, budget, rec.terminated_early, rec.checkpoints);
+    } else {
+        let j: usize = byte_spec.parse().map_err(|_| {
+            format!(
+                "--byte must be 0..={} or 'all', got {byte_spec:?}",
+                key_bytes - 1
+            )
+        })?;
+        if j >= key_bytes {
+            return Err(format!("--byte must be 0..={} or 'all'", key_bytes - 1));
+        }
+        let rec = stream_recover_byte(&attack, &mut source, j, &opts).map_err(|e| e.to_string())?;
+        println!("online trajectory (byte {j}):");
+        for cp in &rec.checkpoints {
+            println!(
+                "  n={:>9} leader 0x{:02x} corr {:+.4} runner-up {:+.4} margin {:+.4} stable x{}",
+                cp.samples, cp.leader, cp.leader_corr, cp.runner_up_corr, cp.margin, cp.stable_for
+            );
+        }
+        println!(
+            "byte {j}: guess 0x{:02x} actual 0x{:02x} corr {:+.3} rank {}",
+            rec.recovery.best_guess,
+            k10[j],
+            rec.recovery.correlation_of(k10[j]),
+            rec.recovery.rank_of(k10[j])
+        );
+        print_stream_outcome(
+            rec.samples,
+            budget,
+            rec.terminated_early,
+            rec.checkpoints.len(),
+        );
+    }
+    telemetry.write_metrics(&registry)?;
+    Ok(())
+}
+
+fn print_stream_outcome(samples: usize, budget: usize, terminated_early: bool, checkpoints: usize) {
+    if terminated_early {
+        println!(
+            "early stop    : terminated after {samples} of {budget} samples \
+             ({checkpoints} checkpoint(s); leader stable)"
+        );
+    } else {
+        println!(
+            "early stop    : budget exhausted at {samples} samples ({checkpoints} checkpoint(s))"
+        );
+    }
 }
 
 fn cmd_audit(args: &ParsedArgs) -> Result<(), String> {

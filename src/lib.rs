@@ -71,9 +71,13 @@ pub use rcoal_workload as workload;
 /// Commonly used items, importable with `use rcoal::prelude::*`.
 pub mod prelude {
     pub use rcoal_aes::{Aes128, AesGpuKernel};
-    pub use rcoal_attack::{Attack, AttackError, AttackSample, KeyRecovery, RecoveryOutcome};
+    pub use rcoal_attack::{
+        stream_recover_byte, stream_recover_key, Attack, AttackError, AttackSample, EarlyStop,
+        KeyRecovery, RecoveryOutcome, SampleSource, SliceSource, StreamOptions,
+    };
     pub use rcoal_audit::{
         evaluate_gate, AuditChannel, AuditSpec, Expectation, GateOutcome, LeakageReport,
+        StreamingAudit,
     };
     pub use rcoal_conformance::{run_suite, SuiteOptions, SuiteReport};
     pub use rcoal_core::{
@@ -81,7 +85,7 @@ pub mod prelude {
     };
     pub use rcoal_experiments::{
         audit_data, ExperimentConfig, ExperimentData, ExperimentError, ExperimentTelemetry,
-        LaunchTrace, RunnerReport, SweepRunner, TelemetrySpec, TimingSource,
+        LaunchTrace, RunnerReport, SimulatorSource, SweepRunner, TelemetrySpec, TimingSource,
     };
     pub use rcoal_gpu_sim::{
         FaultPlan, GpuConfig, GpuSimulator, ReplyJitter, SimError, SimProfile, SimStats,
